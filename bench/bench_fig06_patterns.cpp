@@ -1,0 +1,109 @@
+// Reproduces paper Fig. 6: the Logical I/O Pattern mix of the three data
+// intensive applications, measured over a full run, plus the §VI-C
+// pattern-stability observation (per-period mixes).
+//
+// Paper values: File Server 89.6% P1 / 9.9% P3; TPC-C 76.2% P3 / 23.3% P1;
+// TPC-H 61.5% P1 / 38.5% P2; no P0 anywhere over a full run.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/pattern_classifier.h"
+#include "replay/report.h"
+#include "workload/dss_workload.h"
+#include "workload/file_server_workload.h"
+#include "workload/oltp_workload.h"
+
+using namespace ecostore;  // NOLINT
+
+namespace {
+
+core::ClassificationResult ClassifyFullRun(workload::Workload& workload) {
+  trace::LogicalTraceBuffer buffer;
+  trace::LogicalIoRecord rec;
+  workload.Reset();
+  while (workload.Next(&rec)) buffer.Append(rec);
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  return classifier.Classify(buffer, workload.catalog(), 0,
+                             workload.info().duration);
+}
+
+void StabilityReport(workload::Workload& workload, SimDuration period) {
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  trace::LogicalTraceBuffer buffer;
+  trace::LogicalIoRecord rec;
+  workload.Reset();
+  SimTime period_start = 0;
+  int shown = 0;
+  while (workload.Next(&rec) && shown < 6) {
+    while (rec.time >= period_start + period && shown < 6) {
+      auto result = classifier.Classify(buffer, workload.catalog(),
+                                        period_start, period_start + period);
+      replay::PrintPatternMix(std::cout,
+                              "  period " + std::to_string(shown), result);
+      buffer.Clear();
+      period_start += period;
+      shown++;
+    }
+    buffer.Append(rec);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::InitBenchLogging();
+  bench::PrintHeader("Fig. 6 — Logical I/O Patterns per application",
+                     "FS 89.6% P1 / 9.9% P3; TPC-C 76.2% P3 / 23.3% P1; "
+                     "TPC-H 61.5% P1 / 38.5% P2");
+
+  {
+    workload::FileServerConfig config;
+    config.duration = bench::MaybeShorten(6 * kHour, 60 * kMinute);
+    auto workload = workload::FileServerWorkload::Create(config);
+    if (!workload.ok()) {
+      std::cerr << workload.status().ToString() << "\n";
+      return 1;
+    }
+    replay::PrintPatternMix(std::cout, "file_server",
+                            ClassifyFullRun(*workload.value()));
+  }
+  {
+    workload::OltpConfig config;
+    config.duration =
+        bench::MaybeShorten(static_cast<SimDuration>(1.8 * kHour),
+                            30 * kMinute);
+    auto workload = workload::OltpWorkload::Create(config);
+    if (!workload.ok()) {
+      std::cerr << workload.status().ToString() << "\n";
+      return 1;
+    }
+    replay::PrintPatternMix(std::cout, "oltp_tpcc",
+                            ClassifyFullRun(*workload.value()));
+  }
+  {
+    workload::DssConfig config;
+    config.duration = bench::MaybeShorten(6 * kHour, 90 * kMinute);
+    if (bench::QuickMode()) config.scale = 0.1;
+    auto workload = workload::DssWorkload::Create(config);
+    if (!workload.ok()) {
+      std::cerr << workload.status().ToString() << "\n";
+      return 1;
+    }
+    replay::PrintPatternMix(std::cout, "dss_tpch",
+                            ClassifyFullRun(*workload.value()));
+  }
+
+  // §VI-C: the paper notes the patterns are stable while the application
+  // runs; show consecutive monitoring-period mixes for the file server.
+  std::cout << "\npattern stability (file server, 520 s periods):\n";
+  {
+    workload::FileServerConfig config;
+    config.duration = 60 * kMinute;
+    auto workload = workload::FileServerWorkload::Create(config);
+    if (workload.ok()) StabilityReport(*workload.value(), 520 * kSecond);
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Google-benchmark microbenchmarks for the hot code paths: the event
+// loop, the cache, interval analysis, the classifier and the placement
+// planner. These bound the monitoring overhead the paper argues is small
+// (§III-A, §VII-D).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/pattern_classifier.h"
+#include "core/placement_planner.h"
+#include "sim/simulator.h"
+#include "storage/disk_enclosure.h"
+#include "storage/storage_cache.h"
+
+namespace ecostore {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunAll());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_CacheReadHit(benchmark::State& state) {
+  storage::CacheConfig config;
+  storage::StorageCache cache(config);
+  cache.Read(1, 0, 65536);  // warm one block
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Read(1, 0, 65536));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheReadHit);
+
+void BM_CacheWriteAbsorb(benchmark::State& state) {
+  storage::CacheConfig config;
+  storage::StorageCache cache(config);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Write(1, rng.UniformInt(0, 1 << 20) * 4096, 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheWriteAbsorb);
+
+void BM_IntervalAnalysis(benchmark::State& state) {
+  Xoshiro256 rng(2);
+  std::vector<std::pair<SimTime, bool>> ios;
+  SimTime t = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    t += rng.UniformInt(1, 2 * kSecond);
+    ios.emplace_back(t, rng.Bernoulli(0.6));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AnalyzeIntervals(
+        ios, 0, t + kSecond, 52 * kSecond));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalAnalysis)->Arg(100)->Arg(10000);
+
+void BM_PatternClassifier(benchmark::State& state) {
+  const int n_items = static_cast<int>(state.range(0));
+  storage::DataItemCatalog catalog;
+  VolumeId v = catalog.AddVolume(0);
+  for (int i = 0; i < n_items; ++i) {
+    catalog.AddItem("i" + std::to_string(i), v, 1 << 20,
+                    storage::DataItemKind::kFile);
+  }
+  trace::LogicalTraceBuffer buffer;
+  Xoshiro256 rng(3);
+  SimTime t = 0;
+  for (int k = 0; k < 100000; ++k) {
+    t += rng.UniformInt(1, 10 * kMillisecond);
+    trace::LogicalIoRecord rec;
+    rec.time = t;
+    rec.item = static_cast<DataItemId>(rng.UniformInt(0, n_items - 1));
+    rec.size = 8192;
+    rec.type = rng.Bernoulli(0.6) ? IoType::kRead : IoType::kWrite;
+    buffer.Append(rec);
+  }
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        classifier.Classify(buffer, catalog, 0, t + kSecond));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PatternClassifier)->Arg(100)->Arg(2000);
+
+void BM_PlacementPlanner(benchmark::State& state) {
+  const int n_items = static_cast<int>(state.range(0));
+  const int n_enclosures = 12;
+  storage::DataItemCatalog catalog;
+  for (int e = 0; e < n_enclosures; ++e) catalog.AddVolume(e);
+  core::ClassificationResult result;
+  Xoshiro256 rng(4);
+  for (int i = 0; i < n_items; ++i) {
+    auto pattern = static_cast<core::IoPattern>(rng.UniformInt(0, 3));
+    DataItemId id =
+        catalog
+            .AddItem("i" + std::to_string(i),
+                     static_cast<VolumeId>(rng.UniformInt(
+                         0, n_enclosures - 1)),
+                     rng.UniformInt(1, 1000) * 1024 * 1024,
+                     storage::DataItemKind::kFile)
+            .value();
+    core::ItemClassification cls;
+    cls.item = id;
+    cls.pattern = pattern;
+    cls.size_bytes = catalog.item(id).size_bytes;
+    cls.avg_iops = pattern == core::IoPattern::kP3
+                       ? static_cast<double>(rng.UniformInt(1, 50))
+                       : 1.0;
+    result.items.push_back(cls);
+    if (pattern == core::IoPattern::kP3) result.p3_max_iops += cls.avg_iops;
+  }
+  storage::BlockVirtualization virt(&catalog, n_enclosures,
+                                    1700LL * 1024 * 1024 * 1024);
+  if (!virt.PlaceInitial().ok()) {
+    state.SkipWithError("placement failed");
+    return;
+  }
+  core::HotColdPlanner hot_cold(
+      core::HotColdPlanner::Options{900.0, virt.capacity_bytes()});
+  core::PlacementPlanner planner(
+      core::PlacementPlanner::Options{900.0, virt.capacity_bytes()},
+      &hot_cold);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.Plan(result, virt));
+  }
+  state.SetItemsProcessed(state.iterations() * n_items);
+}
+BENCHMARK(BM_PlacementPlanner)->Arg(100)->Arg(2000);
+
+void BM_EnclosureSubmit(benchmark::State& state) {
+  storage::EnclosureConfig config;
+  storage::DiskEnclosure enc(0, config);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(
+        enc.SubmitIo(t, 1, 8192, IoType::kRead, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnclosureSubmit);
+
+}  // namespace
+}  // namespace ecostore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// Parameter-sensitivity sweeps (the paper's conclusion calls for studying
+// "the effectiveness of the system on different configurations"):
+//   1. preload-area size — how much cache the method needs,
+//   2. spin-down timeout — sensitivity to the break-even estimate,
+//   3. array width — enclosure-count scaling,
+//   4. HDD vs SSD enclosures (paper §VIII-D).
+// Each row runs the proposed method on the file-server workload against
+// its own no-power-saving reference.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/eco_storage_policy.h"
+#include "policies/basic_policies.h"
+#include "replay/suite.h"
+#include "workload/file_server_workload.h"
+
+using namespace ecostore;  // NOLINT
+
+namespace {
+
+struct SweepRow {
+  std::string label;
+  double saving_pct = 0;
+  double response_ms = 0;
+  int64_t spinups = 0;
+};
+
+Result<SweepRow> RunOne(const std::string& label,
+                        const workload::FileServerConfig& wl_config,
+                        const replay::ExperimentConfig& config,
+                        const core::PowerManagementConfig& pm) {
+  auto workload = workload::FileServerWorkload::Create(wl_config);
+  if (!workload.ok()) return workload.status();
+  std::vector<replay::PolicyFactory> factories;
+  factories.push_back(
+      [] { return std::make_unique<policies::NoPowerSavingPolicy>(); });
+  factories.push_back(
+      [pm] { return std::make_unique<core::EcoStoragePolicy>(pm); });
+  auto runs = replay::RunSuite(workload.value().get(), factories, config);
+  if (!runs.ok()) return runs.status();
+  SweepRow row;
+  row.label = label;
+  row.saving_pct =
+      runs.value()[1].EnclosurePowerSavingVs(runs.value()[0]);
+  row.response_ms = runs.value()[1].avg_response_ms;
+  row.spinups = runs.value()[1].spinups;
+  return row;
+}
+
+void Print(const std::vector<SweepRow>& rows) {
+  std::printf("%-34s %10s %12s %9s\n", "configuration", "saving[%]",
+              "response[ms]", "spin-ups");
+  for (const SweepRow& row : rows) {
+    std::printf("%-34s %10.1f %12.2f %9lld\n", row.label.c_str(),
+                row.saving_pct, row.response_ms,
+                static_cast<long long>(row.spinups));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::InitBenchLogging();
+  bench::PrintHeader("Sensitivity sweeps — proposed method",
+                     "configuration study (paper \xC2\xA7IX future work); "
+                     "no paper figure");
+
+  workload::FileServerConfig wl;
+  wl.duration = bench::MaybeShorten(90 * kMinute, 30 * kMinute);
+
+  // --- 1. preload area --------------------------------------------------
+  {
+    std::vector<SweepRow> rows;
+    for (int64_t mb : {0, 125, 250, 500, 1000}) {
+      replay::ExperimentConfig config;
+      core::PowerManagementConfig pm;
+      if (mb == 0) {
+        pm.enable_preload = false;
+      } else {
+        config.storage.cache.preload_area_bytes = mb * kMiB;
+      }
+      auto row = RunOne("preload area " + std::to_string(mb) + " MiB", wl,
+                        config, pm);
+      if (!row.ok()) {
+        std::cerr << row.status().ToString() << "\n";
+        return 1;
+      }
+      rows.push_back(row.value());
+    }
+    std::cout << "[sweep 1] preload-area size:\n";
+    Print(rows);
+  }
+
+  // --- 2. spin-down timeout --------------------------------------------
+  {
+    std::vector<SweepRow> rows;
+    for (int seconds : {13, 26, 52, 104, 208}) {
+      replay::ExperimentConfig config;
+      config.storage.enclosure.spindown_timeout = seconds * kSecond;
+      core::PowerManagementConfig pm;
+      auto row = RunOne("spin-down timeout " + std::to_string(seconds) +
+                            " s",
+                        wl, config, pm);
+      if (!row.ok()) {
+        std::cerr << row.status().ToString() << "\n";
+        return 1;
+      }
+      rows.push_back(row.value());
+    }
+    std::cout << "[sweep 2] spin-down timeout (break-even 52 s):\n";
+    Print(rows);
+  }
+
+  // --- 3. array width ---------------------------------------------------
+  {
+    std::vector<SweepRow> rows;
+    for (int enclosures : {6, 12, 24}) {
+      workload::FileServerConfig wide = wl;
+      wide.num_enclosures = enclosures;
+      // Keep total data within capacity when the array shrinks.
+      wide.archive_files = enclosures * 13;
+      replay::ExperimentConfig config;
+      core::PowerManagementConfig pm;
+      auto row = RunOne(std::to_string(enclosures) + " enclosures", wide,
+                        config, pm);
+      if (!row.ok()) {
+        std::cerr << row.status().ToString() << "\n";
+        return 1;
+      }
+      rows.push_back(row.value());
+    }
+    std::cout << "[sweep 3] array width:\n";
+    Print(rows);
+  }
+
+  // --- 4. HDD vs SSD (paper §VIII-D) -------------------------------------
+  {
+    std::vector<SweepRow> rows;
+    {
+      replay::ExperimentConfig config;
+      config.storage.enclosure = storage::EnterpriseHddEnclosureConfig();
+      auto row = RunOne("HDD enclosures (break-even 52 s)", wl, config,
+                        core::PowerManagementConfig{});
+      if (row.ok()) rows.push_back(row.value());
+    }
+    {
+      replay::ExperimentConfig config;
+      config.storage.enclosure = storage::SsdEnclosureConfig();
+      core::PowerManagementConfig pm;
+      pm.break_even = config.storage.enclosure.BreakEvenTime();
+      auto row = RunOne("SSD enclosures (break-even ~2 s)", wl, config,
+                        pm);
+      if (row.ok()) rows.push_back(row.value());
+    }
+    std::cout << "[sweep 4] media type:\n";
+    Print(rows);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Figs. 11-13 and 18 (TPC-C / OLTP): power, scaled
+// transaction throughput, migrated data and the long-interval curve.
+//
+// Paper values: power 2656.4 W -> proposed 2238.1 W (-15.7%), PDC -10.7%,
+// DDR ~0; throughput proposed 1701.4 tpmC (-8.5%), PDC/DDR worse;
+// migrated PDC > 1 TB, DDR minimal; determinations 7 / 3 / ~90k; Fig. 18:
+// DDR has no intervals beyond the break-even time.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "replay/report.h"
+#include "replay/suite.h"
+#include "workload/oltp_workload.h"
+
+using namespace ecostore;  // NOLINT
+
+int main() {
+  bench::InitBenchLogging();
+  bench::PrintHeader("Figs. 11-13, 18 — TPC-C (OLTP)",
+                     "proposed -15.7% power at -8.5% tpmC; DDR saves "
+                     "nothing");
+
+  workload::OltpConfig wl_config;
+  wl_config.duration = bench::MaybeShorten(
+      static_cast<SimDuration>(1.8 * kHour), 30 * kMinute);
+  auto workload = workload::OltpWorkload::Create(wl_config);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+
+  replay::ExperimentConfig config;
+  core::PowerManagementConfig pm;
+  auto runs = replay::RunSuite(workload.value().get(),
+                               replay::PaperPolicySet(pm), config);
+  if (!runs.ok()) {
+    std::cerr << runs.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "\n[Fig. 11] average power:\n";
+  replay::PrintPowerTable(std::cout, runs.value());
+
+  std::cout << "\n[Fig. 12] transaction throughput (scaled, paper "
+               "\xC2\xA7VII-A.5):\n";
+  const replay::ExperimentMetrics* base =
+      replay::FindRun(runs.value(), "no_power_saving");
+  for (const replay::ExperimentMetrics& m : runs.value()) {
+    double tpmc = replay::ScaledTransactionThroughput(
+        workload::OltpWorkload::kBaselineTpmC, *base, m);
+    std::printf("  %-18s %8.1f tpmC (%+.1f%%)\n", m.policy.c_str(), tpmc,
+                100.0 * (tpmc / workload::OltpWorkload::kBaselineTpmC - 1.0));
+  }
+
+  std::cout << "\n(read response behind the scaling)\n";
+  replay::PrintResponseTable(std::cout, runs.value());
+
+  std::cout << "\n[Fig. 13 + \xC2\xA7VII-D] migrated data / "
+               "determinations:\n";
+  replay::PrintMigrationTable(std::cout, runs.value());
+
+  std::cout << "\n[Fig. 18] cumulative idle-interval length by threshold:\n";
+  replay::PrintIntervalCdf(
+      std::cout, runs.value(),
+      {10 * kSecond, 30 * kSecond, 52 * kSecond, 2 * kMinute, 5 * kMinute});
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef ECOSTORE_BENCH_BENCH_UTIL_H_
+#define ECOSTORE_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benchmarks.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/sim_time.h"
+
+namespace ecostore::bench {
+
+/// True when ECOSTORE_QUICK=1: benchmarks run shortened workloads (for CI
+/// and smoke runs); otherwise the paper's full durations are used.
+inline bool QuickMode() {
+  const char* env = std::getenv("ECOSTORE_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline SimDuration MaybeShorten(SimDuration full, SimDuration quick) {
+  return QuickMode() ? quick : full;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_reference) {
+  std::cout << "==========================================================\n"
+            << title << "\n"
+            << "paper reference: " << paper_reference << "\n"
+            << "==========================================================\n";
+}
+
+inline void InitBenchLogging() {
+  const char* env = std::getenv("ECOSTORE_LOG");
+  Logger::threshold = (env != nullptr && std::string(env) == "debug")
+                          ? LogLevel::kDebug
+                          : LogLevel::kWarn;
+}
+
+}  // namespace ecostore::bench
+
+#endif  // ECOSTORE_BENCH_BENCH_UTIL_H_

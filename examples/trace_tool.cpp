@@ -1,0 +1,174 @@
+// Trace capture & replay tool — the paper's experimental workflow
+// (§VII-A.2): record a workload's logical I/O trace once, then replay the
+// identical trace under any power-saving method.
+//
+// Usage:
+//   trace_tool record <file_server|oltp|dss> <minutes> <prefix>
+//       writes <prefix>.catalog.csv and <prefix>.trace.csv
+//   trace_tool replay <prefix> <no_power_saving|proposed|pdc|ddr|timeout>
+//       replays the recorded trace under one policy
+//   trace_tool info <prefix>
+//       prints catalog/trace statistics
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "core/eco_storage_policy.h"
+#include "policies/basic_policies.h"
+#include "policies/ddr_policy.h"
+#include "policies/pdc_policy.h"
+#include "replay/report.h"
+#include "replay/suite.h"
+#include "workload/dss_workload.h"
+#include "workload/file_server_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/recorded_workload.h"
+
+using namespace ecostore;  // NOLINT: example brevity
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  trace_tool record <file_server|oltp|dss> <minutes> "
+               "<prefix>\n"
+            << "  trace_tool replay <prefix> "
+               "<no_power_saving|proposed|pdc|ddr|timeout>\n"
+            << "  trace_tool info <prefix>\n";
+  return 2;
+}
+
+Result<std::unique_ptr<workload::Workload>> MakeWorkload(
+    const std::string& kind, SimDuration duration) {
+  if (kind == "file_server") {
+    workload::FileServerConfig config;
+    config.duration = duration;
+    auto w = workload::FileServerWorkload::Create(config);
+    if (!w.ok()) return w.status();
+    return std::unique_ptr<workload::Workload>(std::move(w).value());
+  }
+  if (kind == "oltp") {
+    workload::OltpConfig config;
+    config.duration = duration;
+    auto w = workload::OltpWorkload::Create(config);
+    if (!w.ok()) return w.status();
+    return std::unique_ptr<workload::Workload>(std::move(w).value());
+  }
+  if (kind == "dss") {
+    workload::DssConfig config;
+    config.duration = duration;
+    config.scale = 0.1;  // keep recorded files manageable
+    auto w = workload::DssWorkload::Create(config);
+    if (!w.ok()) return w.status();
+    return std::unique_ptr<workload::Workload>(std::move(w).value());
+  }
+  return Status::InvalidArgument("unknown workload kind: " + kind);
+}
+
+std::unique_ptr<policies::StoragePolicy> MakePolicy(
+    const std::string& name) {
+  if (name == "no_power_saving") {
+    return std::make_unique<policies::NoPowerSavingPolicy>();
+  }
+  if (name == "timeout") {
+    return std::make_unique<policies::FixedTimeoutPolicy>();
+  }
+  if (name == "proposed") {
+    return std::make_unique<core::EcoStoragePolicy>(
+        core::PowerManagementConfig{});
+  }
+  if (name == "pdc") {
+    return std::make_unique<policies::PdcPolicy>(
+        policies::PdcPolicy::Options{});
+  }
+  if (name == "ddr") {
+    return std::make_unique<policies::DdrPolicy>(
+        policies::DdrPolicy::Options{});
+  }
+  return nullptr;
+}
+
+int Record(const std::string& kind, double minutes,
+           const std::string& prefix) {
+  auto duration =
+      static_cast<SimDuration>(minutes * static_cast<double>(kMinute));
+  auto source = MakeWorkload(kind, duration);
+  if (!source.ok()) {
+    std::cerr << source.status().ToString() << "\n";
+    return 1;
+  }
+  auto recorded = workload::RecordedWorkload::Capture(source.value().get());
+  if (!recorded.ok()) {
+    std::cerr << recorded.status().ToString() << "\n";
+    return 1;
+  }
+  Status st = recorded.value()->Save(prefix);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "recorded " << recorded.value()->records().size()
+            << " I/Os over " << FormatDuration(duration) << " to " << prefix
+            << ".{catalog,trace}.csv\n";
+  return 0;
+}
+
+int Replay(const std::string& prefix, const std::string& policy_name) {
+  auto workload = workload::RecordedWorkload::Load(prefix);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  auto policy = MakePolicy(policy_name);
+  if (policy == nullptr) return Usage();
+  replay::Experiment experiment(workload.value().get(), policy.get(),
+                                replay::ExperimentConfig{});
+  auto metrics = experiment.Run();
+  if (!metrics.ok()) {
+    std::cerr << metrics.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << replay::Summarize(metrics.value()) << "\n";
+  return 0;
+}
+
+int Info(const std::string& prefix) {
+  auto workload = workload::RecordedWorkload::Load(prefix);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& w = *workload.value();
+  int64_t reads = 0;
+  for (const trace::LogicalIoRecord& rec : w.records()) {
+    if (rec.is_read()) reads++;
+  }
+  std::cout << "trace: " << w.records().size() << " records ("
+            << reads << " reads) over "
+            << FormatDuration(w.info().duration) << "\n"
+            << "catalog: " << w.catalog().item_count() << " items on "
+            << w.catalog().volume_count() << " volumes across "
+            << w.info().num_enclosures << " enclosures, "
+            << FormatBytes(w.info().total_data_bytes) << " total\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::threshold = LogLevel::kWarn;
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  if (command == "record" && argc == 5) {
+    return Record(argv[2], std::atof(argv[3]), argv[4]);
+  }
+  if (command == "replay" && argc == 4) {
+    return Replay(argv[2], argv[3]);
+  }
+  if (command == "info" && argc == 3) {
+    return Info(argv[2]);
+  }
+  return Usage();
+}

@@ -1,0 +1,96 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace ecostore {
+
+Histogram::Histogram() {
+  // Geometric bucket limits: 1, 2, 3, 5, 8, 12, ... up to > 4e18.
+  int64_t limit = 1;
+  while (limit < std::numeric_limits<int64_t>::max() / 2) {
+    bucket_limits_.push_back(limit);
+    int64_t next = limit + std::max<int64_t>(1, limit / 2);
+    limit = next;
+  }
+  bucket_limits_.push_back(std::numeric_limits<int64_t>::max());
+  counts_.assign(bucket_limits_.size(), 0);
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+size_t Histogram::BucketFor(int64_t value) const {
+  auto it = std::lower_bound(bucket_limits_.begin(), bucket_limits_.end(),
+                             value);
+  return static_cast<size_t>(it - bucket_limits_.begin());
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  counts_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(bucket_limits_.size() == other.bucket_limits_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) >= target) {
+      int64_t lo = (i == 0) ? 0 : bucket_limits_[i - 1];
+      int64_t hi = std::min(bucket_limits_[i], max_);
+      double within =
+          (target - static_cast<double>(seen)) / static_cast<double>(counts_[i]);
+      return static_cast<double>(lo) +
+             within * static_cast<double>(hi - lo);
+    }
+    seen += counts_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+int64_t Histogram::CountAbove(int64_t threshold) const {
+  size_t start = BucketFor(threshold);
+  int64_t total = 0;
+  // Values equal to threshold live in bucket `start`; count only buckets
+  // strictly above it, which makes the result exact for boundary thresholds
+  // and conservative otherwise.
+  for (size_t i = start + 1; i < counts_.size(); ++i) total += counts_[i];
+  return total;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%lld",
+                static_cast<long long>(count_), Mean(), Quantile(0.5),
+                Quantile(0.95), Quantile(0.99),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace ecostore

@@ -1,0 +1,40 @@
+#ifndef ECOSTORE_COMMON_LOGGING_H_
+#define ECOSTORE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ecostore {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// \brief Minimal stream-style logger writing to stderr.
+///
+/// The library logs sparingly (policy decisions, migrations, state
+/// transitions at kDebug). Benchmarks and tests raise the threshold to
+/// kWarn/kOff to keep output clean.
+class Logger {
+ public:
+  /// Global severity threshold; messages below it are dropped.
+  static LogLevel threshold;
+
+  Logger(LogLevel level, const char* file, int line);
+  ~Logger();
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ecostore
+
+#define ECOSTORE_LOG(level)                                              \
+  ::ecostore::Logger(::ecostore::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // ECOSTORE_COMMON_LOGGING_H_

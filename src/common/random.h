@@ -1,0 +1,108 @@
+#ifndef ECOSTORE_COMMON_RANDOM_H_
+#define ECOSTORE_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ecostore {
+
+/// \brief Deterministic xoshiro256** pseudo-random generator.
+///
+/// All randomness in the library flows through this generator so that every
+/// experiment is bit-reproducible from its seed. The engine satisfies the
+/// C++ UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  /// Re-seeds the state via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double Normal(double mean, double stddev);
+
+  /// Log-normally distributed value with the given *median* and log-space
+  /// sigma: exp(N(ln(median), sigma)).
+  double LogNormal(double median, double sigma) {
+    return median * std::exp(Normal(0.0, sigma));
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf-distributed integer sampler over {0, ..., n-1}.
+///
+/// Rank 0 is the most popular. Uses the classical normalized-harmonic
+/// inversion with a precomputed CDF; sampling is O(log n).
+class ZipfGenerator {
+ public:
+  /// \param n number of distinct items (> 0)
+  /// \param theta skew parameter (>= 0; 0 is uniform, ~0.99 is typical
+  ///        for storage popularity distributions)
+  ZipfGenerator(int64_t n, double theta);
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Samples an item rank in [0, n).
+  int64_t Sample(Xoshiro256& rng) const;
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+/// \brief TPC-C NURand non-uniform random number generator.
+///
+/// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y - x + 1)) + x
+/// per TPC-C specification clause 2.1.6.
+class NuRand {
+ public:
+  NuRand(int64_t a, int64_t x, int64_t y, int64_t c)
+      : a_(a), x_(x), y_(y), c_(c) {
+    assert(x <= y);
+  }
+
+  int64_t Sample(Xoshiro256& rng) const {
+    int64_t r1 = rng.UniformInt(0, a_);
+    int64_t r2 = rng.UniformInt(x_, y_);
+    return (((r1 | r2) + c_) % (y_ - x_ + 1)) + x_;
+  }
+
+ private:
+  int64_t a_;
+  int64_t x_;
+  int64_t y_;
+  int64_t c_;
+};
+
+}  // namespace ecostore
+
+#endif  // ECOSTORE_COMMON_RANDOM_H_

@@ -1,0 +1,75 @@
+#ifndef ECOSTORE_COMMON_RESULT_H_
+#define ECOSTORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ecostore {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// The usual usage pattern is:
+/// \code
+///   Result<Plan> plan = planner.Compute(snapshot);
+///   if (!plan.ok()) return plan.status();
+///   Use(plan.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit so functions can
+  /// `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error status. `status.ok()` must be
+  /// false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define ECOSTORE_ASSIGN_OR_RETURN(lhs, expr)         \
+  do {                                               \
+    auto _res = (expr);                              \
+    if (!_res.ok()) return _res.status();            \
+    lhs = std::move(_res).value();                   \
+  } while (false)
+
+}  // namespace ecostore
+
+#endif  // ECOSTORE_COMMON_RESULT_H_

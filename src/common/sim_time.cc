@@ -1,0 +1,25 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace ecostore {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  } else if (abs < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3gms",
+                  static_cast<double>(d) / kMillisecond);
+  } else if (abs < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.4gs",
+                  static_cast<double>(d) / kSecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gh",
+                  static_cast<double>(d) / kHour);
+  }
+  return buf;
+}
+
+}  // namespace ecostore

@@ -1,0 +1,103 @@
+#ifndef ECOSTORE_COMMON_STATUS_H_
+#define ECOSTORE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ecostore {
+
+/// \brief Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCapacityExceeded,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kNotSupported,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Lightweight success/error value used across the library instead of
+/// exceptions (RocksDB-style error model).
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. Library functions that can fail return a
+/// Status (or a Result<T> when they also produce a value); callers are
+/// expected to check `ok()` before using any outputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCapacityExceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ECOSTORE_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::ecostore::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+}  // namespace ecostore
+
+#endif  // ECOSTORE_COMMON_STATUS_H_

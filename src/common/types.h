@@ -1,0 +1,31 @@
+#ifndef ECOSTORE_COMMON_TYPES_H_
+#define ECOSTORE_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace ecostore {
+
+/// Identifier of an application-level data item (a table, index, file or
+/// work file fragment living wholly on one disk enclosure; paper §II-C.1).
+using DataItemId = int32_t;
+
+/// Identifier of a logical volume exposed by the block-virtualization layer.
+using VolumeId = int32_t;
+
+/// Identifier of a disk enclosure (the power-saving unit; paper §II-A).
+using EnclosureId = int32_t;
+
+inline constexpr DataItemId kInvalidDataItem = -1;
+inline constexpr VolumeId kInvalidVolume = -1;
+inline constexpr EnclosureId kInvalidEnclosure = -1;
+
+/// Direction of an I/O request.
+enum class IoType : uint8_t { kRead = 0, kWrite = 1 };
+
+inline const char* IoTypeName(IoType t) {
+  return t == IoType::kRead ? "R" : "W";
+}
+
+}  // namespace ecostore
+
+#endif  // ECOSTORE_COMMON_TYPES_H_

@@ -1,0 +1,24 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace ecostore {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  double b = static_cast<double>(bytes);
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.3g KiB", b / kKiB);
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.3g MiB", b / kMiB);
+  } else if (bytes < kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.4g GiB", b / kGiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g TiB", b / kTiB);
+  }
+  return buf;
+}
+
+}  // namespace ecostore

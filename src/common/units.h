@@ -1,0 +1,39 @@
+#ifndef ECOSTORE_COMMON_UNITS_H_
+#define ECOSTORE_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace ecostore {
+
+/// Byte-size constants. Sizes across the library are int64_t byte counts.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+inline constexpr int64_t kTiB = 1024 * kGiB;
+
+/// Electrical power in watts. Double precision is ample: power values are
+/// piecewise-constant device ratings, not measured samples.
+using Watts = double;
+
+/// Energy in joules.
+using Joules = double;
+
+/// Integrates a constant power draw over a simulated duration.
+inline Joules EnergyOf(Watts power, SimDuration d) {
+  return power * ToSeconds(d);
+}
+
+/// Average power of an energy total over a duration (0 for empty spans).
+inline Watts AveragePower(Joules energy, SimDuration d) {
+  return d > 0 ? energy / ToSeconds(d) : 0.0;
+}
+
+/// Renders a byte count as a compact string, e.g. "23.1 GB".
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace ecostore
+
+#endif  // ECOSTORE_COMMON_UNITS_H_

@@ -1,0 +1,84 @@
+#include "core/cache_planner.h"
+
+#include <algorithm>
+
+namespace ecostore::core {
+
+CachePlan CachePlanner::Plan(
+    const ClassificationResult& classification,
+    const HotColdPartition& partition,
+    const std::vector<EnclosureId>& final_enclosure) const {
+  CachePlan plan;
+
+  auto on_cold = [&](const ItemClassification& cls) {
+    EnclosureId enc = final_enclosure.at(static_cast<size_t>(cls.item));
+    return !partition.IsHot(enc);
+  };
+
+  // --- Write delay (paper §IV-E) ---
+  int64_t wd_budget = options_.write_delay_area_bytes;
+  for (const ItemClassification& cls : classification.items) {
+    if (cls.pattern == IoPattern::kP2 && on_cold(cls)) {
+      plan.write_delay.push_back(cls.item);
+      wd_budget -= cls.write_bytes;
+    }
+  }
+  // Remaining budget goes to the most write-heavy cold P1 items.
+  if (wd_budget > 0) {
+    std::vector<const ItemClassification*> p1;
+    for (const ItemClassification& cls : classification.items) {
+      if (cls.pattern == IoPattern::kP1 && on_cold(cls) && cls.writes > 0) {
+        p1.push_back(&cls);
+      }
+    }
+    std::stable_sort(p1.begin(), p1.end(),
+                     [](const ItemClassification* a,
+                        const ItemClassification* b) {
+                       return a->writes > b->writes;
+                     });
+    for (const ItemClassification* cls : p1) {
+      if (cls->write_bytes > wd_budget) continue;
+      plan.write_delay.push_back(cls->item);
+      wd_budget -= cls->write_bytes;
+    }
+  }
+
+  // --- Preload (paper §IV-F) ---
+  std::vector<const ItemClassification*> candidates;
+  for (const ItemClassification& cls : classification.items) {
+    if (cls.pattern == IoPattern::kP1 && on_cold(cls) && cls.reads > 0) {
+      candidates.push_back(&cls);
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ItemClassification* a,
+                      const ItemClassification* b) {
+                     double da = a->size_bytes > 0
+                                     ? static_cast<double>(a->reads) /
+                                           static_cast<double>(a->size_bytes)
+                                     : 0.0;
+                     double db = b->size_bytes > 0
+                                     ? static_cast<double>(b->reads) /
+                                           static_cast<double>(b->size_bytes)
+                                     : 0.0;
+                     return da > db;
+                   });
+  int64_t pl_budget = options_.preload_area_bytes;
+  for (const ItemClassification* cls : candidates) {
+    if (cls->size_bytes > pl_budget) continue;
+    plan.preload.emplace_back(cls->item, cls->size_bytes);
+    pl_budget -= cls->size_bytes;
+  }
+  return plan;
+}
+
+SimDuration MonitoringPeriodController::Next(
+    const ClassificationResult& classification, SimDuration current) const {
+  if (classification.mean_long_interval <= 0) return current;
+  auto next = static_cast<SimDuration>(
+      static_cast<double>(classification.mean_long_interval) *
+      options_.alpha);
+  return std::clamp(next, options_.min_period, options_.max_period);
+}
+
+}  // namespace ecostore::core

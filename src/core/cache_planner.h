@@ -1,0 +1,74 @@
+#ifndef ECOSTORE_CORE_CACHE_PLANNER_H_
+#define ECOSTORE_CORE_CACHE_PLANNER_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/pattern_classifier.h"
+#include "core/placement_planner.h"
+
+namespace ecostore::core {
+
+/// Cache assignments for one monitoring period.
+struct CachePlan {
+  /// Items whose writes are kept in the write-delay cache area
+  /// (paper §IV-E).
+  std::vector<DataItemId> write_delay;
+
+  /// Items to pin in the preload area, with their sizes (paper §IV-F).
+  std::vector<std::pair<DataItemId, int64_t>> preload;
+};
+
+/// \brief Selects write-delay and preload data items among the cold
+/// enclosures' items (paper §IV-E and §IV-F).
+///
+/// Write delay: all P2 items on cold enclosures, then — if the area's
+/// budget still has room — the P1 items with the most writes. The budget
+/// is assessed against the items' written bytes in the last period (a
+/// proxy for their dirty working set).
+///
+/// Preload: P1 items on cold enclosures by descending read-I/O density
+/// (reads per byte), greedily while they fit the preload area.
+class CachePlanner {
+ public:
+  struct Options {
+    int64_t preload_area_bytes = 0;
+    int64_t write_delay_area_bytes = 0;
+  };
+
+  explicit CachePlanner(const Options& options) : options_(options) {}
+
+  /// \param final_enclosure item -> enclosure after the planned
+  ///        migrations complete
+  /// \param partition the hot/cold split the placement settled on
+  CachePlan Plan(const ClassificationResult& classification,
+                 const HotColdPartition& partition,
+                 const std::vector<EnclosureId>& final_enclosure) const;
+
+ private:
+  Options options_;
+};
+
+/// \brief Adapts the monitoring-period length: I_new = avg(Long Intervals)
+/// * alpha, clamped to [min_period, max_period] (paper §IV-H).
+class MonitoringPeriodController {
+ public:
+  struct Options {
+    double alpha = 1.2;
+    SimDuration min_period = 52 * kSecond;
+    SimDuration max_period = 2 * kHour;
+  };
+
+  explicit MonitoringPeriodController(const Options& options)
+      : options_(options) {}
+
+  SimDuration Next(const ClassificationResult& classification,
+                   SimDuration current) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_CACHE_PLANNER_H_

@@ -1,0 +1,142 @@
+#include "core/eco_storage_policy.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace ecostore::core {
+
+void EcoStoragePolicy::Start(const storage::StorageSystem& system,
+                             policies::PolicyActuator* actuator) {
+  actuator_ = actuator;
+  function_ = std::make_unique<PowerManagementFunction>(config_, system);
+  current_period_ = config_.initial_period;
+  period_start_ = actuator->Now();
+  is_hot_.assign(static_cast<size_t>(system.num_enclosures()), true);
+  cold_power_on_counts_.assign(
+      static_cast<size_t>(system.num_enclosures()), 0);
+  // Until the first plan exists every enclosure is treated as hot: no
+  // spin-down (the method needs one observation period before acting).
+  for (int e = 0; e < system.num_enclosures(); ++e) {
+    actuator->SetSpinDownAllowed(static_cast<EnclosureId>(e), false);
+  }
+}
+
+SimDuration EcoStoragePolicy::OnPeriodEnd(
+    const monitor::MonitorSnapshot& snapshot,
+    const storage::StorageSystem& system,
+    policies::PolicyActuator* actuator) {
+  last_plan_ = function_->Run(snapshot, system, current_period_);
+  placement_determinations_++;
+  pattern_history_.push_back(last_plan_.classification.pattern_counts);
+
+  // Enact the plan. Migrations first request P0/P1/P2 evictions, then P3
+  // consolidations (the planner already ordered them; paper §V-A).
+  for (const Migration& mig : last_plan_.migrations) {
+    actuator->RequestMigration(mig.item, mig.to);
+  }
+
+  // Items that were selected last period and saw no conflicting traffic
+  // stay selected (paper §V-C: already-preloaded items are kept). This
+  // damps churn when an item merely went quiet (P0) for one period.
+  auto still_cold_non_p3 = [&](DataItemId item) {
+    const auto& items = last_plan_.classification.items;
+    if (item < 0 || static_cast<size_t>(item) >= items.size()) return false;
+    if (items[static_cast<size_t>(item)].pattern == IoPattern::kP3) {
+      return false;
+    }
+    EnclosureId enc = system.virtualization().EnclosureOf(item);
+    return static_cast<size_t>(enc) < last_plan_.partition.is_hot.size() &&
+           !last_plan_.partition.IsHot(enc);
+  };
+
+  std::unordered_set<DataItemId> wd(last_plan_.cache.write_delay.begin(),
+                                    last_plan_.cache.write_delay.end());
+  for (DataItemId item : prev_write_delay_) {
+    if (still_cold_non_p3(item)) wd.insert(item);
+  }
+  prev_write_delay_.assign(wd.begin(), wd.end());
+  actuator->SetWriteDelayItems(wd);
+
+  std::vector<std::pair<DataItemId, int64_t>> preload =
+      last_plan_.cache.preload;
+  int64_t budget = function_->config().preload_area_bytes;
+  for (const auto& [item, size] : preload) {
+    (void)item;
+    budget -= size;
+  }
+  for (const auto& [item, size] : prev_preload_) {
+    bool already = false;
+    for (const auto& [fresh_item, fresh_size] : preload) {
+      (void)fresh_size;
+      if (fresh_item == item) {
+        already = true;
+        break;
+      }
+    }
+    if (already || !still_cold_non_p3(item) || size > budget) continue;
+    preload.emplace_back(item, size);
+    budget -= size;
+  }
+  prev_preload_ = preload;
+  actuator->SetPreloadItems(preload);
+  for (size_t e = 0; e < last_plan_.spin_down_allowed.size(); ++e) {
+    actuator->SetSpinDownAllowed(static_cast<EnclosureId>(e),
+                                 last_plan_.spin_down_allowed[e]);
+  }
+
+  is_hot_ = last_plan_.partition.is_hot;
+  std::fill(cold_power_on_counts_.begin(), cold_power_on_counts_.end(), 0);
+  period_start_ = actuator->Now();
+  triggered_this_period_ = false;
+  current_period_ = last_plan_.next_period;
+  ECOSTORE_LOG(kDebug) << "period plan: n_hot=" << last_plan_.partition.n_hot
+                       << " migrations=" << last_plan_.migrations.size()
+                       << " wd=" << last_plan_.cache.write_delay.size()
+                       << " preload=" << last_plan_.cache.preload.size()
+                       << " next=" << FormatDuration(current_period_);
+  return current_period_;
+}
+
+void EcoStoragePolicy::OnIdleGapEnd(EnclosureId enclosure, SimTime at,
+                                    SimDuration gap) {
+  if (!config_.enable_pattern_change_triggers || triggered_this_period_ ||
+      actuator_ == nullptr) {
+    return;
+  }
+  // Rate limit: a re-plan window shorter than the minimum period cannot
+  // classify patterns reliably (an ordinary long episode would look P3).
+  if (at - period_start_ < config_.min_period) return;
+  // Paper §V-D condition i: a hot enclosure's I/O interval exceeded the
+  // break-even time — the pattern shifted; re-plan now.
+  if (static_cast<size_t>(enclosure) < is_hot_.size() &&
+      is_hot_[static_cast<size_t>(enclosure)] && gap > config_.break_even) {
+    triggered_this_period_ = true;
+    actuator_->TriggerImmediatePeriodEnd();
+  }
+}
+
+void EcoStoragePolicy::OnPowerOn(EnclosureId enclosure, SimTime at) {
+  if (!config_.enable_pattern_change_triggers || triggered_this_period_ ||
+      actuator_ == nullptr) {
+    return;
+  }
+  if (static_cast<size_t>(enclosure) >= is_hot_.size() ||
+      is_hot_[static_cast<size_t>(enclosure)]) {
+    return;
+  }
+  // Paper §V-D condition ii: a cold enclosure powered on more than
+  // m = 2 * (t_c - t_e) / l_b times since the period started. Evaluated
+  // only once the period is at least one break-even old, so that a single
+  // routine wake right after a period boundary does not force a re-plan.
+  int64_t count = ++cold_power_on_counts_[static_cast<size_t>(enclosure)];
+  if (at - period_start_ < config_.min_period) return;
+  double m = 2.0 * static_cast<double>(at - period_start_) /
+             static_cast<double>(config_.break_even);
+  if (static_cast<double>(count) > m) {
+    triggered_this_period_ = true;
+    actuator_->TriggerImmediatePeriodEnd();
+  }
+}
+
+}  // namespace ecostore::core

@@ -1,0 +1,51 @@
+#include "core/hot_cold_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ecostore::core {
+
+HotColdPartition HotColdPlanner::Plan(
+    const ClassificationResult& classification,
+    const storage::BlockVirtualization& virt, int min_n_hot) const {
+  int n = virt.num_enclosures();
+  HotColdPartition partition;
+  partition.is_hot.assign(static_cast<size_t>(n), false);
+
+  // Per-enclosure total size of resident P3 items, and global P3 totals.
+  std::vector<int64_t> p3_bytes(static_cast<size_t>(n), 0);
+  int64_t p3_total_bytes = 0;
+  for (const ItemClassification& cls : classification.items) {
+    if (cls.pattern != IoPattern::kP3) continue;
+    EnclosureId enc = virt.EnclosureOf(cls.item);
+    p3_bytes[static_cast<size_t>(enc)] += cls.size_bytes;
+    p3_total_bytes += cls.size_bytes;
+  }
+
+  // Paper §IV-C Step 2.
+  int by_iops = static_cast<int>(
+      std::ceil(classification.p3_max_iops / options_.max_enclosure_iops));
+  int by_size = options_.enclosure_capacity > 0
+                    ? static_cast<int>(std::ceil(
+                          static_cast<double>(p3_total_bytes) /
+                          static_cast<double>(options_.enclosure_capacity)))
+                    : 0;
+  int n_hot = std::max({by_iops, by_size, min_n_hot});
+  n_hot = std::min(n_hot, n);
+  partition.n_hot = n_hot;
+
+  // Paper §IV-C Step 3: hot = the n_hot enclosures richest in P3 bytes.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return p3_bytes[static_cast<size_t>(a)] > p3_bytes[static_cast<size_t>(b)];
+  });
+  for (int i = 0; i < n_hot; ++i) {
+    partition.is_hot[static_cast<size_t>(order[static_cast<size_t>(i)])] =
+        true;
+  }
+  return partition;
+}
+
+}  // namespace ecostore::core

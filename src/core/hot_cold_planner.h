@@ -1,0 +1,54 @@
+#ifndef ECOSTORE_CORE_HOT_COLD_PLANNER_H_
+#define ECOSTORE_CORE_HOT_COLD_PLANNER_H_
+
+#include <vector>
+
+#include "core/pattern_classifier.h"
+#include "storage/block_virtualization.h"
+
+namespace ecostore::core {
+
+/// Hot/cold split of the array's enclosures (paper §IV-C).
+struct HotColdPartition {
+  /// is_hot[e] is true when enclosure e is hot (keeps serving P3 items and
+  /// is never powered off).
+  std::vector<bool> is_hot;
+  int n_hot = 0;
+
+  bool IsHot(EnclosureId e) const {
+    return is_hot.at(static_cast<size_t>(e));
+  }
+  int num_enclosures() const { return static_cast<int>(is_hot.size()); }
+  int n_cold() const { return num_enclosures() - n_hot; }
+};
+
+/// \brief Chooses hot and cold disk enclosures from the P3 data items'
+/// demand (paper §IV-C Steps 1-3).
+///
+/// N_hot = max(ceil(I_max / O), ceil(sum of P3 sizes / S)); the N_hot
+/// enclosures holding the most P3 bytes become hot (minimising the P3
+/// bytes that must migrate off cold enclosures).
+class HotColdPlanner {
+ public:
+  struct Options {
+    /// O: maximum random IOPS a disk enclosure can serve (paper Table II).
+    double max_enclosure_iops = 900.0;
+    /// S: usable capacity of an enclosure.
+    int64_t enclosure_capacity = 0;
+  };
+
+  explicit HotColdPlanner(const Options& options) : options_(options) {}
+
+  /// Computes the partition for a given minimum hot count (used by the
+  /// placement planner's "increase N_hot and retry" escape, paper Alg. 2).
+  HotColdPartition Plan(const ClassificationResult& classification,
+                        const storage::BlockVirtualization& virt,
+                        int min_n_hot = 0) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_HOT_COLD_PLANNER_H_

@@ -1,0 +1,78 @@
+#include "core/interval_analysis.h"
+
+#include <cassert>
+
+namespace ecostore::core {
+
+int64_t IntervalProfile::total_reads() const {
+  int64_t n = 0;
+  for (const IoSequence& s : sequences) n += s.reads;
+  return n;
+}
+
+int64_t IntervalProfile::total_writes() const {
+  int64_t n = 0;
+  for (const IoSequence& s : sequences) n += s.writes;
+  return n;
+}
+
+IntervalProfile AnalyzeIntervals(
+    const std::vector<std::pair<SimTime, bool>>& ios, SimTime period_start,
+    SimTime period_end, SimDuration break_even) {
+  assert(period_end >= period_start);
+  IntervalProfile profile;
+
+  if (ios.empty()) {
+    profile.long_intervals.push_back(period_end - period_start);
+    return profile;
+  }
+
+  IoSequence current;
+  bool in_sequence = false;
+  SimTime prev = period_start;
+
+  auto close_sequence = [&] {
+    if (in_sequence) {
+      profile.sequences.push_back(current);
+      in_sequence = false;
+    }
+  };
+  auto open_sequence = [&](SimTime at) {
+    current = IoSequence{};
+    current.start = at;
+    current.end = at;
+    in_sequence = true;
+  };
+
+  for (size_t i = 0; i < ios.size(); ++i) {
+    const auto& [t, is_read] = ios[i];
+    assert(t >= prev);
+    SimDuration gap = t - prev;
+    if (gap > break_even) {
+      // Gaps longer than the break-even time separate sequences; the
+      // leading gap (i == 0) also counts (Fig. 1: Long Interval #1 may
+      // start at the period start).
+      close_sequence();
+      profile.long_intervals.push_back(gap);
+    }
+    if (!in_sequence) open_sequence(t);
+    current.end = t;
+    if (is_read) {
+      current.reads++;
+    } else {
+      current.writes++;
+    }
+    prev = t;
+  }
+
+  SimDuration trailing = period_end - prev;
+  if (trailing > break_even) {
+    close_sequence();
+    profile.long_intervals.push_back(trailing);
+  } else {
+    close_sequence();
+  }
+  return profile;
+}
+
+}  // namespace ecostore::core

@@ -1,0 +1,51 @@
+#ifndef ECOSTORE_CORE_INTERVAL_ANALYSIS_H_
+#define ECOSTORE_CORE_INTERVAL_ANALYSIS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace ecostore::core {
+
+/// A maximal run of I/Os in which every internal gap is at most the
+/// break-even time (paper §II-C.2, Fig. 1).
+struct IoSequence {
+  SimTime start = 0;
+  SimTime end = 0;
+  int64_t reads = 0;
+  int64_t writes = 0;
+
+  int64_t total() const { return reads + writes; }
+};
+
+/// Long Intervals and I/O Sequences of one data item over one monitoring
+/// period.
+struct IntervalProfile {
+  /// Gaps strictly longer than the break-even time, including the leading
+  /// gap (period start -> first I/O) and trailing gap (last I/O -> period
+  /// end); for an item with no I/O this is the single full-period gap.
+  std::vector<SimDuration> long_intervals;
+  std::vector<IoSequence> sequences;
+
+  int64_t total_reads() const;
+  int64_t total_writes() const;
+};
+
+/// \brief Splits one item's period trace into Long Intervals and I/O
+/// Sequences (paper §IV-B Steps 1-2).
+///
+/// \param ios (time, IoType-as-read-flag) pairs in non-decreasing time
+///        order; times must lie within [period_start, period_end].
+/// \param period_start start of the monitoring period
+/// \param period_end end of the monitoring period
+/// \param break_even the break-even time; gaps strictly longer than this
+///        are Long Intervals
+IntervalProfile AnalyzeIntervals(
+    const std::vector<std::pair<SimTime, bool>>& ios, SimTime period_start,
+    SimTime period_end, SimDuration break_even);
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_INTERVAL_ANALYSIS_H_

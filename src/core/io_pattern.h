@@ -1,0 +1,37 @@
+#ifndef ECOSTORE_CORE_IO_PATTERN_H_
+#define ECOSTORE_CORE_IO_PATTERN_H_
+
+#include <cstdint>
+
+namespace ecostore::core {
+
+/// \brief The four logical I/O patterns of the paper (§II-C.2).
+///
+/// - P0: no I/O in the monitoring period (a single Long Interval).
+/// - P1: >=1 Long Interval, >=1 I/O Sequence, reads > 50% of sequence
+///   I/Os — preload candidate.
+/// - P2: >=1 Long Interval, >=1 I/O Sequence, reads <= 50% — write-delay
+///   candidate.
+/// - P3: one I/O Sequence spanning the period, no Long Interval — not a
+///   power-saving candidate; kept on hot enclosures.
+enum class IoPattern : uint8_t { kP0 = 0, kP1 = 1, kP2 = 2, kP3 = 3 };
+
+inline constexpr int kNumIoPatterns = 4;
+
+inline const char* IoPatternName(IoPattern p) {
+  switch (p) {
+    case IoPattern::kP0:
+      return "P0";
+    case IoPattern::kP1:
+      return "P1";
+    case IoPattern::kP2:
+      return "P2";
+    case IoPattern::kP3:
+      return "P3";
+  }
+  return "?";
+}
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_IO_PATTERN_H_

@@ -1,0 +1,97 @@
+#include "core/pattern_classifier.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "trace/trace_stats.h"
+
+namespace ecostore::core {
+
+ClassificationResult PatternClassifier::Classify(
+    const trace::LogicalTraceBuffer& buffer,
+    const storage::DataItemCatalog& catalog, SimTime period_start,
+    SimTime period_end) const {
+  assert(period_end >= period_start);
+  ClassificationResult result;
+  result.items.resize(catalog.item_count());
+
+  // Gather each item's (time, is_read) pairs and byte counts in one pass.
+  std::vector<std::vector<std::pair<SimTime, bool>>> per_item(
+      catalog.item_count());
+  std::vector<std::pair<int64_t, int64_t>> bytes(catalog.item_count(),
+                                                 {0, 0});
+  for (const trace::LogicalIoRecord& rec : buffer.records()) {
+    if (rec.item < 0 ||
+        static_cast<size_t>(rec.item) >= catalog.item_count()) {
+      continue;  // unknown item: not classifiable
+    }
+    auto idx = static_cast<size_t>(rec.item);
+    per_item[idx].emplace_back(rec.time, rec.is_read());
+    if (rec.is_read()) {
+      bytes[idx].first += rec.size;
+    } else {
+      bytes[idx].second += rec.size;
+    }
+  }
+
+  double period_seconds = ToSeconds(period_end - period_start);
+  double long_interval_sum = 0.0;
+  int64_t long_interval_count = 0;
+
+  for (size_t i = 0; i < catalog.item_count(); ++i) {
+    ItemClassification& cls = result.items[i];
+    cls.item = static_cast<DataItemId>(i);
+    cls.size_bytes = catalog.item(cls.item).size_bytes;
+    cls.read_bytes = bytes[i].first;
+    cls.write_bytes = bytes[i].second;
+
+    IntervalProfile profile = AnalyzeIntervals(
+        per_item[i], period_start, period_end, options_.break_even);
+    cls.reads = profile.total_reads();
+    cls.writes = profile.total_writes();
+    cls.avg_iops = period_seconds > 0
+                       ? static_cast<double>(cls.total_ios()) / period_seconds
+                       : 0.0;
+    cls.long_intervals = std::move(profile.long_intervals);
+
+    for (SimDuration li : cls.long_intervals) {
+      long_interval_sum += static_cast<double>(li);
+      long_interval_count++;
+    }
+
+    // Paper §IV-B Step 3.
+    if (per_item[i].empty()) {
+      cls.pattern = IoPattern::kP0;
+    } else if (cls.long_intervals.empty()) {
+      cls.pattern = IoPattern::kP3;
+    } else if (cls.reads * 2 > cls.total_ios()) {
+      cls.pattern = IoPattern::kP1;
+    } else {
+      cls.pattern = IoPattern::kP2;
+    }
+    result.pattern_counts[static_cast<size_t>(cls.pattern)]++;
+  }
+
+  if (long_interval_count > 0) {
+    result.mean_long_interval = static_cast<SimDuration>(
+        long_interval_sum / static_cast<double>(long_interval_count));
+  }
+
+  // Aggregate IOPS series of the P3 items -> I_max (paper §IV-C Step 1).
+  trace::IopsSeries p3_series(period_start, std::max(period_end,
+                                                     period_start + 1),
+                              options_.iops_bucket);
+  bool any_p3 = false;
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    if (result.items[i].pattern != IoPattern::kP3) continue;
+    any_p3 = true;
+    for (const auto& [t, is_read] : per_item[i]) {
+      (void)is_read;
+      p3_series.Add(t);
+    }
+  }
+  result.p3_max_iops = any_p3 ? p3_series.MaxIops() : 0.0;
+  return result;
+}
+
+}  // namespace ecostore::core

@@ -1,0 +1,88 @@
+#ifndef ECOSTORE_CORE_PATTERN_CLASSIFIER_H_
+#define ECOSTORE_CORE_PATTERN_CLASSIFIER_H_
+
+#include <array>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "core/interval_analysis.h"
+#include "core/io_pattern.h"
+#include "storage/data_item.h"
+#include "trace/trace_buffer.h"
+
+namespace ecostore::core {
+
+/// Classification and period statistics of one data item.
+struct ItemClassification {
+  DataItemId item = kInvalidDataItem;
+  IoPattern pattern = IoPattern::kP0;
+  int64_t size_bytes = 0;
+
+  /// I/O counts within the item's I/O Sequences (== all its I/Os).
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+
+  /// Mean IOPS of the item over the full period.
+  double avg_iops = 0.0;
+
+  std::vector<SimDuration> long_intervals;
+
+  int64_t total_ios() const { return reads + writes; }
+};
+
+/// Result of classifying one monitoring period.
+struct ClassificationResult {
+  /// One entry per catalog item (items with no I/O appear as P0).
+  std::vector<ItemClassification> items;
+
+  /// Count of items per pattern (index by IoPattern).
+  std::array<int64_t, kNumIoPatterns> pattern_counts = {0, 0, 0, 0};
+
+  /// Maximum over time buckets of the aggregate IOPS of all P3 items:
+  /// I_max of paper §IV-C Step 1.
+  double p3_max_iops = 0.0;
+
+  /// Mean of all items' Long Intervals (input of the monitoring-period
+  /// adaptation, paper §IV-H); 0 when no Long Intervals were observed.
+  SimDuration mean_long_interval = 0;
+
+  double PatternFraction(IoPattern p) const {
+    int64_t total = 0;
+    for (int64_t c : pattern_counts) total += c;
+    return total > 0 ? static_cast<double>(
+                           pattern_counts[static_cast<size_t>(p)]) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// \brief Determines the Logical I/O Pattern of every data item from one
+/// monitoring period's logical trace (paper §IV-B).
+class PatternClassifier {
+ public:
+  struct Options {
+    /// Break-even time of the enclosures (paper Table II: 52 s).
+    SimDuration break_even = 52 * kSecond;
+    /// Bucket width for the aggregate P3 IOPS series used for I_max.
+    SimDuration iops_bucket = 1 * kSecond;
+  };
+
+  explicit PatternClassifier(const Options& options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  ClassificationResult Classify(const trace::LogicalTraceBuffer& buffer,
+                                const storage::DataItemCatalog& catalog,
+                                SimTime period_start,
+                                SimTime period_end) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_PATTERN_CLASSIFIER_H_

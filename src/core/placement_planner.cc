@@ -1,0 +1,192 @@
+#include "core/placement_planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecostore::core {
+
+/// Mutable per-enclosure load/space model used while planning. Starts from
+/// the current placement and is updated as moves are decided.
+struct PlacementPlanner::WorkingState {
+  std::vector<double> iops;        // sum of resident items' avg IOPS
+  std::vector<int64_t> used;       // resident bytes
+  std::vector<EnclosureId> where;  // item -> enclosure
+
+  void ApplyMove(const ItemClassification& cls, EnclosureId to) {
+    EnclosureId from = where[static_cast<size_t>(cls.item)];
+    iops[static_cast<size_t>(from)] -= cls.avg_iops;
+    used[static_cast<size_t>(from)] -= cls.size_bytes;
+    iops[static_cast<size_t>(to)] += cls.avg_iops;
+    used[static_cast<size_t>(to)] += cls.size_bytes;
+    where[static_cast<size_t>(cls.item)] = to;
+  }
+};
+
+PlacementPlan PlacementPlanner::Plan(
+    const ClassificationResult& classification,
+    const storage::BlockVirtualization& virt) const {
+  int n = virt.num_enclosures();
+  PlacementPlan plan;
+  int min_hot = 0;
+  while (true) {
+    plan.partition = hot_cold_->Plan(classification, virt, min_hot);
+    if (plan.partition.n_hot >= n) {
+      // Everything is hot: no cold enclosures, nothing to move (and no
+      // power saving this period).
+      plan.migrations.clear();
+      return plan;
+    }
+    std::vector<Migration> evictions;
+    std::vector<Migration> p3_moves;
+    if (TryPlace(classification, virt, plan.partition, &evictions,
+                 &p3_moves)) {
+      plan.migrations = std::move(evictions);
+      plan.migrations.insert(plan.migrations.end(), p3_moves.begin(),
+                             p3_moves.end());
+      return plan;
+    }
+    // Paper Algorithm 2: "Increase N_hot and retry this algorithm".
+    min_hot = plan.partition.n_hot + 1;
+  }
+}
+
+bool PlacementPlanner::TryPlace(const ClassificationResult& classification,
+                                const storage::BlockVirtualization& virt,
+                                const HotColdPartition& partition,
+                                std::vector<Migration>* evictions,
+                                std::vector<Migration>* p3_moves) const {
+  const double kO = options_.max_enclosure_iops;
+  const int64_t kS = options_.enclosure_capacity > 0
+                         ? options_.enclosure_capacity
+                         : virt.capacity_bytes();
+  int n = virt.num_enclosures();
+
+  WorkingState state;
+  state.iops.assign(static_cast<size_t>(n), 0.0);
+  state.used.assign(static_cast<size_t>(n), 0);
+  state.where.resize(classification.items.size());
+  for (const ItemClassification& cls : classification.items) {
+    EnclosureId enc = virt.EnclosureOf(cls.item);
+    state.where[static_cast<size_t>(cls.item)] = enc;
+    state.iops[static_cast<size_t>(enc)] += cls.avg_iops;
+    state.used[static_cast<size_t>(enc)] += cls.size_bytes;
+  }
+
+  std::vector<EnclosureId> hot;
+  std::vector<EnclosureId> cold;
+  for (int e = 0; e < n; ++e) {
+    (partition.IsHot(e) ? hot : cold).push_back(e);
+  }
+
+  // Algorithm 3's target choice: the cold enclosure with the largest
+  // working IOPS that satisfies both guards.
+  auto find_cold_target = [&](const ItemClassification& cls) -> EnclosureId {
+    std::vector<EnclosureId> order = cold;
+    std::stable_sort(order.begin(), order.end(), [&](EnclosureId a,
+                                                     EnclosureId b) {
+      return state.iops[static_cast<size_t>(a)] >
+             state.iops[static_cast<size_t>(b)];
+    });
+    for (EnclosureId c : order) {
+      bool fits = cls.size_bytes <= kS - state.used[static_cast<size_t>(c)];
+      bool serves =
+          state.iops[static_cast<size_t>(c)] + cls.avg_iops < kO;
+      if (fits && serves) return c;
+    }
+    return kInvalidEnclosure;
+  };
+
+  // Algorithm 3 as a space-maker: evict P0/P1/P2 items from a hot
+  // enclosure until `need` bytes are free. Largest items first minimises
+  // the number of moves.
+  auto make_space = [&](EnclosureId s, int64_t need) -> bool {
+    std::vector<const ItemClassification*> movable;
+    for (const ItemClassification& cls : classification.items) {
+      if (state.where[static_cast<size_t>(cls.item)] == s &&
+          cls.pattern != IoPattern::kP3 &&
+          !virt.catalog().item(cls.item).pinned) {
+        movable.push_back(&cls);
+      }
+    }
+    std::stable_sort(movable.begin(), movable.end(),
+                     [](const ItemClassification* a,
+                        const ItemClassification* b) {
+                       return a->size_bytes > b->size_bytes;
+                     });
+    for (const ItemClassification* cls : movable) {
+      if (kS - state.used[static_cast<size_t>(s)] >= need) break;
+      EnclosureId target = find_cold_target(*cls);
+      if (target == kInvalidEnclosure) continue;
+      evictions->push_back(Migration{cls->item, s, target});
+      state.ApplyMove(*cls, target);
+    }
+    return kS - state.used[static_cast<size_t>(s)] >= need;
+  };
+
+  // Algorithm 2: move P3 items off cold enclosures, most demanding
+  // (IOPS per byte) first.
+  std::vector<const ItemClassification*> m;
+  for (const ItemClassification& cls : classification.items) {
+    if (cls.pattern == IoPattern::kP3 &&
+        !partition.IsHot(state.where[static_cast<size_t>(cls.item)]) &&
+        !virt.catalog().item(cls.item).pinned) {
+      m.push_back(&cls);
+    }
+  }
+  std::stable_sort(m.begin(), m.end(), [](const ItemClassification* a,
+                                          const ItemClassification* b) {
+    double da = a->size_bytes > 0 ? a->avg_iops / static_cast<double>(
+                                                      a->size_bytes)
+                                  : a->avg_iops;
+    double db = b->size_bytes > 0 ? b->avg_iops / static_cast<double>(
+                                                      b->size_bytes)
+                                  : b->avg_iops;
+    return da > db;
+  });
+
+  for (const ItemClassification* d : m) {
+    std::vector<EnclosureId> order = hot;
+    std::stable_sort(order.begin(), order.end(), [&](EnclosureId a,
+                                                     EnclosureId b) {
+      return state.iops[static_cast<size_t>(a)] <
+             state.iops[static_cast<size_t>(b)];
+    });
+    bool placed = false;
+    for (EnclosureId s : order) {
+      if (d->avg_iops + state.iops[static_cast<size_t>(s)] >= kO) {
+        // Even the least-loaded hot enclosure would saturate: the hot set
+        // is too small (paper: increase N_hot and retry). Candidates are
+        // IOPS-ascending, so no later candidate can pass either.
+        return false;
+      }
+      if (d->size_bytes + state.used[static_cast<size_t>(s)] <= kS) {
+        p3_moves->push_back(
+            Migration{d->item, state.where[static_cast<size_t>(d->item)],
+                      s});
+        state.ApplyMove(*d, s);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      // All hot enclosures lack space: free some with Algorithm 3.
+      for (EnclosureId s : order) {
+        int64_t need =
+            d->size_bytes -
+            (kS - state.used[static_cast<size_t>(s)]);
+        if (make_space(s, need)) {
+          p3_moves->push_back(
+              Migration{d->item, state.where[static_cast<size_t>(d->item)],
+                        s});
+          state.ApplyMove(*d, s);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+}  // namespace ecostore::core

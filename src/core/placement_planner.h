@@ -1,0 +1,67 @@
+#ifndef ECOSTORE_CORE_PLACEMENT_PLANNER_H_
+#define ECOSTORE_CORE_PLACEMENT_PLANNER_H_
+
+#include <vector>
+
+#include "core/hot_cold_planner.h"
+#include "core/pattern_classifier.h"
+#include "storage/block_virtualization.h"
+
+namespace ecostore::core {
+
+/// One planned whole-item move between enclosures.
+struct Migration {
+  DataItemId item = kInvalidDataItem;
+  EnclosureId from = kInvalidEnclosure;
+  EnclosureId to = kInvalidEnclosure;
+};
+
+/// Output of the placement computation.
+struct PlacementPlan {
+  /// Final hot/cold partition (n_hot may exceed the initial estimate when
+  /// Algorithm 2's IOPS guard forced a retry).
+  HotColdPartition partition;
+
+  /// Ordered migrations: P0/P1/P2 evictions (hot -> cold) first, then P3
+  /// consolidations (cold -> hot), matching the runtime order of paper
+  /// §V-A.
+  std::vector<Migration> migrations;
+};
+
+/// \brief Computes the data placement for one monitoring period: paper
+/// Algorithm 2 (P3 items) with Algorithm 3 (P0/P1/P2 items) as its
+/// space-making subroutine, wrapped in the "increase N_hot and retry"
+/// loop.
+class PlacementPlanner {
+ public:
+  struct Options {
+    /// O: maximum random IOPS an enclosure can serve.
+    double max_enclosure_iops = 900.0;
+    /// S: usable capacity of an enclosure.
+    int64_t enclosure_capacity = 0;
+  };
+
+  PlacementPlanner(const Options& options, const HotColdPlanner* hot_cold)
+      : options_(options), hot_cold_(hot_cold) {}
+
+  PlacementPlan Plan(const ClassificationResult& classification,
+                     const storage::BlockVirtualization& virt) const;
+
+ private:
+  struct WorkingState;
+
+  /// Runs Algorithms 2+3 against a fixed partition. Returns false when the
+  /// IOPS guard fires (caller must retry with a larger N_hot).
+  bool TryPlace(const ClassificationResult& classification,
+                const storage::BlockVirtualization& virt,
+                const HotColdPartition& partition,
+                std::vector<Migration>* evictions,
+                std::vector<Migration>* p3_moves) const;
+
+  Options options_;
+  const HotColdPlanner* hot_cold_;
+};
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_PLACEMENT_PLANNER_H_

@@ -1,0 +1,45 @@
+#ifndef ECOSTORE_MONITOR_APPLICATION_MONITOR_H_
+#define ECOSTORE_MONITOR_APPLICATION_MONITOR_H_
+
+#include "common/sim_time.h"
+#include "trace/io_record.h"
+#include "trace/trace_buffer.h"
+
+namespace ecostore::monitor {
+
+/// \brief The Application Monitor (paper §III-A): captures the logical I/O
+/// trace of the current monitoring period on the file/record layer.
+///
+/// The logical mapping information (data item <-> volume) lives in the
+/// DataItemCatalog; this class holds the per-period trace repository.
+class ApplicationMonitor {
+ public:
+  /// Records one logical I/O. Records must arrive in time order.
+  void Record(const trace::LogicalIoRecord& rec) {
+    buffer_.Append(rec);
+    total_records_++;
+  }
+
+  /// Trace of the current period.
+  const trace::LogicalTraceBuffer& buffer() const { return buffer_; }
+
+  SimTime period_start() const { return period_start_; }
+
+  /// Clears the period trace and starts a new period at `now`.
+  void ResetPeriod(SimTime now) {
+    buffer_.Clear();
+    period_start_ = now;
+  }
+
+  /// Total records observed over the whole run (all periods).
+  int64_t total_records() const { return total_records_; }
+
+ private:
+  trace::LogicalTraceBuffer buffer_;
+  SimTime period_start_ = 0;
+  int64_t total_records_ = 0;
+};
+
+}  // namespace ecostore::monitor
+
+#endif  // ECOSTORE_MONITOR_APPLICATION_MONITOR_H_

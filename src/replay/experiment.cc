@@ -1,0 +1,202 @@
+#include "replay/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ecostore::replay {
+
+Experiment::Experiment(workload::Workload* workload,
+                       policies::StoragePolicy* policy,
+                       const ExperimentConfig& config)
+    : workload_(workload), policy_(policy), config_(config) {
+  config_.storage.num_enclosures = workload->info().num_enclosures;
+}
+
+Experiment::~Experiment() = default;
+
+Result<ExperimentMetrics> Experiment::Run() {
+  horizon_ = config_.duration > 0 ? config_.duration
+                                  : workload_->info().duration;
+  if (horizon_ <= 0) {
+    return Status::InvalidArgument("experiment duration must be positive");
+  }
+
+  system_ = std::make_unique<storage::StorageSystem>(
+      &sim_, config_.storage, &workload_->catalog());
+  ECOSTORE_RETURN_NOT_OK(system_->Init());
+  migrations_ =
+      std::make_unique<MigrationEngine>(&sim_, system_.get(),
+                                        config_.migration);
+  storage_monitor_ = std::make_unique<monitor::StorageMonitor>(
+      system_->num_enclosures());
+  system_->AddObserver(storage_monitor_.get());
+  system_->AddObserver(this);
+
+  metrics_ = ExperimentMetrics{};
+  metrics_.workload = workload_->info().name;
+  metrics_.policy = policy_->name();
+  metrics_.duration = horizon_;
+
+  workload_->Reset();
+  app_monitor_.ResetPeriod(0);
+  storage_monitor_->ResetPeriod(0);
+  policy_->Start(*system_, this);
+  SchedulePeriodEnd(policy_->initial_period());
+
+  std::unique_ptr<storage::PowerMeter> meter;
+  if (config_.power_sample_interval > 0) {
+    meter = std::make_unique<storage::PowerMeter>(
+        system_.get(), config_.power_sample_interval);
+    ECOSTORE_RETURN_NOT_OK(meter->Start());
+  }
+
+  trace::LogicalIoRecord rec;
+  while (workload_->Next(&rec)) {
+    if (rec.time >= horizon_) break;
+    // Fire everything due before this I/O (flushes, period ends, spin-down
+    // checks, migration chunks).
+    sim_.RunUntil(rec.time);
+
+    app_monitor_.Record(rec);
+    storage::StorageSystem::IoResult result = system_->SubmitLogicalIo(rec);
+
+    metrics_.logical_ios++;
+    if (result.cache_hit) metrics_.cache_hit_ios++;
+    int64_t latency_us = result.latency;
+    metrics_.response_us.Add(latency_us);
+    if (rec.is_read()) {
+      metrics_.logical_reads++;
+      metrics_.read_response_us.Add(latency_us);
+      if (rec.tag != 0) {
+        metrics_.tag_read_response_us_sum[rec.tag] +=
+            static_cast<double>(latency_us);
+        metrics_.tag_reads[rec.tag]++;
+      }
+    }
+    if (rec.tag != 0) {
+      auto [it, inserted] =
+          metrics_.tag_first_issue.emplace(rec.tag, rec.time);
+      (void)it;
+      (void)inserted;
+      SimTime completion = rec.time + result.latency;
+      SimTime& last = metrics_.tag_last_completion[rec.tag];
+      if (completion > last) last = completion;
+    }
+  }
+
+  sim_.RunUntil(horizon_);
+  system_->FinalizeRun();
+
+  // --- Final accounting ---
+  metrics_.enclosure_energy = system_->EnclosureEnergy();
+  metrics_.controller_energy = system_->ControllerEnergy();
+  metrics_.avg_enclosure_power =
+      AveragePower(metrics_.enclosure_energy, horizon_);
+  metrics_.avg_controller_power =
+      AveragePower(metrics_.controller_energy, horizon_);
+  metrics_.avg_total_power =
+      metrics_.avg_enclosure_power + metrics_.avg_controller_power;
+  metrics_.avg_response_ms = metrics_.response_us.Mean() / 1000.0;
+  metrics_.avg_read_response_ms =
+      metrics_.read_response_us.Mean() / 1000.0;
+  metrics_.migrated_bytes = migrations_->migrated_bytes();
+  metrics_.item_migrations = migrations_->completed_item_moves();
+  metrics_.block_migrations = migrations_->block_moves();
+  metrics_.placement_determinations = policy_->placement_determinations();
+  for (int e = 0; e < system_->num_enclosures(); ++e) {
+    storage::DiskEnclosure& enc =
+        system_->enclosure(static_cast<EnclosureId>(e));
+    metrics_.spinups += enc.spinup_count();
+    ExperimentMetrics::EnclosureStats stats;
+    stats.energy = enc.Energy(sim_.Now());
+    stats.served_ios = enc.served_ios();
+    stats.spinups = enc.spinup_count();
+    stats.utilization =
+        horizon_ > 0 ? static_cast<double>(enc.active_time()) /
+                           static_cast<double>(horizon_)
+                     : 0.0;
+    metrics_.per_enclosure.push_back(stats);
+  }
+  if (meter != nullptr) {
+    meter->Stop();
+    metrics_.power_samples = meter->samples();
+  }
+  return metrics_;
+}
+
+void Experiment::SchedulePeriodEnd(SimDuration period) {
+  period = std::max<SimDuration>(period, 1 * kSecond);
+  period_event_ = sim_.ScheduleAfter(period, [this] { DoPeriodEnd(); });
+}
+
+void Experiment::DoPeriodEnd() {
+  in_period_end_ = true;
+  trigger_pending_ = false;
+  monitor::MonitorSnapshot snapshot;
+  snapshot.period_start = app_monitor_.period_start();
+  snapshot.period_end = sim_.Now();
+  snapshot.application = &app_monitor_;
+  snapshot.storage = storage_monitor_.get();
+  SimDuration next = policy_->OnPeriodEnd(snapshot, *system_, this);
+  app_monitor_.ResetPeriod(sim_.Now());
+  storage_monitor_->ResetPeriod(sim_.Now());
+  in_period_end_ = false;
+  SchedulePeriodEnd(next);
+}
+
+void Experiment::OnPhysicalIo(const trace::PhysicalIoRecord& rec) {
+  metrics_.physical_batches++;
+  policy_->OnPhysicalIo(rec);
+}
+
+void Experiment::OnIdleGapEnd(EnclosureId enclosure, SimTime at,
+                              SimDuration gap) {
+  if (config_.collect_idle_gaps) metrics_.idle_gaps.push_back(gap);
+  policy_->OnIdleGapEnd(enclosure, at, gap);
+}
+
+void Experiment::OnPowerStateChange(EnclosureId enclosure, SimTime at,
+                                    storage::PowerState state) {
+  if (state == storage::PowerState::kSpinningUp) {
+    policy_->OnPowerOn(enclosure, at);
+  }
+}
+
+void Experiment::RequestMigration(DataItemId item, EnclosureId target) {
+  migrations_->RequestItemMove(item, target);
+}
+
+void Experiment::RequestBlockMigration(EnclosureId from, EnclosureId to,
+                                       int64_t bytes) {
+  migrations_->RequestBlockMove(from, to, bytes);
+}
+
+void Experiment::SetWriteDelayItems(
+    const std::unordered_set<DataItemId>& items) {
+  Status st = system_->SetWriteDelayItems(items);
+  if (!st.ok()) {
+    ECOSTORE_LOG(kWarn) << "SetWriteDelayItems: " << st.ToString();
+  }
+}
+
+void Experiment::SetPreloadItems(
+    const std::vector<std::pair<DataItemId, int64_t>>& items) {
+  Status st = system_->SetPreloadItems(items);
+  if (!st.ok()) {
+    ECOSTORE_LOG(kWarn) << "SetPreloadItems: " << st.ToString();
+  }
+}
+
+void Experiment::SetSpinDownAllowed(EnclosureId enclosure, bool allowed) {
+  system_->SetSpinDownAllowed(enclosure, allowed);
+}
+
+void Experiment::TriggerImmediatePeriodEnd() {
+  if (in_period_end_ || trigger_pending_) return;
+  trigger_pending_ = true;
+  sim_.Cancel(period_event_);
+  period_event_ = sim_.ScheduleAfter(0, [this] { DoPeriodEnd(); });
+}
+
+}  // namespace ecostore::replay

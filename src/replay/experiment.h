@@ -1,0 +1,101 @@
+#ifndef ECOSTORE_REPLAY_EXPERIMENT_H_
+#define ECOSTORE_REPLAY_EXPERIMENT_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "monitor/application_monitor.h"
+#include "monitor/storage_monitor.h"
+#include "policies/storage_policy.h"
+#include "replay/metrics.h"
+#include "replay/migration_engine.h"
+#include "sim/simulator.h"
+#include "storage/storage_system.h"
+#include "workload/workload.h"
+
+namespace ecostore::replay {
+
+/// Run parameters beyond the storage array itself.
+struct ExperimentConfig {
+  storage::StorageConfig storage;
+
+  /// 0: run for the workload's full duration.
+  SimDuration duration = 0;
+
+  MigrationEngine::Options migration;
+
+  /// Collect the idle-gap list for Fig. 17-19 style analysis.
+  bool collect_idle_gaps = true;
+
+  /// Sampling interval for the wall power meter; 0 disables sampling.
+  SimDuration power_sample_interval = 0;
+};
+
+/// \brief The trace-replay harness (paper §VII-A.2 / Fig. 7): streams a
+/// workload's logical I/O into the simulated array under the control of
+/// one power-management policy and measures power, response times and
+/// data movement.
+///
+/// One Experiment = one run; construct a fresh one per (workload, policy)
+/// pair. The workload is Reset() at the start of Run(), so the same
+/// workload object can be reused across runs and every policy sees the
+/// identical trace.
+class Experiment : public storage::StorageObserver,
+                   public policies::PolicyActuator {
+ public:
+  Experiment(workload::Workload* workload, policies::StoragePolicy* policy,
+             const ExperimentConfig& config);
+  ~Experiment() override;
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Executes the run to completion and returns the measurements.
+  Result<ExperimentMetrics> Run();
+
+  // --- storage::StorageObserver ---
+  void OnPhysicalIo(const trace::PhysicalIoRecord& rec) override;
+  void OnIdleGapEnd(EnclosureId enclosure, SimTime at,
+                    SimDuration gap) override;
+  void OnPowerStateChange(EnclosureId enclosure, SimTime at,
+                          storage::PowerState state) override;
+
+  // --- policies::PolicyActuator ---
+  SimTime Now() const override { return sim_.Now(); }
+  void RequestMigration(DataItemId item, EnclosureId target) override;
+  void RequestBlockMigration(EnclosureId from, EnclosureId to,
+                             int64_t bytes) override;
+  void SetWriteDelayItems(
+      const std::unordered_set<DataItemId>& items) override;
+  void SetPreloadItems(
+      const std::vector<std::pair<DataItemId, int64_t>>& items) override;
+  void SetSpinDownAllowed(EnclosureId enclosure, bool allowed) override;
+  void TriggerImmediatePeriodEnd() override;
+
+  /// The storage system under test (valid during and after Run()).
+  storage::StorageSystem* system() { return system_.get(); }
+
+ private:
+  void SchedulePeriodEnd(SimDuration period);
+  void DoPeriodEnd();
+
+  workload::Workload* workload_;
+  policies::StoragePolicy* policy_;
+  ExperimentConfig config_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<storage::StorageSystem> system_;
+  std::unique_ptr<MigrationEngine> migrations_;
+  monitor::ApplicationMonitor app_monitor_;
+  std::unique_ptr<monitor::StorageMonitor> storage_monitor_;
+
+  ExperimentMetrics metrics_;
+  SimDuration horizon_ = 0;
+  sim::EventId period_event_ = 0;
+  bool in_period_end_ = false;
+  bool trigger_pending_ = false;
+};
+
+}  // namespace ecostore::replay
+
+#endif  // ECOSTORE_REPLAY_EXPERIMENT_H_

@@ -1,0 +1,74 @@
+#include "replay/metrics.h"
+
+#include <algorithm>
+
+namespace ecostore::replay {
+
+std::vector<IntervalCdfPoint> ExperimentMetrics::IntervalCdf(
+    const std::vector<SimDuration>& thresholds) const {
+  std::vector<IntervalCdfPoint> points;
+  points.reserve(thresholds.size());
+  for (SimDuration threshold : thresholds) {
+    IntervalCdfPoint p;
+    p.threshold = threshold;
+    for (SimDuration gap : idle_gaps) {
+      if (gap >= threshold) {
+        p.cumulative_seconds += ToSeconds(gap);
+        p.count++;
+      }
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+double ExperimentMetrics::EnclosurePowerSavingVs(
+    const ExperimentMetrics& baseline) const {
+  if (baseline.avg_enclosure_power <= 0) return 0.0;
+  return 100.0 *
+         (baseline.avg_enclosure_power - avg_enclosure_power) /
+         baseline.avg_enclosure_power;
+}
+
+double ScaledTransactionThroughput(double baseline_tpmc,
+                                   const ExperimentMetrics& baseline,
+                                   const ExperimentMetrics& run) {
+  double r_orig = baseline.avg_read_response_ms;
+  double r = run.avg_read_response_ms;
+  if (r <= 0 || r_orig <= 0) return baseline_tpmc;
+  // The paper prints t = t_orig * (r / r_orig), but throughput must fall
+  // as response time grows; we implement the physically meaningful
+  // inverse ratio (see EXPERIMENTS.md).
+  return baseline_tpmc * (r_orig / r);
+}
+
+std::map<int32_t, double> ScaledQueryResponses(
+    const std::map<int32_t, double>& baseline_wall_seconds,
+    const ExperimentMetrics& baseline, const ExperimentMetrics& run) {
+  std::map<int32_t, double> result;
+  for (const auto& [tag, q_orig] : baseline_wall_seconds) {
+    auto base_it = baseline.tag_read_response_us_sum.find(tag);
+    auto run_it = run.tag_read_response_us_sum.find(tag);
+    if (base_it == baseline.tag_read_response_us_sum.end() ||
+        run_it == run.tag_read_response_us_sum.end() ||
+        base_it->second <= 0) {
+      result[tag] = q_orig;
+      continue;
+    }
+    result[tag] = q_orig * (run_it->second / base_it->second);
+  }
+  return result;
+}
+
+std::map<int32_t, double> MeasuredQueryWallSeconds(
+    const ExperimentMetrics& run) {
+  std::map<int32_t, double> result;
+  for (const auto& [tag, first] : run.tag_first_issue) {
+    auto last_it = run.tag_last_completion.find(tag);
+    if (last_it == run.tag_last_completion.end()) continue;
+    result[tag] = ToSeconds(last_it->second - first);
+  }
+  return result;
+}
+
+}  // namespace ecostore::replay

@@ -1,0 +1,33 @@
+#include "replay/potential.h"
+
+namespace ecostore::replay {
+
+OraclePotential ComputeOraclePotential(
+    const ExperimentMetrics& metrics,
+    const storage::EnclosureConfig& enclosure) {
+  OraclePotential potential;
+  const Watts idle_savings = enclosure.idle_power - enclosure.off_power;
+  const Joules spinup_premium =
+      EnergyOf(enclosure.spinup_power - enclosure.idle_power,
+               enclosure.spinup_time);
+  const SimDuration break_even = enclosure.BreakEvenTime();
+
+  for (SimDuration gap : metrics.idle_gaps) {
+    if (gap <= break_even) continue;
+    Joules saved =
+        EnergyOf(idle_savings, gap - enclosure.spinup_time) -
+        spinup_premium;
+    if (saved <= 0) continue;
+    potential.savable_energy += saved;
+    potential.exploitable_intervals++;
+  }
+  potential.savable_power =
+      AveragePower(potential.savable_energy, metrics.duration);
+  if (metrics.enclosure_energy > 0) {
+    potential.savable_pct_of_enclosures =
+        100.0 * potential.savable_energy / metrics.enclosure_energy;
+  }
+  return potential;
+}
+
+}  // namespace ecostore::replay

@@ -1,0 +1,43 @@
+#ifndef ECOSTORE_REPLAY_POTENTIAL_H_
+#define ECOSTORE_REPLAY_POTENTIAL_H_
+
+#include "common/units.h"
+#include "replay/metrics.h"
+#include "storage/storage_config.h"
+
+namespace ecostore::replay {
+
+/// Result of the clairvoyant spin-down analysis.
+struct OraclePotential {
+  /// Energy a clairvoyant controller would have saved by powering off
+  /// during every idle interval longer than the break-even time (no
+  /// timeout loss, spin-up completing exactly at the next I/O).
+  Joules savable_energy = 0.0;
+
+  /// The same, as average watts over the run.
+  Watts savable_power = 0.0;
+
+  /// As a percentage of the run's enclosure power.
+  double savable_pct_of_enclosures = 0.0;
+
+  /// Number of intervals that clear the break-even bar.
+  int64_t exploitable_intervals = 0;
+};
+
+/// \brief Computes the offline upper bound on spin-down savings from a
+/// run's observed idle intervals (paper §II-B's break-even trade-off,
+/// evaluated with hindsight).
+///
+/// For each recorded idle gap g > break-even, a clairvoyant controller
+/// saves (idle_power - off_power) * (g - spinup_time) minus the spin-up
+/// premium (spinup_power - idle_power) * spinup_time. Real policies pay
+/// the spin-down timeout on top; the gap between a policy's measured
+/// saving and this bound quantifies how much an even better policy could
+/// still extract from the same trace.
+OraclePotential ComputeOraclePotential(
+    const ExperimentMetrics& metrics,
+    const storage::EnclosureConfig& enclosure);
+
+}  // namespace ecostore::replay
+
+#endif  // ECOSTORE_REPLAY_POTENTIAL_H_

@@ -1,0 +1,160 @@
+#include "replay/report.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <ostream>
+
+namespace ecostore::replay {
+
+namespace {
+
+std::string Fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+void PrintPowerTable(std::ostream& out,
+                     const std::vector<ExperimentMetrics>& runs) {
+  if (runs.empty()) return;
+  const ExperimentMetrics& base = runs.front();
+  out << Fmt("%-18s %14s %14s %12s %10s\n", "policy", "enclosures[W]",
+             "controller[W]", "total[W]", "saving[%]");
+  for (const ExperimentMetrics& m : runs) {
+    out << Fmt("%-18s %14.1f %14.1f %12.1f %10.1f\n", m.policy.c_str(),
+               m.avg_enclosure_power, m.avg_controller_power,
+               m.avg_total_power, m.EnclosurePowerSavingVs(base));
+  }
+}
+
+void PrintResponseTable(std::ostream& out,
+                        const std::vector<ExperimentMetrics>& runs) {
+  out << Fmt("%-18s %14s %16s %12s %12s\n", "policy", "avg resp[ms]",
+             "avg read resp[ms]", "cache hit[%]", "IOPS");
+  for (const ExperimentMetrics& m : runs) {
+    double hit = m.logical_ios > 0
+                     ? 100.0 * static_cast<double>(m.cache_hit_ios) /
+                           static_cast<double>(m.logical_ios)
+                     : 0.0;
+    double iops = m.duration > 0
+                      ? static_cast<double>(m.logical_ios) /
+                            ToSeconds(m.duration)
+                      : 0.0;
+    out << Fmt("%-18s %14.2f %16.2f %12.1f %12.0f\n", m.policy.c_str(),
+               m.avg_response_ms, m.avg_read_response_ms, hit, iops);
+  }
+}
+
+void PrintMigrationTable(std::ostream& out,
+                         const std::vector<ExperimentMetrics>& runs) {
+  out << Fmt("%-18s %14s %12s %12s %16s %10s\n", "policy", "migrated",
+             "item moves", "block moves", "determinations", "spin-ups");
+  for (const ExperimentMetrics& m : runs) {
+    out << Fmt("%-18s %14s %12lld %12lld %16lld %10lld\n", m.policy.c_str(),
+               FormatBytes(m.migrated_bytes).c_str(),
+               static_cast<long long>(m.item_migrations),
+               static_cast<long long>(m.block_migrations),
+               static_cast<long long>(m.placement_determinations),
+               static_cast<long long>(m.spinups));
+  }
+}
+
+void PrintIntervalCdf(std::ostream& out,
+                      const std::vector<ExperimentMetrics>& runs,
+                      const std::vector<SimDuration>& thresholds) {
+  out << Fmt("%-18s", "threshold>=");
+  for (const ExperimentMetrics& m : runs) {
+    out << Fmt(" %16s", m.policy.c_str());
+  }
+  out << "\n";
+  for (SimDuration threshold : thresholds) {
+    out << Fmt("%-18s", FormatDuration(threshold).c_str());
+    for (const ExperimentMetrics& m : runs) {
+      auto points = m.IntervalCdf({threshold});
+      out << Fmt(" %14.0fs", points.front().cumulative_seconds);
+    }
+    out << "\n";
+  }
+}
+
+void PrintPatternMix(std::ostream& out, const std::string& workload,
+                     const core::ClassificationResult& classification) {
+  int64_t total = 0;
+  for (int64_t c : classification.pattern_counts) total += c;
+  out << workload << ": ";
+  for (int p = 0; p < core::kNumIoPatterns; ++p) {
+    double pct =
+        total > 0 ? 100.0 *
+                        static_cast<double>(classification.pattern_counts[
+                            static_cast<size_t>(p)]) /
+                        static_cast<double>(total)
+                  : 0.0;
+    out << Fmt("%s=%.1f%% (%lld)  ",
+               core::IoPatternName(static_cast<core::IoPattern>(p)), pct,
+               static_cast<long long>(classification.pattern_counts[
+                   static_cast<size_t>(p)]));
+  }
+  out << Fmt("[items=%lld]\n", static_cast<long long>(total));
+}
+
+void PrintEnclosureTable(std::ostream& out, const ExperimentMetrics& run) {
+  out << Fmt("%-10s %12s %14s %14s %10s\n", "enclosure", "avg power",
+             "served I/Os", "utilization", "spin-ups");
+  for (size_t e = 0; e < run.per_enclosure.size(); ++e) {
+    const ExperimentMetrics::EnclosureStats& s = run.per_enclosure[e];
+    out << Fmt("%-10zu %10.1f W %14lld %13.1f%% %10lld\n", e,
+               AveragePower(s.energy, run.duration),
+               static_cast<long long>(s.served_ios), 100.0 * s.utilization,
+               static_cast<long long>(s.spinups));
+  }
+}
+
+void PrintPowerTimeline(std::ostream& out, const ExperimentMetrics& run,
+                        int buckets) {
+  if (run.power_samples.empty() || buckets <= 0) {
+    out << "(no power samples collected)\n";
+    return;
+  }
+  // Bucket the samples and render each as a bar scaled to the peak.
+  double peak = 1.0;
+  for (const storage::PowerSample& s : run.power_samples) {
+    peak = std::max(peak, s.total());
+  }
+  size_t per_bucket = std::max<size_t>(
+      1, run.power_samples.size() / static_cast<size_t>(buckets));
+  for (size_t start = 0; start < run.power_samples.size();
+       start += per_bucket) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t i = start;
+         i < std::min(start + per_bucket, run.power_samples.size());
+         ++i, ++n) {
+      sum += run.power_samples[i].total();
+    }
+    double avg = sum / static_cast<double>(n);
+    int width = static_cast<int>(50.0 * avg / peak);
+    out << Fmt("%8s %7.0f W |",
+               FormatDuration(run.power_samples[start].time).c_str(), avg);
+    for (int i = 0; i < width; ++i) out << '#';
+    out << "\n";
+  }
+}
+
+std::string Summarize(const ExperimentMetrics& m) {
+  return Fmt(
+      "%s/%s: enc=%.0fW total=%.0fW resp=%.2fms read=%.2fms migrated=%s "
+      "det=%lld spinups=%lld",
+      m.workload.c_str(), m.policy.c_str(), m.avg_enclosure_power,
+      m.avg_total_power, m.avg_response_ms, m.avg_read_response_ms,
+      FormatBytes(m.migrated_bytes).c_str(),
+      static_cast<long long>(m.placement_determinations),
+      static_cast<long long>(m.spinups));
+}
+
+}  // namespace ecostore::replay

@@ -1,0 +1,52 @@
+#ifndef ECOSTORE_REPLAY_REPORT_H_
+#define ECOSTORE_REPLAY_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pattern_classifier.h"
+#include "replay/metrics.h"
+
+namespace ecostore::replay {
+
+/// Prints the power comparison (paper Figs. 8 / 11 / 14): enclosure,
+/// controller and total average watts per policy plus the saving against
+/// the first (no-power-saving) run.
+void PrintPowerTable(std::ostream& out,
+                     const std::vector<ExperimentMetrics>& runs);
+
+/// Prints average (and read) response times per policy (Fig. 9).
+void PrintResponseTable(std::ostream& out,
+                        const std::vector<ExperimentMetrics>& runs);
+
+/// Prints migrated data sizes and placement determinations
+/// (Figs. 10 / 13 / 16 and the §VII-D counts).
+void PrintMigrationTable(std::ostream& out,
+                         const std::vector<ExperimentMetrics>& runs);
+
+/// Prints the Fig. 17-19 interval curves: cumulative idle-interval length
+/// above each threshold, per policy.
+void PrintIntervalCdf(std::ostream& out,
+                      const std::vector<ExperimentMetrics>& runs,
+                      const std::vector<SimDuration>& thresholds);
+
+/// Prints a Fig. 6-style logical I/O pattern mix.
+void PrintPatternMix(std::ostream& out, const std::string& workload,
+                     const core::ClassificationResult& classification);
+
+/// Prints a per-enclosure breakdown (energy, served I/O, utilization,
+/// spin-ups) of one run — the hot/cold structure made visible.
+void PrintEnclosureTable(std::ostream& out, const ExperimentMetrics& run);
+
+/// Prints a coarse ASCII power-over-time profile from the run's sampled
+/// power series (requires ExperimentConfig::power_sample_interval > 0).
+void PrintPowerTimeline(std::ostream& out, const ExperimentMetrics& run,
+                        int buckets = 24);
+
+/// One-line run summary (debugging aid).
+std::string Summarize(const ExperimentMetrics& m);
+
+}  // namespace ecostore::replay
+
+#endif  // ECOSTORE_REPLAY_REPORT_H_

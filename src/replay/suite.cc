@@ -1,0 +1,52 @@
+#include "replay/suite.h"
+
+#include "core/eco_storage_policy.h"
+#include "policies/basic_policies.h"
+#include "policies/ddr_policy.h"
+#include "policies/pdc_policy.h"
+
+namespace ecostore::replay {
+
+Result<std::vector<ExperimentMetrics>> RunSuite(
+    workload::Workload* workload,
+    const std::vector<PolicyFactory>& policies,
+    const ExperimentConfig& config) {
+  std::vector<ExperimentMetrics> results;
+  results.reserve(policies.size());
+  for (const PolicyFactory& factory : policies) {
+    std::unique_ptr<policies::StoragePolicy> policy = factory();
+    Experiment experiment(workload, policy.get(), config);
+    Result<ExperimentMetrics> metrics = experiment.Run();
+    if (!metrics.ok()) return metrics.status();
+    results.push_back(std::move(metrics).value());
+  }
+  return results;
+}
+
+const ExperimentMetrics* FindRun(const std::vector<ExperimentMetrics>& runs,
+                                 const std::string& policy_name) {
+  for (const ExperimentMetrics& m : runs) {
+    if (m.policy == policy_name) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<PolicyFactory> PaperPolicySet(
+    const core::PowerManagementConfig& pm_config) {
+  std::vector<PolicyFactory> factories;
+  factories.push_back([] {
+    return std::make_unique<policies::NoPowerSavingPolicy>();
+  });
+  factories.push_back([pm_config] {
+    return std::make_unique<core::EcoStoragePolicy>(pm_config);
+  });
+  factories.push_back([] {
+    return std::make_unique<policies::PdcPolicy>(policies::PdcPolicy::Options{});
+  });
+  factories.push_back([] {
+    return std::make_unique<policies::DdrPolicy>(policies::DdrPolicy::Options{});
+  });
+  return factories;
+}
+
+}  // namespace ecostore::replay

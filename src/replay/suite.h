@@ -1,0 +1,41 @@
+#ifndef ECOSTORE_REPLAY_SUITE_H_
+#define ECOSTORE_REPLAY_SUITE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/power_management.h"
+#include "policies/storage_policy.h"
+#include "replay/experiment.h"
+
+namespace ecostore::replay {
+
+/// Creates a fresh policy instance for one run (policies are stateful, so
+/// each run gets its own).
+using PolicyFactory =
+    std::function<std::unique_ptr<policies::StoragePolicy>()>;
+
+/// \brief Runs one workload under several policies, resetting the
+/// workload between runs so every policy replays the identical trace
+/// (the paper's methodology, §VII-A).
+Result<std::vector<ExperimentMetrics>> RunSuite(
+    workload::Workload* workload,
+    const std::vector<PolicyFactory>& policies,
+    const ExperimentConfig& config);
+
+/// Finds a run by policy name (nullptr if absent).
+const ExperimentMetrics* FindRun(const std::vector<ExperimentMetrics>& runs,
+                                 const std::string& policy_name);
+
+/// The paper's four comparison policies in figure order: without power
+/// saving, the proposed method, PDC, DDR. `pm_config` parameterises the
+/// proposed method.
+std::vector<PolicyFactory> PaperPolicySet(
+    const core::PowerManagementConfig& pm_config);
+
+}  // namespace ecostore::replay
+
+#endif  // ECOSTORE_REPLAY_SUITE_H_

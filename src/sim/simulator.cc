@@ -1,0 +1,75 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace ecostore::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id,
+                    std::make_shared<Callback>(std::move(cb))});
+  live_++;
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  if (inserted && live_ > 0) live_--;
+  return inserted;
+}
+
+int64_t Simulator::RunUntil(SimTime deadline) {
+  int64_t executed = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > deadline) break;
+    Entry entry = top;
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(entry.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    live_--;
+    now_ = entry.when;
+    (*entry.cb)();
+    executed++;
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Advance to the deadline so that back-to-back RunUntil calls measure
+    // idle spans correctly.
+    now_ = deadline;
+  } else if (now_ < deadline && !queue_.empty()) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+int64_t Simulator::RunAll() {
+  int64_t executed = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(entry.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    live_--;
+    now_ = entry.when;
+    (*entry.cb)();
+    executed++;
+  }
+  return executed;
+}
+
+}  // namespace ecostore::sim

@@ -1,0 +1,82 @@
+#ifndef ECOSTORE_SIM_SIMULATOR_H_
+#define ECOSTORE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ecostore::sim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = uint64_t;
+
+/// \brief Single-threaded discrete-event simulator.
+///
+/// Events are callbacks scheduled at absolute simulated times and executed
+/// in (time, insertion-order) order, so simultaneous events run FIFO and
+/// every run is deterministic. The storage array, cache flush timers,
+/// policy periods and the trace replayer all share one Simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `when`. Times in the past are clamped
+  /// to Now(). Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` after `delay` (>= 0) from Now().
+  EventId ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// fired yet. Cancelling an already-fired or unknown id is a no-op.
+  bool Cancel(EventId id);
+
+  /// Runs events until the queue drains or the next event lies beyond
+  /// `deadline`. Events scheduled exactly at the deadline still run. On
+  /// return the clock is min(deadline, quiescence time). Returns the number
+  /// of events executed.
+  int64_t RunUntil(SimTime deadline);
+
+  /// Runs all pending events to quiescence.
+  int64_t RunAll();
+
+  /// Number of events currently pending (cancelled events excluded).
+  size_t PendingEvents() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    // Shared so that Entry stays copyable inside priority_queue.
+    std::shared_ptr<Callback> cb;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ecostore::sim
+
+#endif  // ECOSTORE_SIM_SIMULATOR_H_

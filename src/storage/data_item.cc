@@ -1,0 +1,46 @@
+#include "storage/data_item.h"
+
+namespace ecostore::storage {
+
+const char* DataItemKindName(DataItemKind kind) {
+  switch (kind) {
+    case DataItemKind::kFile:
+      return "file";
+    case DataItemKind::kTable:
+      return "table";
+    case DataItemKind::kIndex:
+      return "index";
+    case DataItemKind::kLog:
+      return "log";
+    case DataItemKind::kWorkFile:
+      return "workfile";
+  }
+  return "?";
+}
+
+VolumeId DataItemCatalog::AddVolume(EnclosureId enclosure) {
+  volume_enclosures_.push_back(enclosure);
+  return static_cast<VolumeId>(volume_enclosures_.size() - 1);
+}
+
+Result<DataItemId> DataItemCatalog::AddItem(std::string name, VolumeId volume,
+                                            int64_t size_bytes,
+                                            DataItemKind kind, bool pinned) {
+  if (volume < 0 || static_cast<size_t>(volume) >= volume_enclosures_.size()) {
+    return Status::InvalidArgument("unknown volume for item " + name);
+  }
+  if (size_bytes <= 0) {
+    return Status::InvalidArgument("item size must be positive: " + name);
+  }
+  DataItem item;
+  item.id = static_cast<DataItemId>(items_.size());
+  item.name = std::move(name);
+  item.volume = volume;
+  item.size_bytes = size_bytes;
+  item.kind = kind;
+  item.pinned = pinned;
+  items_.push_back(std::move(item));
+  return items_.back().id;
+}
+
+}  // namespace ecostore::storage

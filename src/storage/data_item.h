@@ -1,0 +1,78 @@
+#ifndef ECOSTORE_STORAGE_DATA_ITEM_H_
+#define ECOSTORE_STORAGE_DATA_ITEM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ecostore::storage {
+
+/// Kind of application data a data item holds. Informational only; the
+/// power-management algorithms treat all kinds uniformly (paper §II-C.1).
+enum class DataItemKind : uint8_t {
+  kFile = 0,
+  kTable,
+  kIndex,
+  kLog,
+  kWorkFile,
+};
+
+const char* DataItemKindName(DataItemKind kind);
+
+/// \brief A fragment of an application's data residing wholly on one disk
+/// enclosure (paper §II-C.1): a file, a table/index partition, a log, or a
+/// work file. Data spanning enclosures is modelled as several items.
+struct DataItem {
+  DataItemId id = kInvalidDataItem;
+  std::string name;
+  VolumeId volume = kInvalidVolume;
+  int64_t size_bytes = 0;
+  DataItemKind kind = DataItemKind::kFile;
+  /// Pinned items cannot be migrated (e.g. volume metadata that must live
+  /// with its volume). They can still be cached (preload / write delay).
+  bool pinned = false;
+};
+
+/// \brief Registry of all data items of a workload plus the volume layout
+/// (volume -> initial enclosure), i.e. the Application Monitor's logical
+/// mapping information (paper §III-A).
+class DataItemCatalog {
+ public:
+  /// Registers a volume initially placed on `enclosure`. Volume ids are
+  /// assigned sequentially from 0.
+  VolumeId AddVolume(EnclosureId enclosure);
+
+  /// Registers a data item; returns its id (assigned sequentially from 0).
+  /// The item's volume must exist.
+  Result<DataItemId> AddItem(std::string name, VolumeId volume,
+                             int64_t size_bytes, DataItemKind kind,
+                             bool pinned = false);
+
+  size_t item_count() const { return items_.size(); }
+  size_t volume_count() const { return volume_enclosures_.size(); }
+
+  const DataItem& item(DataItemId id) const { return items_.at(id); }
+  const std::vector<DataItem>& items() const { return items_; }
+
+  /// Initial enclosure of a volume.
+  EnclosureId volume_enclosure(VolumeId volume) const {
+    return volume_enclosures_.at(volume);
+  }
+
+  /// Initial enclosure of an item (via its volume).
+  EnclosureId initial_enclosure(DataItemId id) const {
+    return volume_enclosures_.at(items_.at(id).volume);
+  }
+
+ private:
+  std::vector<DataItem> items_;
+  std::vector<EnclosureId> volume_enclosures_;
+};
+
+}  // namespace ecostore::storage
+
+#endif  // ECOSTORE_STORAGE_DATA_ITEM_H_

@@ -1,0 +1,133 @@
+#include "storage/disk_enclosure.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecostore::storage {
+
+const char* PowerStateName(PowerState s) {
+  switch (s) {
+    case PowerState::kOff:
+      return "Off";
+    case PowerState::kSpinningUp:
+      return "SpinningUp";
+    case PowerState::kOn:
+      return "On";
+  }
+  return "?";
+}
+
+DiskEnclosure::DiskEnclosure(EnclosureId id, const EnclosureConfig& config)
+    : id_(id), config_(config) {}
+
+void DiskEnclosure::CatchUp(SimTime now) {
+  if (now <= accounted_until_) return;
+  SimTime t = accounted_until_;
+  if (state_ == PowerState::kOff) {
+    energy_ += EnergyOf(config_.off_power, now - t);
+    accounted_until_ = now;
+    return;
+  }
+  if (state_ == PowerState::kSpinningUp) {
+    SimTime spin_end = std::min(now, spinup_complete_);
+    if (spin_end > t) {
+      energy_ += EnergyOf(config_.spinup_power, spin_end - t);
+      t = spin_end;
+    }
+    if (now >= spinup_complete_) {
+      state_ = PowerState::kOn;
+    } else {
+      accounted_until_ = now;
+      return;
+    }
+  }
+  // state_ == kOn: active while the queue is busy, idle afterwards.
+  SimTime busy_end = std::clamp(busy_until_, t, now);
+  if (busy_end > t) {
+    energy_ += EnergyOf(config_.active_power, busy_end - t);
+    active_time_ += busy_end - t;
+    t = busy_end;
+  }
+  if (now > t) {
+    energy_ += EnergyOf(config_.idle_power, now - t);
+  }
+  accounted_until_ = now;
+}
+
+SimTime DiskEnclosure::PowerOn(SimTime now) {
+  CatchUp(now);
+  if (state_ == PowerState::kOn) return now;
+  if (state_ == PowerState::kSpinningUp) return spinup_complete_;
+  state_ = PowerState::kSpinningUp;
+  spinup_complete_ = now + config_.spinup_time;
+  spinup_count_++;
+  return spinup_complete_;
+}
+
+bool DiskEnclosure::PowerOff(SimTime now) {
+  CatchUp(now);
+  if (state_ != PowerState::kOn) return false;
+  if (busy_until_ > now) return false;
+  state_ = PowerState::kOff;
+  return true;
+}
+
+PowerState DiskEnclosure::state(SimTime now) {
+  CatchUp(now);
+  return state_;
+}
+
+bool DiskEnclosure::EligibleForSpinDown(SimTime now) {
+  CatchUp(now);
+  return state_ == PowerState::kOn && busy_until_ <= now &&
+         now - std::max(last_busy_end_, SimTime{0}) >=
+             config_.spindown_timeout;
+}
+
+Joules DiskEnclosure::Energy(SimTime now) {
+  CatchUp(now);
+  return energy_;
+}
+
+DiskEnclosure::IoGrant DiskEnclosure::SubmitIo(SimTime now, int64_t n_ios,
+                                               int64_t bytes, IoType type,
+                                               bool sequential) {
+  (void)type;
+  assert(n_ios > 0);
+  CatchUp(now);
+
+  IoGrant grant;
+  SimTime ready = now;
+  if (state_ == PowerState::kOff) {
+    grant.powered_on = true;
+    ready = PowerOn(now);
+  } else if (state_ == PowerState::kSpinningUp) {
+    ready = spinup_complete_;
+  }
+
+  // Idle gap: only meaningful when the queue had drained before this
+  // submission.
+  if (served_ios_ > 0 && busy_until_ <= now) {
+    grant.idle_gap_before = now - last_busy_end_;
+  }
+
+  double iops = IopsFor(sequential);
+  auto service = static_cast<SimDuration>(
+      static_cast<double>(n_ios) * static_cast<double>(kSecond) / iops);
+  service = std::max<SimDuration>(service, 1);
+
+  grant.start = std::max(ready, busy_until_);
+  busy_until_ = grant.start + service;
+  last_busy_end_ = busy_until_;
+  // Positioning latency delays the response but does not occupy the
+  // queue (it overlaps across the group's drives).
+  grant.completion = busy_until_ + (sequential
+                                        ? config_.sequential_access_latency
+                                        : config_.random_access_latency);
+
+  served_ios_ += n_ios;
+  served_bytes_ += bytes;
+  return grant;
+}
+
+}  // namespace ecostore::storage

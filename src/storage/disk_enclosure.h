@@ -1,0 +1,119 @@
+#ifndef ECOSTORE_STORAGE_DISK_ENCLOSURE_H_
+#define ECOSTORE_STORAGE_DISK_ENCLOSURE_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "storage/storage_config.h"
+
+namespace ecostore::storage {
+
+/// Coarse power state of an enclosure (paper §II-B.1). `kOn` covers both
+/// the Active and Idle modes; which one applies at an instant is derived
+/// from whether the service queue is busy.
+enum class PowerState : uint8_t { kOff = 0, kSpinningUp, kOn };
+
+const char* PowerStateName(PowerState s);
+
+/// \brief One simulated disk enclosure: a RAID-6 group of 15 HDDs treated
+/// as the unit of power control (paper §II-A).
+///
+/// The enclosure models
+///  - a single-server FIFO service queue: each submitted batch occupies the
+///    queue for n_ios / IOPS(seq|random) seconds,
+///  - a three-state power FSM (On / SpinningUp / Off) with piecewise-
+///    constant power draws integrated lazily into an energy counter, and
+///  - bookkeeping for idle gaps, spin-up counts and served I/O totals.
+///
+/// All methods take the current simulated time; the enclosure never talks
+/// to the Simulator directly (the StorageSystem owns event scheduling).
+class DiskEnclosure {
+ public:
+  /// Outcome of submitting a batch of I/Os.
+  struct IoGrant {
+    /// Time service starts (>= submission; delayed by spin-up or queue).
+    SimTime start = 0;
+    /// Time the last I/O of the batch completes.
+    SimTime completion = 0;
+    /// Idle gap that *ended* with this submission: time between the
+    /// previous busy-period end and this submission (0 when queued behind
+    /// other work or first ever I/O).
+    SimDuration idle_gap_before = 0;
+    /// True when this submission triggered a spin-up from Off.
+    bool powered_on = false;
+  };
+
+  DiskEnclosure(EnclosureId id, const EnclosureConfig& config);
+
+  EnclosureId id() const { return id_; }
+  const EnclosureConfig& config() const { return config_; }
+
+  /// Submits a batch of `n_ios` I/Os totalling `bytes`. A batch models a
+  /// contiguous burst (e.g. a cache destage or a migration chunk); the
+  /// service queue is occupied for n_ios / IOPS seconds. Spins the
+  /// enclosure up when it is off.
+  IoGrant SubmitIo(SimTime now, int64_t n_ios, int64_t bytes, IoType type,
+                   bool sequential);
+
+  /// Begins spin-up if the enclosure is off (no-op otherwise). Returns the
+  /// time at which the enclosure will be on.
+  SimTime PowerOn(SimTime now);
+
+  /// Powers the enclosure off. Only legal when on and the queue is
+  /// drained; returns false (and does nothing) otherwise.
+  bool PowerOff(SimTime now);
+
+  /// Current FSM state (after catching the clock up to `now`).
+  PowerState state(SimTime now);
+
+  /// True when on, drained, and idle for at least the configured
+  /// spin-down timeout.
+  bool EligibleForSpinDown(SimTime now);
+
+  /// Total energy consumed up to `now`.
+  Joules Energy(SimTime now);
+
+  /// End of the last busy period so far (0 before any I/O).
+  SimTime last_busy_end() const { return last_busy_end_; }
+
+  /// Time at which the service queue drains.
+  SimTime busy_until() const { return busy_until_; }
+
+  int64_t served_ios() const { return served_ios_; }
+  int64_t served_bytes() const { return served_bytes_; }
+  int64_t spinup_count() const { return spinup_count_; }
+
+  /// Cumulative time spent actively serving I/O, up to the last CatchUp.
+  SimDuration active_time() const { return active_time_; }
+
+ private:
+  /// Integrates energy from accounted_until_ to `now` and performs the
+  /// SpinningUp -> On transition when the clock passes spinup_complete_.
+  void CatchUp(SimTime now);
+
+  double IopsFor(bool sequential) const {
+    return sequential ? config_.max_sequential_iops
+                      : config_.max_random_iops;
+  }
+
+  EnclosureId id_;
+  EnclosureConfig config_;
+
+  PowerState state_ = PowerState::kOn;
+  SimTime accounted_until_ = 0;
+  SimTime spinup_complete_ = 0;
+  SimTime busy_until_ = 0;
+  SimTime last_busy_end_ = 0;
+
+  Joules energy_ = 0.0;
+  SimDuration active_time_ = 0;
+  int64_t served_ios_ = 0;
+  int64_t served_bytes_ = 0;
+  int64_t spinup_count_ = 0;
+};
+
+}  // namespace ecostore::storage
+
+#endif  // ECOSTORE_STORAGE_DISK_ENCLOSURE_H_

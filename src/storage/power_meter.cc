@@ -1,0 +1,81 @@
+#include "storage/power_meter.h"
+
+#include <cassert>
+#include <ostream>
+
+namespace ecostore::storage {
+
+PowerMeter::PowerMeter(StorageSystem* system, SimDuration interval)
+    : system_(system), interval_(interval) {
+  assert(system != nullptr);
+}
+
+Status PowerMeter::Start() {
+  if (interval_ <= 0) {
+    return Status::InvalidArgument("sampling interval must be positive");
+  }
+  if (running_) return Status::FailedPrecondition("meter already running");
+  running_ = true;
+  last_enclosure_energy_ = system_->EnclosureEnergy();
+  last_controller_energy_ = system_->ControllerEnergy();
+  pending_ = system_->simulator()->ScheduleAfter(interval_,
+                                                 [this] { Tick(); });
+  return Status::OK();
+}
+
+void PowerMeter::Stop() {
+  if (!running_) return;
+  system_->simulator()->Cancel(pending_);
+  running_ = false;
+}
+
+void PowerMeter::Tick() {
+  Joules enclosure_energy = system_->EnclosureEnergy();
+  Joules controller_energy = system_->ControllerEnergy();
+  PowerSample sample;
+  sample.time = system_->simulator()->Now();
+  sample.enclosures =
+      AveragePower(enclosure_energy - last_enclosure_energy_, interval_);
+  sample.controller =
+      AveragePower(controller_energy - last_controller_energy_, interval_);
+  samples_.push_back(sample);
+  last_enclosure_energy_ = enclosure_energy;
+  last_controller_energy_ = controller_energy;
+  pending_ = system_->simulator()->ScheduleAfter(interval_,
+                                                 [this] { Tick(); });
+}
+
+Joules PowerMeter::SampledEnergy() const {
+  Joules total = 0.0;
+  for (const PowerSample& s : samples_) {
+    total += EnergyOf(s.total(), interval_);
+  }
+  return total;
+}
+
+Watts PowerMeter::AveragePowerSampled() const {
+  if (samples_.empty()) return 0.0;
+  Watts sum = 0.0;
+  for (const PowerSample& s : samples_) sum += s.total();
+  return sum / static_cast<double>(samples_.size());
+}
+
+Watts PowerMeter::PeakPower() const {
+  Watts peak = 0.0;
+  for (const PowerSample& s : samples_) {
+    if (s.total() > peak) peak = s.total();
+  }
+  return peak;
+}
+
+Status PowerMeter::WriteCsv(std::ostream& out) const {
+  out << "time_s,enclosures_w,controller_w,total_w\n";
+  for (const PowerSample& s : samples_) {
+    out << ToSeconds(s.time) << ',' << s.enclosures << ',' << s.controller
+        << ',' << s.total() << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+}  // namespace ecostore::storage

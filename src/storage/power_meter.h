@@ -1,0 +1,74 @@
+#ifndef ECOSTORE_STORAGE_POWER_METER_H_
+#define ECOSTORE_STORAGE_POWER_METER_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "storage/storage_system.h"
+
+namespace ecostore::storage {
+
+/// One sample of the simulated wall power meter: average power over the
+/// preceding sampling interval, split by component.
+struct PowerSample {
+  SimTime time = 0;
+  Watts enclosures = 0.0;
+  Watts controller = 0.0;
+
+  Watts total() const { return enclosures + controller; }
+};
+
+/// \brief The wall power meter of the paper's testbed (§VII-A.3):
+/// periodically samples the array's energy counters and differentiates
+/// them into an average-power time series.
+///
+/// Attach with Start(); samples accumulate until the simulation ends or
+/// Stop() is called. The series is the raw material for power-over-time
+/// plots and for verifying that energy integration matches the sampled
+/// curve (sum(sample * interval) == total energy).
+class PowerMeter {
+ public:
+  /// \param system array to meter (not owned; must outlive the meter)
+  /// \param interval sampling interval (> 0)
+  PowerMeter(StorageSystem* system, SimDuration interval);
+
+  /// Begins sampling on the system's simulator.
+  Status Start();
+
+  /// Stops sampling (the pending tick is cancelled).
+  void Stop();
+
+  const std::vector<PowerSample>& samples() const { return samples_; }
+
+  /// Energy implied by the sample series (trapezoid-free: samples are
+  /// interval averages, so this is exact between Start and the last tick).
+  Joules SampledEnergy() const;
+
+  /// Average power over all samples (0 when empty).
+  Watts AveragePowerSampled() const;
+
+  /// Peak total-power sample (0 when empty).
+  Watts PeakPower() const;
+
+  /// Writes the series as CSV (`time_s,enclosures_w,controller_w,total_w`).
+  Status WriteCsv(std::ostream& out) const;
+
+ private:
+  void Tick();
+
+  StorageSystem* system_;
+  SimDuration interval_;
+  bool running_ = false;
+  sim::EventId pending_ = 0;
+  Joules last_enclosure_energy_ = 0.0;
+  Joules last_controller_energy_ = 0.0;
+  std::vector<PowerSample> samples_;
+};
+
+}  // namespace ecostore::storage
+
+#endif  // ECOSTORE_STORAGE_POWER_METER_H_

@@ -1,0 +1,178 @@
+#ifndef ECOSTORE_STORAGE_STORAGE_CACHE_H_
+#define ECOSTORE_STORAGE_STORAGE_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/storage_config.h"
+
+namespace ecostore::storage {
+
+/// A destage demand produced by the cache: `blocks` dirty blocks of `item`
+/// must be written to the item's enclosure. The StorageSystem translates
+/// demands into physical bulk writes.
+struct FlushDemand {
+  DataItemId item = kInvalidDataItem;
+  int64_t blocks = 0;
+  int64_t bytes = 0;
+};
+
+/// \brief The RAID controller's battery-backed cache (paper §II-A, §II-E.2).
+///
+/// Three areas share the configured capacity:
+///  - the *general* area: a block-granular LRU holding clean read blocks
+///    and write-back dirty blocks, destaged in one go when the default
+///    dirty-block rate is exceeded (paper §V-B);
+///  - the *preload* area: whole data items pinned by the proposed method's
+///    preload function (paper §IV-F) — reads of loaded items always hit;
+///  - the *write-delay* area: dirty blocks of items selected by the
+///    write-delay function (paper §IV-E), destaged only when the enlarged
+///    dirty-block rate is exceeded.
+///
+/// The cache is a bookkeeping model: it tracks block residency and dirty
+/// state but holds no payload bytes. It never performs I/O itself; flush
+/// demands are returned to the caller.
+class StorageCache {
+ public:
+  struct ReadOutcome {
+    int64_t hit_blocks = 0;
+    int64_t miss_blocks = 0;
+    /// Dirty blocks pushed out by caching the missed blocks.
+    std::vector<FlushDemand> eviction_flushes;
+
+    bool fully_hit() const { return miss_blocks == 0; }
+  };
+
+  struct WriteOutcome {
+    /// True when the dirty blocks went to the write-delay area.
+    bool write_delayed = false;
+    /// Demands triggered by crossing a dirty-rate threshold; empty most of
+    /// the time.
+    std::vector<FlushDemand> destage;
+  };
+
+  explicit StorageCache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Serves a logical read. Missed blocks are assumed to be fetched by the
+  /// caller and are inserted into the general area.
+  ReadOutcome Read(DataItemId item, int64_t offset, int32_t size);
+
+  /// Absorbs a logical write into the write-delay area (for selected
+  /// items) or the general write-back area.
+  WriteOutcome Write(DataItemId item, int64_t offset, int32_t size);
+
+  /// Replaces the write-delay item set (paper §V-B). Dirty write-delay
+  /// blocks of items leaving the set must be destaged; they are returned.
+  std::vector<FlushDemand> SetWriteDelayItems(
+      const std::unordered_set<DataItemId>& items);
+
+  /// Replaces the preload item set (paper §V-C). `sizes` gives each item's
+  /// size; the sum must fit the preload area. Returns the items that are
+  /// newly selected and must be loaded by the caller (already-loaded items
+  /// are kept; deselected items are dropped immediately).
+  Result<std::vector<DataItemId>> SetPreloadItems(
+      const std::vector<std::pair<DataItemId, int64_t>>& sizes);
+
+  /// Marks a preload-selected item as resident (its load completed).
+  Status MarkPreloaded(DataItemId item);
+
+  bool IsPreloadSelected(DataItemId item) const {
+    return preload_items_.count(item) > 0;
+  }
+  bool IsPreloaded(DataItemId item) const {
+    auto it = preload_items_.find(item);
+    return it != preload_items_.end() && it->second.loaded;
+  }
+  bool IsWriteDelayed(DataItemId item) const {
+    return write_delay_items_.count(item) > 0;
+  }
+
+  /// Flushes every dirty block in both areas (used at end of run and when
+  /// the runtime power saver forces a destage). Returns the demands.
+  std::vector<FlushDemand> FlushAll();
+
+  /// Drops all clean general-area blocks of an item (used after the item
+  /// migrates, since its physical location changed). Dirty blocks are
+  /// returned as demands to write to the *new* location.
+  std::vector<FlushDemand> InvalidateItem(DataItemId item);
+
+  int64_t hit_blocks() const { return hit_blocks_; }
+  int64_t miss_blocks() const { return miss_blocks_; }
+  int64_t absorbed_write_blocks() const { return absorbed_write_blocks_; }
+  int64_t general_dirty_blocks() const { return general_dirty_; }
+  int64_t write_delay_dirty_blocks() const { return wd_dirty_total_; }
+
+ private:
+  struct BlockKey {
+    DataItemId item;
+    int64_t block;
+    bool operator==(const BlockKey& o) const {
+      return item == o.item && block == o.block;
+    }
+  };
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const {
+      return std::hash<int64_t>()((static_cast<int64_t>(k.item) << 40) ^
+                                  k.block);
+    }
+  };
+  struct GeneralEntry {
+    std::list<BlockKey>::iterator lru_pos;
+    bool dirty = false;
+  };
+  struct PreloadEntry {
+    int64_t size_bytes = 0;
+    bool loaded = false;
+  };
+
+  int64_t FirstBlock(int64_t offset) const { return offset / config_.block_size; }
+  int64_t LastBlock(int64_t offset, int32_t size) const {
+    return (offset + std::max<int32_t>(size, 1) - 1) / config_.block_size;
+  }
+
+  /// Inserts a clean block into the general LRU, evicting as needed;
+  /// appends eviction flush demands for dirty victims.
+  void InsertGeneral(const BlockKey& key, bool dirty,
+                     std::vector<FlushDemand>* eviction_flushes);
+
+  /// Destages all dirty general-area blocks (they stay resident, clean).
+  std::vector<FlushDemand> DestageGeneral();
+
+  /// Destages all write-delay blocks.
+  std::vector<FlushDemand> DestageWriteDelay();
+
+  static void AppendDemand(DataItemId item, int64_t blocks, int64_t bytes,
+                           std::vector<FlushDemand>* out);
+
+  CacheConfig config_;
+  int64_t general_capacity_blocks_;
+  int64_t wd_capacity_blocks_;
+
+  // General area.
+  std::list<BlockKey> lru_;  // front = most recent
+  std::unordered_map<BlockKey, GeneralEntry, BlockKeyHash> general_;
+  int64_t general_dirty_ = 0;
+
+  // Write-delay area: per-item dirty block sets.
+  std::unordered_set<DataItemId> write_delay_items_;
+  std::unordered_map<DataItemId, std::unordered_set<int64_t>> wd_dirty_;
+  int64_t wd_dirty_total_ = 0;
+
+  // Preload area.
+  std::unordered_map<DataItemId, PreloadEntry> preload_items_;
+
+  int64_t hit_blocks_ = 0;
+  int64_t miss_blocks_ = 0;
+  int64_t absorbed_write_blocks_ = 0;
+};
+
+}  // namespace ecostore::storage
+
+#endif  // ECOSTORE_STORAGE_STORAGE_CACHE_H_

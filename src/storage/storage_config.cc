@@ -1,0 +1,106 @@
+#include "storage/storage_config.h"
+
+namespace ecostore::storage {
+
+Status EnclosureConfig::Validate() const {
+  if (capacity_bytes <= 0) {
+    return Status::InvalidArgument("enclosure capacity must be positive");
+  }
+  if (max_random_iops <= 0 || max_sequential_iops <= 0) {
+    return Status::InvalidArgument("enclosure IOPS must be positive");
+  }
+  if (max_sequential_iops < max_random_iops) {
+    return Status::InvalidArgument(
+        "sequential IOPS must be >= random IOPS");
+  }
+  if (active_power < idle_power || idle_power < off_power || off_power < 0) {
+    return Status::InvalidArgument(
+        "power ordering must be active >= idle >= off >= 0");
+  }
+  if (spinup_power <= idle_power) {
+    return Status::InvalidArgument("spin-up power must exceed idle power");
+  }
+  if (spinup_time <= 0) {
+    return Status::InvalidArgument("spin-up time must be positive");
+  }
+  if (spindown_timeout < 0) {
+    return Status::InvalidArgument("spin-down timeout must be >= 0");
+  }
+  if (random_access_latency < 0 || sequential_access_latency < 0) {
+    return Status::InvalidArgument("access latencies must be >= 0");
+  }
+  return Status::OK();
+}
+
+SimDuration EnclosureConfig::BreakEvenTime() const {
+  // Extra energy of the off/on cycle relative to idling during spin-up:
+  //   E_extra = (spinup_power - idle_power) * spinup_time
+  // Idle energy saved per second of being off: idle_power - off_power.
+  double extra_joules =
+      EnergyOf(spinup_power - idle_power, spinup_time);
+  double savings_per_second = idle_power - off_power;
+  if (savings_per_second <= 0) return 0;
+  // The cycle pays off when (idle - off) * T >= E_extra + 0, counting the
+  // spin-up time itself as part of the interval.
+  return FromSeconds(extra_joules / savings_per_second) + spinup_time;
+}
+
+EnclosureConfig EnterpriseHddEnclosureConfig() { return EnclosureConfig{}; }
+
+EnclosureConfig SsdEnclosureConfig() {
+  EnclosureConfig config;
+  config.max_random_iops = 30000.0;
+  config.max_sequential_iops = 30000.0;
+  config.active_power = 120.0;
+  config.idle_power = 60.0;
+  config.off_power = 0.0;
+  config.spinup_power = 100.0;
+  config.spinup_time = 1 * kSecond;
+  config.spindown_timeout = 2 * kSecond;
+  config.random_access_latency = 200 * kMicrosecond;
+  config.sequential_access_latency = 100 * kMicrosecond;
+  return config;
+}
+
+Status CacheConfig::Validate() const {
+  if (total_bytes <= 0) {
+    return Status::InvalidArgument("cache size must be positive");
+  }
+  if (preload_area_bytes < 0 || write_delay_area_bytes < 0) {
+    return Status::InvalidArgument("cache areas must be >= 0");
+  }
+  if (preload_area_bytes + write_delay_area_bytes > total_bytes) {
+    return Status::InvalidArgument(
+        "preload + write-delay areas exceed cache size");
+  }
+  if (block_size <= 0 || (block_size & (block_size - 1)) != 0) {
+    return Status::InvalidArgument("block size must be a positive power of 2");
+  }
+  if (default_dirty_ratio <= 0 || default_dirty_ratio > 1 ||
+      write_delay_dirty_ratio <= 0 || write_delay_dirty_ratio > 1) {
+    return Status::InvalidArgument("dirty ratios must be in (0, 1]");
+  }
+  if (hit_latency < 0) {
+    return Status::InvalidArgument("hit latency must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status ControllerConfig::Validate() const {
+  if (base_power < 0) {
+    return Status::InvalidArgument("controller power must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status StorageConfig::Validate() const {
+  if (num_enclosures <= 0) {
+    return Status::InvalidArgument("need at least one enclosure");
+  }
+  ECOSTORE_RETURN_NOT_OK(enclosure.Validate());
+  ECOSTORE_RETURN_NOT_OK(cache.Validate());
+  ECOSTORE_RETURN_NOT_OK(controller.Validate());
+  return Status::OK();
+}
+
+}  // namespace ecostore::storage

@@ -1,0 +1,207 @@
+#include "storage/storage_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ecostore::storage {
+
+StorageSystem::StorageSystem(sim::Simulator* simulator,
+                             const StorageConfig& config,
+                             const DataItemCatalog* catalog)
+    : sim_(simulator),
+      config_(config),
+      catalog_(catalog),
+      cache_(config.cache),
+      virt_(catalog, config.num_enclosures, config.enclosure.capacity_bytes) {
+  assert(simulator != nullptr);
+  assert(catalog != nullptr);
+}
+
+Status StorageSystem::Init() {
+  ECOSTORE_RETURN_NOT_OK(config_.Validate());
+  enclosures_.clear();
+  for (int i = 0; i < config_.num_enclosures; ++i) {
+    enclosures_.push_back(std::make_unique<DiskEnclosure>(
+        static_cast<EnclosureId>(i), config_.enclosure));
+  }
+  spin_down_allowed_.assign(static_cast<size_t>(config_.num_enclosures),
+                            false);
+  return virt_.PlaceInitial();
+}
+
+void StorageSystem::NotifyPhysicalIo(const trace::PhysicalIoRecord& rec) {
+  for (StorageObserver* obs : observers_) obs->OnPhysicalIo(rec);
+}
+
+void StorageSystem::NotifyIdleGap(EnclosureId enclosure, SimTime at,
+                                  SimDuration gap) {
+  for (StorageObserver* obs : observers_) obs->OnIdleGapEnd(enclosure, at, gap);
+}
+
+void StorageSystem::NotifyPowerState(EnclosureId enclosure, SimTime at,
+                                     PowerState state) {
+  for (StorageObserver* obs : observers_) {
+    obs->OnPowerStateChange(enclosure, at, state);
+  }
+}
+
+void StorageSystem::ArmSpinDownTimer(EnclosureId enclosure) {
+  DiskEnclosure& enc = *enclosures_[static_cast<size_t>(enclosure)];
+  SimTime check_at =
+      std::max(sim_->Now(), enc.busy_until()) + config_.enclosure.spindown_timeout;
+  sim_->ScheduleAt(check_at, [this, enclosure] {
+    DiskEnclosure& e = *enclosures_[static_cast<size_t>(enclosure)];
+    if (spin_down_allowed_[static_cast<size_t>(enclosure)] &&
+        e.EligibleForSpinDown(sim_->Now())) {
+      if (e.PowerOff(sim_->Now())) {
+        NotifyPowerState(enclosure, sim_->Now(), PowerState::kOff);
+      }
+    }
+  });
+}
+
+SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
+                                          int64_t n_ios, int64_t bytes,
+                                          IoType type, bool sequential,
+                                          int64_t block_hint) {
+  DiskEnclosure& enc = *enclosures_.at(static_cast<size_t>(enclosure));
+  SimTime now = sim_->Now();
+  DiskEnclosure::IoGrant grant = enc.SubmitIo(now, n_ios, bytes, type,
+                                              sequential);
+  if (grant.powered_on) {
+    NotifyPowerState(enclosure, now, PowerState::kSpinningUp);
+  }
+  if (grant.idle_gap_before >= config_.idle_gap_notify_floor) {
+    NotifyIdleGap(enclosure, now, grant.idle_gap_before);
+  }
+  trace::PhysicalIoRecord rec;
+  rec.time = now;
+  rec.enclosure = enclosure;
+  rec.block = block_hint;
+  rec.size = static_cast<int32_t>(std::min<int64_t>(
+      bytes, std::numeric_limits<int32_t>::max()));
+  rec.type = type;
+  rec.sequential = sequential;
+  NotifyPhysicalIo(rec);
+  if (spin_down_allowed_[static_cast<size_t>(enclosure)]) {
+    ArmSpinDownTimer(enclosure);
+  }
+  return grant.completion;
+}
+
+void StorageSystem::ApplyFlushDemands(const std::vector<FlushDemand>& demands) {
+  for (const FlushDemand& d : demands) {
+    EnclosureId enc = virt_.EnclosureOf(d.item);
+    SubmitPhysicalBulk(enc, std::max<int64_t>(1, d.blocks), d.bytes,
+                       IoType::kWrite, /*sequential=*/true,
+                       virt_.BaseBlock(d.item));
+  }
+}
+
+StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
+    const trace::LogicalIoRecord& rec) {
+  IoResult result;
+  SimTime now = sim_->Now();
+  if (rec.is_read()) {
+    StorageCache::ReadOutcome out = cache_.Read(rec.item, rec.offset,
+                                                rec.size);
+    ApplyFlushDemands(out.eviction_flushes);
+    result.cache_hit = out.fully_hit();
+    result.latency = config_.cache.hit_latency;
+    if (out.miss_blocks > 0) {
+      EnclosureId enc = virt_.EnclosureOf(rec.item);
+      // Small random reads issue one device I/O per logical request; large
+      // (multi-block) transfers cost one device I/O per cache block.
+      int64_t n_ios = std::max<int64_t>(1, out.miss_blocks);
+      SimTime completion = SubmitPhysicalBulk(
+          enc, n_ios, static_cast<int64_t>(rec.size), IoType::kRead,
+          rec.sequential,
+          virt_.BaseBlock(rec.item) + rec.offset / config_.cache.block_size);
+      result.latency = (completion - now) + config_.cache.hit_latency;
+    }
+  } else {
+    StorageCache::WriteOutcome out = cache_.Write(rec.item, rec.offset,
+                                                  rec.size);
+    // Writes complete in the battery-backed cache (paper §II-E.2); the
+    // destage happens asynchronously and does not affect the caller.
+    result.cache_hit = true;
+    result.latency = config_.cache.hit_latency;
+    ApplyFlushDemands(out.destage);
+  }
+  return result;
+}
+
+void StorageSystem::SetSpinDownAllowed(EnclosureId enclosure, bool allowed) {
+  bool was = spin_down_allowed_.at(static_cast<size_t>(enclosure));
+  spin_down_allowed_[static_cast<size_t>(enclosure)] = allowed;
+  if (allowed && !was) ArmSpinDownTimer(enclosure);
+}
+
+Status StorageSystem::SetWriteDelayItems(
+    const std::unordered_set<DataItemId>& items) {
+  std::vector<FlushDemand> demands = cache_.SetWriteDelayItems(items);
+  ApplyFlushDemands(demands);
+  return Status::OK();
+}
+
+Status StorageSystem::SetPreloadItems(
+    const std::vector<std::pair<DataItemId, int64_t>>& items) {
+  Result<std::vector<DataItemId>> to_load = cache_.SetPreloadItems(items);
+  if (!to_load.ok()) return to_load.status();
+  for (DataItemId item : to_load.value()) {
+    const DataItem& meta = catalog_->item(item);
+    EnclosureId enc = virt_.EnclosureOf(item);
+    int64_t blocks = std::max<int64_t>(
+        1, meta.size_bytes / config_.cache.block_size);
+    SimTime completion =
+        SubmitPhysicalBulk(enc, blocks, meta.size_bytes, IoType::kRead,
+                           /*sequential=*/true, virt_.BaseBlock(item));
+    sim_->ScheduleAt(completion, [this, item] {
+      Status st = cache_.MarkPreloaded(item);
+      if (!st.ok()) {
+        // The preload set changed while the load was in flight; the read
+        // was wasted but harmless.
+        ECOSTORE_LOG(kDebug) << "stale preload for item " << item;
+      }
+    });
+  }
+  return Status::OK();
+}
+
+Status StorageSystem::CommitItemMove(DataItemId item, EnclosureId target) {
+  ECOSTORE_RETURN_NOT_OK(virt_.MoveItem(item, target));
+  // Cached blocks now address the new enclosure; rewrite dirty ones there.
+  std::vector<FlushDemand> demands = cache_.InvalidateItem(item);
+  ApplyFlushDemands(demands);
+  return Status::OK();
+}
+
+void StorageSystem::FinalizeRun() {
+  ApplyFlushDemands(cache_.FlushAll());
+  SimTime now = sim_->Now();
+  for (auto& enc : enclosures_) {
+    if (enc->served_ios() > 0 && enc->busy_until() <= now) {
+      SimDuration gap = now - enc->last_busy_end();
+      if (gap > 0) NotifyIdleGap(enc->id(), now, gap);
+    }
+  }
+}
+
+Joules StorageSystem::EnclosureEnergy() {
+  Joules total = 0;
+  for (auto& enc : enclosures_) total += enc->Energy(sim_->Now());
+  return total;
+}
+
+Joules StorageSystem::ControllerEnergy() const {
+  return EnergyOf(config_.controller.base_power, sim_->Now());
+}
+
+Joules StorageSystem::TotalEnergy() {
+  return EnclosureEnergy() + ControllerEnergy();
+}
+
+}  // namespace ecostore::storage

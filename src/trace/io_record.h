@@ -1,0 +1,48 @@
+#ifndef ECOSTORE_TRACE_IO_RECORD_H_
+#define ECOSTORE_TRACE_IO_RECORD_H_
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace ecostore::trace {
+
+/// \brief One application-level (logical) I/O request (paper §III-A).
+///
+/// Carries the timestamp of issue, the data item touched, the offset within
+/// the item, the transfer size, and the direction. `sequential` is a replay
+/// hint for the enclosure service-time model (sequential streams sustain
+/// higher IOPS). `tag` carries workload-specific context, e.g. the TPC-H
+/// query number, used by the application performance model; it does not
+/// influence storage behaviour.
+struct LogicalIoRecord {
+  SimTime time = 0;
+  DataItemId item = kInvalidDataItem;
+  int64_t offset = 0;
+  int32_t size = 0;
+  IoType type = IoType::kRead;
+  bool sequential = false;
+  int32_t tag = 0;
+
+  bool is_read() const { return type == IoType::kRead; }
+  bool is_write() const { return type == IoType::kWrite; }
+};
+
+/// \brief One block-level (physical) I/O executed against a disk enclosure
+/// (paper §III-B), as observed below the block-virtualization layer.
+struct PhysicalIoRecord {
+  SimTime time = 0;
+  EnclosureId enclosure = kInvalidEnclosure;
+  int64_t block = 0;
+  int32_t size = 0;
+  IoType type = IoType::kRead;
+  bool sequential = false;
+
+  bool is_read() const { return type == IoType::kRead; }
+  bool is_write() const { return type == IoType::kWrite; }
+};
+
+}  // namespace ecostore::trace
+
+#endif  // ECOSTORE_TRACE_IO_RECORD_H_

@@ -1,0 +1,14 @@
+#include "trace/trace_buffer.h"
+
+namespace ecostore::trace {
+
+std::unordered_map<DataItemId, std::vector<size_t>>
+LogicalTraceBuffer::GroupByItem() const {
+  std::unordered_map<DataItemId, std::vector<size_t>> groups;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    groups[records_[i].item].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace ecostore::trace

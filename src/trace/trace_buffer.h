@@ -1,0 +1,52 @@
+#ifndef ECOSTORE_TRACE_TRACE_BUFFER_H_
+#define ECOSTORE_TRACE_TRACE_BUFFER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "trace/io_record.h"
+
+namespace ecostore::trace {
+
+/// \brief Append-only buffer of logical I/O records for one monitoring
+/// period (the Application Monitor's in-memory repository, paper §III-A).
+///
+/// Records must be appended in non-decreasing time order; the classifier
+/// and statistics helpers rely on that ordering.
+class LogicalTraceBuffer {
+ public:
+  void Append(const LogicalIoRecord& rec) { records_.push_back(rec); }
+  void Clear() { records_.clear(); }
+
+  const std::vector<LogicalIoRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Groups record indices by data item. Order within each group follows
+  /// trace (time) order.
+  std::unordered_map<DataItemId, std::vector<size_t>> GroupByItem() const;
+
+ private:
+  std::vector<LogicalIoRecord> records_;
+};
+
+/// \brief Append-only buffer of physical I/O records for one monitoring
+/// period (the Storage Monitor's repository, paper §III-B).
+class PhysicalTraceBuffer {
+ public:
+  void Append(const PhysicalIoRecord& rec) { records_.push_back(rec); }
+  void Clear() { records_.clear(); }
+
+  const std::vector<PhysicalIoRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<PhysicalIoRecord> records_;
+};
+
+}  // namespace ecostore::trace
+
+#endif  // ECOSTORE_TRACE_TRACE_BUFFER_H_

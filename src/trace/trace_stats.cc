@@ -1,0 +1,90 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecostore::trace {
+
+IopsSeries::IopsSeries(SimTime start, SimTime end, SimDuration bucket_width)
+    : start_(start), bucket_width_(bucket_width) {
+  assert(end >= start);
+  assert(bucket_width > 0);
+  size_t buckets =
+      static_cast<size_t>((end - start + bucket_width - 1) / bucket_width);
+  counts_.assign(std::max<size_t>(buckets, 1), 0);
+}
+
+void IopsSeries::Add(SimTime t, int64_t ios) {
+  if (t < start_) return;
+  size_t bucket = static_cast<size_t>((t - start_) / bucket_width_);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  counts_[bucket] += ios;
+}
+
+void IopsSeries::Merge(const IopsSeries& other) {
+  assert(bucket_width_ == other.bucket_width_);
+  assert(start_ == other.start_);
+  size_t n = std::min(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+}
+
+double IopsSeries::IopsAt(size_t bucket) const {
+  assert(bucket < counts_.size());
+  return static_cast<double>(counts_[bucket]) / ToSeconds(bucket_width_);
+}
+
+double IopsSeries::MaxIops() const {
+  int64_t best = 0;
+  for (int64_t c : counts_) best = std::max(best, c);
+  return static_cast<double>(best) / ToSeconds(bucket_width_);
+}
+
+double IopsSeries::AverageIops() const {
+  int64_t total = 0;
+  for (int64_t c : counts_) total += c;
+  double span_seconds =
+      ToSeconds(bucket_width_) * static_cast<double>(counts_.size());
+  return span_seconds > 0 ? static_cast<double>(total) / span_seconds : 0.0;
+}
+
+std::map<DataItemId, ItemPeriodStats> ComputeItemStats(
+    const LogicalTraceBuffer& buffer) {
+  std::map<DataItemId, ItemPeriodStats> stats;
+  for (const LogicalIoRecord& rec : buffer.records()) {
+    ItemPeriodStats& s = stats[rec.item];
+    if (s.total_ios() == 0) {
+      s.item = rec.item;
+      s.first_io = rec.time;
+    }
+    s.last_io = rec.time;
+    if (rec.is_read()) {
+      s.reads++;
+      s.read_bytes += rec.size;
+    } else {
+      s.writes++;
+      s.write_bytes += rec.size;
+    }
+  }
+  return stats;
+}
+
+std::vector<SimDuration> ExtractGaps(const std::vector<SimTime>& times,
+                                     SimTime period_start,
+                                     SimTime period_end) {
+  assert(period_end >= period_start);
+  std::vector<SimDuration> gaps;
+  if (times.empty()) {
+    gaps.push_back(period_end - period_start);
+    return gaps;
+  }
+  assert(std::is_sorted(times.begin(), times.end()));
+  gaps.reserve(times.size() + 1);
+  gaps.push_back(times.front() - period_start);
+  for (size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+  }
+  gaps.push_back(period_end - times.back());
+  return gaps;
+}
+
+}  // namespace ecostore::trace

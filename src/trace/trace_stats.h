@@ -1,0 +1,76 @@
+#ifndef ECOSTORE_TRACE_TRACE_STATS_H_
+#define ECOSTORE_TRACE_TRACE_STATS_H_
+
+#include <map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "trace/io_record.h"
+#include "trace/trace_buffer.h"
+
+namespace ecostore::trace {
+
+/// Per-data-item aggregate over one monitoring period.
+struct ItemPeriodStats {
+  DataItemId item = kInvalidDataItem;
+  int64_t reads = 0;
+  int64_t writes = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+  SimTime first_io = 0;
+  SimTime last_io = 0;
+
+  int64_t total_ios() const { return reads + writes; }
+  double read_ratio() const {
+    int64_t t = total_ios();
+    return t > 0 ? static_cast<double>(reads) / static_cast<double>(t) : 0.0;
+  }
+};
+
+/// \brief Time-bucketed IOPS series for a set of items, used to compute
+/// I_max in the hot/cold planner (paper §IV-C Step 1).
+///
+/// Buckets are fixed-width spans of `bucket_width`; Ips(bucket) is the
+/// number of I/Os in the bucket divided by the bucket width in seconds.
+class IopsSeries {
+ public:
+  IopsSeries(SimTime start, SimTime end, SimDuration bucket_width);
+
+  void Add(SimTime t, int64_t ios = 1);
+  void Merge(const IopsSeries& other);
+
+  size_t bucket_count() const { return counts_.size(); }
+  SimDuration bucket_width() const { return bucket_width_; }
+
+  /// IOPS of one bucket.
+  double IopsAt(size_t bucket) const;
+
+  /// Maximum bucket IOPS across the series (0 when empty).
+  double MaxIops() const;
+
+  /// Mean IOPS over the whole [start, end) span.
+  double AverageIops() const;
+
+ private:
+  SimTime start_;
+  SimDuration bucket_width_;
+  std::vector<int64_t> counts_;
+};
+
+/// Computes per-item aggregates from a logical trace buffer.
+std::map<DataItemId, ItemPeriodStats> ComputeItemStats(
+    const LogicalTraceBuffer& buffer);
+
+/// Extracts, for one item's I/O timestamps within [period_start,
+/// period_end], the list of inter-I/O gaps including the leading gap
+/// (period_start → first I/O) and trailing gap (last I/O → period_end).
+/// `times` must be sorted. An empty `times` yields one gap spanning the
+/// whole period.
+std::vector<SimDuration> ExtractGaps(const std::vector<SimTime>& times,
+                                     SimTime period_start,
+                                     SimTime period_end);
+
+}  // namespace ecostore::trace
+
+#endif  // ECOSTORE_TRACE_TRACE_STATS_H_

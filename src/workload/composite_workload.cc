@@ -1,0 +1,86 @@
+#include "workload/composite_workload.h"
+
+#include <algorithm>
+
+namespace ecostore::workload {
+
+Result<std::unique_ptr<CompositeWorkload>> CompositeWorkload::Create(
+    std::string name, std::vector<std::unique_ptr<Workload>> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("composite needs at least one child");
+  }
+  std::unique_ptr<CompositeWorkload> composite(new CompositeWorkload());
+  composite->info_.name = std::move(name);
+
+  EnclosureId next_enclosure = 0;
+  for (const std::unique_ptr<Workload>& child : children) {
+    const storage::DataItemCatalog& child_catalog = child->catalog();
+    composite->enclosure_offsets_.push_back(next_enclosure);
+    composite->item_offsets_.push_back(
+        static_cast<DataItemId>(composite->catalog_.item_count()));
+
+    // Re-based volumes: child volume v becomes composite volume
+    // (current volume count + v); the dense ordering is preserved
+    // because children are processed whole.
+    for (size_t v = 0; v < child_catalog.volume_count(); ++v) {
+      composite->catalog_.AddVolume(
+          next_enclosure +
+          child_catalog.volume_enclosure(static_cast<VolumeId>(v)));
+    }
+    VolumeId volume_offset = static_cast<VolumeId>(
+        composite->catalog_.volume_count() -
+        child_catalog.volume_count());
+    for (const storage::DataItem& item : child_catalog.items()) {
+      Result<DataItemId> added = composite->catalog_.AddItem(
+          child->info().name + "/" + item.name,
+          volume_offset + item.volume, item.size_bytes, item.kind,
+          item.pinned);
+      if (!added.ok()) return added.status();
+    }
+
+    composite->info_.duration =
+        std::max(composite->info_.duration, child->info().duration);
+    composite->info_.total_data_bytes += child->info().total_data_bytes;
+    next_enclosure += child->info().num_enclosures;
+  }
+  composite->info_.num_enclosures = next_enclosure;
+  composite->children_ = std::move(children);
+  composite->Reset();
+  return composite;
+}
+
+void CompositeWorkload::Reset() {
+  pending_.assign(children_.size(), Pending{});
+  for (size_t k = 0; k < children_.size(); ++k) {
+    children_[k]->Reset();
+    Refill(k);
+  }
+}
+
+void CompositeWorkload::Refill(size_t k) {
+  trace::LogicalIoRecord rec;
+  if (children_[k]->Next(&rec)) {
+    rec.item += item_offsets_[k];
+    pending_[k].rec = rec;
+    pending_[k].valid = true;
+  } else {
+    pending_[k].valid = false;
+  }
+}
+
+bool CompositeWorkload::Next(trace::LogicalIoRecord* rec) {
+  int best = -1;
+  for (size_t k = 0; k < pending_.size(); ++k) {
+    if (!pending_[k].valid) continue;
+    if (best < 0 ||
+        pending_[k].rec.time < pending_[static_cast<size_t>(best)].rec.time) {
+      best = static_cast<int>(k);
+    }
+  }
+  if (best < 0) return false;
+  *rec = pending_[static_cast<size_t>(best)].rec;
+  Refill(static_cast<size_t>(best));
+  return true;
+}
+
+}  // namespace ecostore::workload

@@ -1,0 +1,64 @@
+#ifndef ECOSTORE_WORKLOAD_COMPOSITE_WORKLOAD_H_
+#define ECOSTORE_WORKLOAD_COMPOSITE_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace ecostore::workload {
+
+/// \brief Runs several applications against one consolidated array — the
+/// datacenter situation the paper's introduction motivates ("Many
+/// applications run at datacenters today. I/O behaviors of applications
+/// are quite different in different applications.").
+///
+/// Each child workload keeps its own enclosures: child k's enclosure e
+/// maps to array enclosure (offset_k + e). Volumes, items and records are
+/// re-based accordingly; the merged trace interleaves children in time
+/// order. The composite's duration is the longest child's.
+class CompositeWorkload : public Workload {
+ public:
+  /// Takes ownership of the children. Requires at least one.
+  static Result<std::unique_ptr<CompositeWorkload>> Create(
+      std::string name,
+      std::vector<std::unique_ptr<Workload>> children);
+
+  const WorkloadInfo& info() const override { return info_; }
+  const storage::DataItemCatalog& catalog() const override {
+    return catalog_;
+  }
+  bool Next(trace::LogicalIoRecord* rec) override;
+  void Reset() override;
+
+  /// Array enclosure that child `k`'s enclosure 0 maps to.
+  EnclosureId enclosure_offset(size_t k) const {
+    return enclosure_offsets_.at(k);
+  }
+  /// Composite item id of child `k`'s item 0.
+  DataItemId item_offset(size_t k) const { return item_offsets_.at(k); }
+  size_t child_count() const { return children_.size(); }
+
+ private:
+  CompositeWorkload() = default;
+
+  WorkloadInfo info_;
+  storage::DataItemCatalog catalog_;
+  std::vector<std::unique_ptr<Workload>> children_;
+  std::vector<EnclosureId> enclosure_offsets_;
+  std::vector<DataItemId> item_offsets_;
+
+  // Merge state: one lookahead record per child.
+  struct Pending {
+    bool valid = false;
+    trace::LogicalIoRecord rec;
+  };
+  std::vector<Pending> pending_;
+  void Refill(size_t k);
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_COMPOSITE_WORKLOAD_H_

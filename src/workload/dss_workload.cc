@@ -1,0 +1,302 @@
+#include "workload/dss_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace ecostore::workload {
+
+namespace {
+
+enum Table : int {
+  kLineitem = 0,
+  kOrders,
+  kPartsupp,
+  kPart,
+  kCustomer,
+  kSupplier,
+  kNation,
+  kRegion,
+  kNumTables
+};
+
+const char* kTableNames[kNumTables] = {
+    "lineitem", "orders", "partsupp", "part",
+    "customer", "supplier", "nation", "region"};
+
+/// Total table footprints at scale 1.0 (SF-100-like).
+const int64_t kTableBytes[kNumTables] = {
+    300LL * kGiB, 75LL * kGiB, 42LL * kGiB, 12LL * kGiB,
+    10LL * kGiB,  2LL * kGiB,  16LL * kMiB, 16LL * kMiB};
+
+/// Which tables each of Q1..Q22 scans (classic TPC-H footprints,
+/// simplified). Bit i set = table i scanned.
+constexpr uint32_t Bit(Table t) { return 1u << t; }
+
+const uint32_t kQueryFootprint[22] = {
+    /*Q1*/ Bit(kLineitem),
+    /*Q2*/ Bit(kPart) | Bit(kPartsupp) | Bit(kSupplier) | Bit(kNation) |
+        Bit(kRegion),
+    /*Q3*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem),
+    /*Q4*/ Bit(kOrders) | Bit(kLineitem),
+    /*Q5*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem) | Bit(kSupplier) |
+        Bit(kNation) | Bit(kRegion),
+    /*Q6*/ Bit(kLineitem),
+    /*Q7*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem) | Bit(kSupplier) |
+        Bit(kNation),
+    /*Q8*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem) | Bit(kPart) |
+        Bit(kSupplier) | Bit(kNation) | Bit(kRegion),
+    /*Q9*/ Bit(kOrders) | Bit(kLineitem) | Bit(kPart) | Bit(kPartsupp) |
+        Bit(kSupplier) | Bit(kNation),
+    /*Q10*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem) | Bit(kNation),
+    /*Q11*/ Bit(kPartsupp) | Bit(kSupplier) | Bit(kNation),
+    /*Q12*/ Bit(kOrders) | Bit(kLineitem),
+    /*Q13*/ Bit(kCustomer) | Bit(kOrders),
+    /*Q14*/ Bit(kLineitem) | Bit(kPart),
+    /*Q15*/ Bit(kLineitem) | Bit(kSupplier),
+    /*Q16*/ Bit(kPart) | Bit(kPartsupp) | Bit(kSupplier),
+    /*Q17*/ Bit(kLineitem) | Bit(kPart),
+    /*Q18*/ Bit(kCustomer) | Bit(kOrders) | Bit(kLineitem),
+    /*Q19*/ Bit(kLineitem) | Bit(kPart),
+    /*Q20*/ Bit(kLineitem) | Bit(kPart) | Bit(kPartsupp) | Bit(kSupplier) |
+        Bit(kNation),
+    /*Q21*/ Bit(kOrders) | Bit(kLineitem) | Bit(kSupplier) | Bit(kNation),
+    /*Q22*/ Bit(kCustomer) | Bit(kOrders),
+};
+
+/// Queries that spill sort/join work files.
+const bool kQuerySpills[22] = {
+    true,  false, true,  false, true,  false, true,  true,
+    true,  true,  false, false, true,  false, false, false,
+    true,  true,  false, true,  true,  false,
+};
+
+constexpr int32_t kScanIoBytes = 1 << 20;  // 1 MiB sequential records
+
+}  // namespace
+
+Status DssConfig::Validate() const {
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  if (db_enclosures < 1) {
+    return Status::InvalidArgument("need at least one DB enclosure");
+  }
+  if (scale <= 0) return Status::InvalidArgument("scale must be > 0");
+  if (scan_bandwidth <= 0) {
+    return Status::InvalidArgument("scan bandwidth must be > 0");
+  }
+  if (work_files < 1) {
+    return Status::InvalidArgument("need at least one work file");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DssWorkload>> DssWorkload::Create(
+    const DssConfig& config) {
+  ECOSTORE_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<DssWorkload> workload(new DssWorkload(config));
+  ECOSTORE_RETURN_NOT_OK(workload->Build());
+  return workload;
+}
+
+Status DssWorkload::Build() {
+  const DssConfig& c = config_;
+  info_.name = "dss_tpch";
+  info_.duration = c.duration;
+  info_.num_enclosures = c.db_enclosures + 1;
+
+  VolumeId work_volume = catalog_.AddVolume(0);
+  std::vector<VolumeId> db_volumes;
+  for (int e = 1; e <= c.db_enclosures; ++e) {
+    db_volumes.push_back(catalog_.AddVolume(static_cast<EnclosureId>(e)));
+  }
+
+  // Table partitions: table t, partition p -> item index t*P + p.
+  std::vector<std::vector<DataItemId>> table_items(kNumTables);
+  for (int t = 0; t < kNumTables; ++t) {
+    int64_t part_bytes = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(kTableBytes[t]) * c.scale) /
+            c.db_enclosures,
+        kScanIoBytes);
+    for (int p = 0; p < c.db_enclosures; ++p) {
+      Result<DataItemId> id = catalog_.AddItem(
+          std::string(kTableNames[t]) + "_p" + std::to_string(p),
+          db_volumes[static_cast<size_t>(p)], part_bytes,
+          storage::DataItemKind::kTable);
+      if (!id.ok()) return id.status();
+      table_items[static_cast<size_t>(t)].push_back(id.value());
+      info_.total_data_bytes += part_bytes;
+    }
+  }
+
+  // Work files + log on the work volume.
+  std::vector<DataItemId> work_items;
+  for (int w = 0; w < c.work_files; ++w) {
+    Result<DataItemId> id = catalog_.AddItem(
+        "workfile_" + std::to_string(w), work_volume, c.work_file_bytes,
+        storage::DataItemKind::kWorkFile);
+    if (!id.ok()) return id.status();
+    work_items.push_back(id.value());
+    info_.total_data_bytes += c.work_file_bytes;
+  }
+  Result<DataItemId> log_id = catalog_.AddItem(
+      "dbms_log", work_volume, 4LL * kGiB, storage::DataItemKind::kLog);
+  if (!log_id.ok()) return log_id.status();
+  DataItemId log_item = log_id.value();
+  info_.total_data_bytes += 4LL * kGiB;
+
+  item_sizes_.resize(catalog_.item_count());
+  for (const storage::DataItem& item : catalog_.items()) {
+    item_sizes_[static_cast<size_t>(item.id)] = item.size_bytes;
+  }
+
+  // --- Lay out the query schedule -----------------------------------------
+  // Scan time of query q = max over its tables of partition scan time (the
+  // partitions scan in parallel, tables sequentially within the query).
+  // Wall time = compute_stretch * (sum of its tables' scan times), chosen
+  // so the 22 queries fill `duration`.
+  double total_scan_seconds = 0.0;
+  std::vector<double> scan_seconds(kNumQueries, 0.0);
+  for (int q = 0; q < kNumQueries; ++q) {
+    for (int t = 0; t < kNumTables; ++t) {
+      if ((kQueryFootprint[q] & Bit(static_cast<Table>(t))) == 0) continue;
+      int64_t part_bytes =
+          item_sizes_[static_cast<size_t>(table_items[static_cast<size_t>(t)]
+                                              .front())];
+      scan_seconds[static_cast<size_t>(q)] +=
+          static_cast<double>(part_bytes) / c.scan_bandwidth;
+    }
+    total_scan_seconds += scan_seconds[static_cast<size_t>(q)];
+  }
+  double stretch =
+      std::max(1.2, ToSeconds(c.duration) / std::max(total_scan_seconds, 1.0));
+
+  scripts_.assign(catalog_.item_count(), {});
+  for (size_t i = 0; i < scripts_.size(); ++i) {
+    scripts_[i].first = static_cast<DataItemId>(i);
+  }
+  query_wall_seconds_.assign(kNumQueries + 1, 0.0);
+
+  SimTime clock = 0;
+  int next_work = 0;
+  for (int q = 0; q < kNumQueries; ++q) {
+    SimTime query_start = clock;
+    double wall = scan_seconds[static_cast<size_t>(q)] * stretch;
+    query_wall_seconds_[static_cast<size_t>(q) + 1] = wall;
+
+    // Tables scan one after another at the head of the query.
+    SimTime phase_start = query_start;
+    for (int t = 0; t < kNumTables; ++t) {
+      if ((kQueryFootprint[q] & Bit(static_cast<Table>(t))) == 0) continue;
+      for (DataItemId item : table_items[static_cast<size_t>(t)]) {
+        int64_t part_bytes = item_sizes_[static_cast<size_t>(item)];
+        Phase phase;
+        phase.start = phase_start;
+        phase.n_ios = std::max<int64_t>(part_bytes / kScanIoBytes, 1);
+        phase.gap = static_cast<SimDuration>(
+            static_cast<double>(kScanIoBytes) / c.scan_bandwidth *
+            static_cast<double>(kSecond));
+        phase.io_size = kScanIoBytes;
+        phase.type = IoType::kRead;
+        phase.sequential = true;
+        phase.tag = q + 1;
+        scripts_[static_cast<size_t>(item)].second.push_back(phase);
+      }
+      int64_t part_bytes = item_sizes_[static_cast<size_t>(
+          table_items[static_cast<size_t>(t)].front())];
+      phase_start += FromSeconds(static_cast<double>(part_bytes) /
+                                 c.scan_bandwidth);
+    }
+
+    // Spilling queries write sort/join runs to three work files after the
+    // scans and re-read them midway through the compute span. Three files
+    // per spill means all 39 work files see I/O over the 13 spilling
+    // queries (the paper's Fig. 6 has no untouched items).
+    if (kQuerySpills[q]) {
+      int64_t spill_bytes = std::min<int64_t>(
+          c.work_file_bytes,
+          static_cast<int64_t>(
+              0.05 * static_cast<double>(info_.total_data_bytes) /
+              kNumQueries));
+      spill_bytes = std::max<int64_t>(spill_bytes, 64LL * kMiB);
+      SimDuration io_gap = static_cast<SimDuration>(
+          static_cast<double>(kScanIoBytes) / c.scan_bandwidth *
+          static_cast<double>(kSecond));
+      const int kSpillFiles = 3;
+      for (int s = 0; s < kSpillFiles; ++s) {
+        DataItemId wf = work_items[static_cast<size_t>(next_work++) %
+                                   work_items.size()];
+        int64_t n_ios = std::max<int64_t>(
+            spill_bytes / kSpillFiles / kScanIoBytes, 1);
+
+        Phase write_phase;
+        write_phase.start = phase_start + s * io_gap;
+        write_phase.n_ios = n_ios;
+        write_phase.gap = io_gap * kSpillFiles;
+        write_phase.io_size = kScanIoBytes;
+        write_phase.type = IoType::kWrite;
+        write_phase.sequential = true;
+        write_phase.tag = q + 1;
+        scripts_[static_cast<size_t>(wf)].second.push_back(write_phase);
+
+        Phase read_phase = write_phase;
+        SimTime write_end =
+            write_phase.start + write_phase.n_ios * write_phase.gap;
+        read_phase.start = std::max(query_start + FromSeconds(wall * 0.7),
+                                    write_end + 1 * kSecond) + s * io_gap;
+        read_phase.type = IoType::kRead;
+        // The merge pass reads back roughly half of the spill.
+        read_phase.n_ios = std::max<int64_t>(n_ios / 2, 1);
+        scripts_[static_cast<size_t>(wf)].second.push_back(read_phase);
+      }
+    }
+
+    clock = query_start + FromSeconds(wall);
+  }
+
+  // Sparse checkpoint writes to the DBMS log: one small burst per query.
+  {
+    std::vector<Phase>& log_phases =
+        scripts_[static_cast<size_t>(log_item)].second;
+    SimTime t = 0;
+    for (int q = 0; q < kNumQueries; ++q) {
+      double wall = query_wall_seconds_[static_cast<size_t>(q) + 1];
+      Phase phase;
+      phase.start = t + FromSeconds(wall * 0.9);
+      phase.n_ios = 32;
+      phase.gap = 5 * kMillisecond;
+      phase.io_size = 256 * 1024;
+      phase.type = IoType::kWrite;
+      phase.sequential = true;
+      phase.tag = q + 1;
+      log_phases.push_back(phase);
+      t += FromSeconds(wall);
+    }
+  }
+
+  // Clamp every phase into the configured duration.
+  for (auto& [item, phases] : scripts_) {
+    (void)item;
+    phases.erase(std::remove_if(phases.begin(), phases.end(),
+                                [&](const Phase& p) {
+                                  return p.start >= c.duration;
+                                }),
+                 phases.end());
+  }
+
+  BuildSources();
+  return Status::OK();
+}
+
+void DssWorkload::BuildSources() {
+  mixer_.Clear();
+  for (const auto& [item, phases] : scripts_) {
+    if (phases.empty()) continue;
+    mixer_.Add(std::make_unique<PhasedSource>(
+        item, item_sizes_[static_cast<size_t>(item)], phases));
+  }
+}
+
+void DssWorkload::Reset() { BuildSources(); }
+
+}  // namespace ecostore::workload

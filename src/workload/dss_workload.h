@@ -1,0 +1,88 @@
+#ifndef ECOSTORE_WORKLOAD_DSS_WORKLOAD_H_
+#define ECOSTORE_WORKLOAD_DSS_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/io_sources.h"
+#include "workload/workload.h"
+
+namespace ecostore::workload {
+
+/// Parameters of the TPC-H-shaped DSS trace generator (paper Table I row
+/// 3: SF=100, Q1..Q22 run sequentially; log and work files on one device,
+/// DB hash-distributed over eight).
+struct DssConfig {
+  SimDuration duration = 6 * kHour;
+  /// Enclosure 0 carries log + work files; 1..db_enclosures the DB.
+  int db_enclosures = 8;
+
+  /// Scale of the database: multiplies every table's footprint. 1.0 gives
+  /// an SF-100-like ~450 GB database.
+  double scale = 1.0;
+
+  /// Sequential scan throughput per enclosure used to lay out scan
+  /// phases (bytes/second). Kept below the enclosures' sequential service
+  /// rate (~175 MB/s) so spin-up backlogs drain instead of snowballing.
+  double scan_bandwidth = 120.0 * 1024 * 1024;
+
+  /// Work files spilled by sort/join queries.
+  int work_files = 39;
+  int64_t work_file_bytes = 2LL * 1024 * 1024 * 1024;
+
+  uint64_t seed = 21;
+
+  Status Validate() const;
+};
+
+/// \brief Synthetic TPC-H-style workload: 22 queries executed back to
+/// back, each scanning its footprint tables sequentially across all DB
+/// enclosures, then "computing" (no I/O) for the rest of its wall time,
+/// with sort/join spills to work files on the work enclosure. Yields the
+/// Fig. 6 DSS mix: ~61% P1 (table partitions), ~38% P2 (work files +
+/// log), no P3 over a full run.
+class DssWorkload : public Workload {
+ public:
+  static Result<std::unique_ptr<DssWorkload>> Create(const DssConfig& config);
+
+  const WorkloadInfo& info() const override { return info_; }
+  const storage::DataItemCatalog& catalog() const override {
+    return catalog_;
+  }
+  bool Next(trace::LogicalIoRecord* rec) override {
+    return mixer_.Next(rec);
+  }
+  void Reset() override;
+
+  /// Per-query wall times of the no-power-saving reference (seconds),
+  /// indexed by query number 1..22; used by the paper's query-response
+  /// scaling model (§VII-A.5).
+  const std::vector<double>& query_wall_seconds() const {
+    return query_wall_seconds_;
+  }
+
+  /// Number of queries (22).
+  static constexpr int kNumQueries = 22;
+
+ private:
+  explicit DssWorkload(const DssConfig& config) : config_(config) {}
+
+  Status Build();
+  void BuildSources();
+
+  DssConfig config_;
+  WorkloadInfo info_;
+  storage::DataItemCatalog catalog_;
+  SourceMixer mixer_;
+
+  // item -> scripted phases, rebuilt identically on every Reset().
+  std::vector<std::pair<DataItemId, std::vector<Phase>>> scripts_;
+  std::vector<int64_t> item_sizes_;
+  std::vector<double> query_wall_seconds_;
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_DSS_WORKLOAD_H_

@@ -1,0 +1,247 @@
+#include "workload/file_server_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecostore::workload {
+
+Status FileServerConfig::Validate() const {
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  if (num_enclosures < 2) {
+    return Status::InvalidArgument("need at least 2 enclosures");
+  }
+  if (volumes_per_enclosure < 1) {
+    return Status::InvalidArgument("need at least 1 volume per enclosure");
+  }
+  if (big_hot_files < 0 || small_hot_files < 0 || popular_files <= 0 ||
+      tail_files < 0 || archive_files < 0) {
+    return Status::InvalidArgument("file counts must be non-negative");
+  }
+  if (popular_size_median <= 0 || popular_size_sigma < 0 ||
+      tail_size_median <= 0 || tail_size_sigma < 0) {
+    return Status::InvalidArgument("invalid file size distribution");
+  }
+  if (popular_interval_min <= 0 ||
+      popular_interval_max < popular_interval_min) {
+    return Status::InvalidArgument("invalid popular episode intervals");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileServerWorkload>> FileServerWorkload::Create(
+    const FileServerConfig& config) {
+  ECOSTORE_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<FileServerWorkload> workload(
+      new FileServerWorkload(config));
+  ECOSTORE_RETURN_NOT_OK(workload->Build());
+  return workload;
+}
+
+Status FileServerWorkload::Build() {
+  const FileServerConfig& c = config_;
+  info_.name = "file_server";
+  info_.duration = c.duration;
+  info_.num_enclosures = c.num_enclosures;
+
+  // Volumes: volumes_per_enclosure per enclosure, in enclosure order.
+  int num_volumes = c.num_enclosures * c.volumes_per_enclosure;
+  std::vector<VolumeId> volumes;
+  for (int v = 0; v < num_volumes; ++v) {
+    volumes.push_back(catalog_.AddVolume(
+        static_cast<EnclosureId>(v / c.volumes_per_enclosure)));
+  }
+  // Volumes on the first enclosure host the big hot files; the remainder
+  // rotate over all other volumes.
+  std::vector<VolumeId> first_enc_volumes(
+      volumes.begin(), volumes.begin() + c.volumes_per_enclosure);
+  std::vector<VolumeId> other_volumes(
+      volumes.begin() + c.volumes_per_enclosure, volumes.end());
+
+  Xoshiro256 rng(c.seed);
+  auto add_file = [&](const std::string& name, VolumeId vol, int64_t size,
+                      FileSpec::Role role) -> Status {
+    bool metadata = role == FileSpec::Role::kMetadata;
+    Result<DataItemId> id = catalog_.AddItem(
+        name, vol, size,
+        metadata ? storage::DataItemKind::kIndex
+                 : storage::DataItemKind::kFile,
+        /*pinned=*/metadata);
+    if (!id.ok()) return id.status();
+    FileSpec spec;
+    spec.item = id.value();
+    spec.size = size;
+    spec.role = role;
+    files_.push_back(spec);
+    info_.total_data_bytes += size;
+    return Status::OK();
+  };
+
+  for (int i = 0; i < c.big_hot_files; ++i) {
+    ECOSTORE_RETURN_NOT_OK(add_file(
+        "hotbig_" + std::to_string(i),
+        first_enc_volumes[static_cast<size_t>(i) % first_enc_volumes.size()],
+        c.big_hot_file_bytes, FileSpec::Role::kBigHot));
+  }
+  for (int i = 0; i < c.small_hot_files; ++i) {
+    ECOSTORE_RETURN_NOT_OK(add_file(
+        "hotsmall_" + std::to_string(i),
+        other_volumes[static_cast<size_t>(i) % other_volumes.size()],
+        c.small_hot_file_bytes, FileSpec::Role::kSmallHot));
+  }
+  for (int i = 0; i < c.popular_files; ++i) {
+    auto size = static_cast<int64_t>(
+        rng.LogNormal(c.popular_size_median, c.popular_size_sigma));
+    size = std::max<int64_t>(size, 64 * 1024);
+    ECOSTORE_RETURN_NOT_OK(add_file(
+        "popular_" + std::to_string(i),
+        other_volumes[static_cast<size_t>(i) % other_volumes.size()], size,
+        FileSpec::Role::kPopular));
+    FileSpec& spec = files_.back();
+    spec.rank = i;
+    spec.write_heavy = rng.NextDouble() < c.popular_write_heavy_fraction;
+  }
+  for (int i = 0; i < c.tail_files; ++i) {
+    auto size = static_cast<int64_t>(
+        rng.LogNormal(c.tail_size_median, c.tail_size_sigma));
+    size = std::max<int64_t>(size, 64 * 1024);
+    ECOSTORE_RETURN_NOT_OK(add_file(
+        "tail_" + std::to_string(i),
+        other_volumes[static_cast<size_t>(i) % other_volumes.size()], size,
+        FileSpec::Role::kTail));
+    files_.back().rank = i;
+  }
+  for (int i = 0; i < c.archive_files; ++i) {
+    ECOSTORE_RETURN_NOT_OK(add_file(
+        "archive_" + std::to_string(i),
+        other_volumes[static_cast<size_t>(i) % other_volumes.size()],
+        c.archive_file_bytes, FileSpec::Role::kArchive));
+  }
+  for (size_t v = 0; v < volumes.size(); ++v) {
+    ECOSTORE_RETURN_NOT_OK(add_file("metadata_v" + std::to_string(v),
+                                    volumes[v], c.metadata_item_bytes,
+                                    FileSpec::Role::kMetadata));
+  }
+
+  BuildSources();
+  return Status::OK();
+}
+
+void FileServerWorkload::BuildSources() {
+  const FileServerConfig& c = config_;
+  mixer_.Clear();
+  uint64_t salt = 0;
+  for (const FileSpec& spec : files_) {
+    uint64_t seed = c.seed * 1000003 + (++salt);
+    switch (spec.role) {
+      case FileSpec::Role::kBigHot:
+      case FileSpec::Role::kSmallHot: {
+        SteadyRandomSource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.high_rate = c.hot_rate_high;
+        o.low_rate = c.hot_rate_low;
+        o.high_duration = 40 * kSecond;
+        o.low_duration = 80 * kSecond;
+        o.phase_offset = static_cast<SimTime>(salt) * 7 * kSecond;
+        o.read_ratio = c.hot_read_ratio;
+        o.io_size = 8 * 1024;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<SteadyRandomSource>(o));
+        break;
+      }
+      case FileSpec::Role::kPopular: {
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        // Episode gap grows linearly with popularity rank.
+        double frac = c.popular_files > 1
+                          ? static_cast<double>(spec.rank) /
+                                static_cast<double>(c.popular_files - 1)
+                          : 0.0;
+        o.episode_interval = static_cast<SimDuration>(
+            static_cast<double>(c.popular_interval_min) +
+            frac * static_cast<double>(c.popular_interval_max -
+                                       c.popular_interval_min));
+        o.episode_length = c.popular_episode_length;
+        o.intra_gap = c.popular_intra_gap;
+        o.read_ratio = spec.write_heavy ? 0.2 : c.popular_read_ratio;
+        o.io_size = 32 * 1024;
+        o.sequential = true;
+        o.cap_episode_to_item_size = true;
+        o.session_period = c.popular_active_period;
+        o.session_length = c.popular_active_length;
+        o.session_offset =
+            c.popular_files > 0
+                ? (c.popular_active_period * spec.rank) / c.popular_files
+                : 0;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+      case FileSpec::Role::kTail: {
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = c.tail_interval;
+        o.episode_length = c.tail_episode_length;
+        o.intra_gap = c.tail_intra_gap;
+        o.read_ratio = c.tail_read_ratio;
+        o.io_size = 32 * 1024;
+        o.sequential = true;
+        o.session_period = c.session_period;
+        o.session_length = c.session_length;
+        o.session_offset = VolumeSessionOffset(spec.item);
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+      case FileSpec::Role::kMetadata: {
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = c.metadata_interval;
+        o.episode_length = c.metadata_episode_length;
+        o.intra_gap = c.metadata_intra_gap;
+        o.read_ratio = c.metadata_read_ratio;
+        o.io_size = 4 * 1024;
+        o.sequential = false;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+      case FileSpec::Role::kArchive: {
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = c.archive_interval;
+        o.episode_length = 20.0;
+        o.intra_gap = 2 * kSecond;
+        o.read_ratio = 0.98;
+        o.io_size = 64 * 1024;
+        o.sequential = true;
+        o.session_period = c.session_period;
+        o.session_length = c.session_length;
+        o.session_offset = VolumeSessionOffset(spec.item);
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+    }
+  }
+}
+
+SimDuration FileServerWorkload::VolumeSessionOffset(DataItemId item) const {
+  if (config_.session_period <= 0) return 0;
+  VolumeId vol = catalog_.item(item).volume;
+  auto num_volumes = static_cast<int64_t>(catalog_.volume_count());
+  return (config_.session_period * static_cast<int64_t>(vol)) / num_volumes;
+}
+
+void FileServerWorkload::Reset() { BuildSources(); }
+
+}  // namespace ecostore::workload

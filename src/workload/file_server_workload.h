@@ -1,0 +1,147 @@
+#ifndef ECOSTORE_WORKLOAD_FILE_SERVER_WORKLOAD_H_
+#define ECOSTORE_WORKLOAD_FILE_SERVER_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "workload/io_sources.h"
+#include "workload/workload.h"
+
+namespace ecostore::workload {
+
+/// Parameters of the synthetic multi-volume file-server trace (our
+/// stand-in for the MSR Cambridge enterprise traces; paper Table I row 1).
+struct FileServerConfig {
+  SimDuration duration = 6 * kHour;
+  int num_enclosures = 12;
+  int volumes_per_enclosure = 3;
+
+  /// Continuously busy files (the P3 population). A few huge ones live on
+  /// the first enclosure's volumes (most of the P3 bytes, so the hot/cold
+  /// split keeps them in place); the rest are small and scattered.
+  int big_hot_files = 12;
+  int small_hot_files = 88;
+  int64_t big_hot_file_bytes = 120LL * 1024 * 1024 * 1024;
+  int64_t small_hot_file_bytes = 256LL * 1024 * 1024;
+  double hot_rate_high = 4.0;   ///< per-file IOPS, high phase
+  double hot_rate_low = 1.5;    ///< per-file IOPS, low phase
+  double hot_read_ratio = 0.8;
+
+  /// Episodically accessed files (the P1 population): quiet spans far
+  /// beyond the break-even time, with Zipf-skewed episode rates.
+  /// Popular episodic files: small, frequently re-read, recurring in
+  /// every monitoring period (the preload function's prey — they fit the
+  /// 500 MB preload area almost entirely, and without preload their
+  /// episodes keep every enclosure awake, which is why PDC and DDR barely
+  /// save on the File Server in the paper).
+  int popular_files = 250;
+  double popular_size_median = 0.8 * 1024 * 1024;
+  double popular_size_sigma = 0.8;
+  SimDuration popular_interval_min = 90 * kSecond;
+  SimDuration popular_interval_max = 4 * kMinute;
+  /// One pass over the file per episode: no intra-episode re-reads, so
+  /// the shared LRU — thrashed by the hot files' random traffic — cannot
+  /// absorb these; only preload pinning does.
+  double popular_episode_length = 20.0;
+  SimDuration popular_intra_gap = 2 * kSecond;
+  double popular_read_ratio = 0.97;
+  /// Popularity drift: each popular file is only active for
+  /// `popular_active_length` out of every `popular_active_period`
+  /// (staggered by rank), so the working set rotates. Coarse 30-minute
+  /// PDC epochs chase a stale set; the proposed method's shorter adaptive
+  /// periods track it — the paper's central claim.
+  SimDuration popular_active_period = 3 * kHour;
+  SimDuration popular_active_length = 60 * kMinute;
+  /// Fraction of popular files that are write-heavy (the trace's few P2s).
+  double popular_write_heavy_fraction = 0.03;
+
+  /// Tail files: touched in rare, volume-clustered activity sessions
+  /// (diurnal MSR-like behaviour). Their wakes are the residual cost the
+  /// proposed method pays on cold enclosures.
+  int tail_files = 650;
+  double tail_size_median = 6.0 * 1024 * 1024;
+  double tail_size_sigma = 1.2;
+  SimDuration tail_interval = 60 * kMinute;
+  double tail_episode_length = 6.0;
+  SimDuration tail_intra_gap = 2 * kSecond;
+  double tail_read_ratio = 0.9;
+  /// Adjacent volumes of one enclosure have nearly consecutive windows,
+  /// so an enclosure wakes once per session block, not once per volume.
+  SimDuration session_period = 40 * kMinute;
+  SimDuration session_length = 18 * kMinute;
+
+  /// Rarely touched bulk data. Fills the array (as production file
+  /// servers are full), so popularity-packing baselines cannot simply
+  /// vacate enclosures, and drives PDC's rank churn.
+  int archive_files = 160;
+  int64_t archive_file_bytes = 96LL * 1024 * 1024 * 1024;
+  SimDuration archive_interval = 8 * kHour;
+
+  /// Per-volume metadata (directory/journal) traffic: short read-mostly
+  /// bursts every couple of minutes to an immovable item on each volume.
+  /// Keeps every enclosure's gaps below the break-even time unless a
+  /// cache absorbs the reads — which only the application-aware preload
+  /// can, since the items must stay on their volumes.
+  int64_t metadata_item_bytes = 4LL * 1024 * 1024;
+  SimDuration metadata_interval = 2 * kMinute;
+  double metadata_episode_length = 4.0;
+  SimDuration metadata_intra_gap = 500 * kMillisecond;
+  double metadata_read_ratio = 0.9;
+
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// \brief Synthetic file-server workload: ~90% episodic read-mostly files
+/// (P1), ~10% continuously busy files (P3), almost no P2 — the Fig. 6
+/// File Server mix.
+class FileServerWorkload : public Workload {
+ public:
+  static Result<std::unique_ptr<FileServerWorkload>> Create(
+      const FileServerConfig& config);
+
+  const WorkloadInfo& info() const override { return info_; }
+  const storage::DataItemCatalog& catalog() const override {
+    return catalog_;
+  }
+  bool Next(trace::LogicalIoRecord* rec) override {
+    return mixer_.Next(rec);
+  }
+  void Reset() override;
+
+ private:
+  explicit FileServerWorkload(const FileServerConfig& config)
+      : config_(config) {}
+
+  Status Build();
+  void BuildSources();
+  SimDuration VolumeSessionOffset(DataItemId item) const;
+
+  FileServerConfig config_;
+  WorkloadInfo info_;
+  storage::DataItemCatalog catalog_;
+  SourceMixer mixer_;
+
+  struct FileSpec {
+    DataItemId item;
+    int64_t size;
+    enum class Role {
+      kBigHot,
+      kSmallHot,
+      kPopular,
+      kTail,
+      kArchive,
+      kMetadata
+    } role;
+    int rank = 0;  // popularity rank within the role
+    bool write_heavy = false;
+  };
+  std::vector<FileSpec> files_;
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_FILE_SERVER_WORKLOAD_H_

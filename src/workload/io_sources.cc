@@ -1,0 +1,207 @@
+#include "workload/io_sources.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecostore::workload {
+
+// ---------------------------------------------------------------------------
+// SourceMixer
+// ---------------------------------------------------------------------------
+
+void SourceMixer::Add(std::unique_ptr<IoSource> source) {
+  SimTime t = source->next_time();
+  sources_.push_back(std::move(source));
+  if (t != kNoMoreIo) {
+    heap_.push(HeapEntry{t, sources_.size() - 1});
+  }
+}
+
+bool SourceMixer::Next(trace::LogicalIoRecord* rec) {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    IoSource& src = *sources_[top.index];
+    if (src.next_time() != top.time) {
+      // Stale entry (source advanced past it); reinsert at its real time.
+      if (src.next_time() != kNoMoreIo) {
+        heap_.push(HeapEntry{src.next_time(), top.index});
+      }
+      continue;
+    }
+    *rec = src.Emit();
+    if (src.next_time() != kNoMoreIo) {
+      heap_.push(HeapEntry{src.next_time(), top.index});
+    }
+    return true;
+  }
+  return false;
+}
+
+void SourceMixer::Clear() {
+  sources_.clear();
+  while (!heap_.empty()) heap_.pop();
+}
+
+// ---------------------------------------------------------------------------
+// SteadyRandomSource
+// ---------------------------------------------------------------------------
+
+SteadyRandomSource::SteadyRandomSource(const Options& options)
+    : options_(options), rng_(options.seed) {
+  assert(options_.item_size > 0);
+  assert(options_.high_rate > 0 && options_.low_rate > 0);
+  next_time_ = options_.start;
+  Advance();
+}
+
+double SteadyRandomSource::CurrentRate(SimTime t) const {
+  SimDuration cycle = options_.high_duration + options_.low_duration;
+  if (cycle <= 0) return options_.high_rate;
+  SimDuration pos = (t + options_.phase_offset) % cycle;
+  return pos < options_.high_duration ? options_.high_rate
+                                      : options_.low_rate;
+}
+
+void SteadyRandomSource::Advance() {
+  double rate = CurrentRate(next_time_);
+  double gap_seconds = rng_.Exponential(1.0 / rate);
+  next_time_ += std::max<SimDuration>(FromSeconds(gap_seconds), 1);
+  if (next_time_ >= options_.end) next_time_ = kNoMoreIo;
+}
+
+trace::LogicalIoRecord SteadyRandomSource::Emit() {
+  trace::LogicalIoRecord rec;
+  rec.time = next_time_;
+  rec.item = options_.item;
+  rec.size = options_.io_size;
+  rec.type = rng_.Bernoulli(options_.read_ratio) ? IoType::kRead
+                                                 : IoType::kWrite;
+  rec.sequential = options_.sequential;
+  int64_t max_offset = std::max<int64_t>(options_.item_size - rec.size, 0);
+  rec.offset =
+      max_offset > 0
+          ? (rng_.UniformInt(0, max_offset / rec.size)) * rec.size
+          : 0;
+  Advance();
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// BurstySource
+// ---------------------------------------------------------------------------
+
+BurstySource::BurstySource(const Options& options)
+    : options_(options), rng_(options.seed) {
+  assert(options_.item_size > 0);
+  next_time_ = options_.start;
+  ScheduleNextEpisode();
+}
+
+void BurstySource::ScheduleNextEpisode() {
+  double quiet =
+      rng_.Exponential(ToSeconds(options_.episode_interval));
+  next_time_ += std::max<SimDuration>(FromSeconds(quiet), 1);
+  if (options_.session_period > 0 && options_.session_length > 0 &&
+      next_time_ < options_.end) {
+    // Align the episode into its volume's next activity window.
+    SimDuration pos = (next_time_ + options_.session_offset) %
+                      options_.session_period;
+    if (pos >= options_.session_length) {
+      next_time_ += options_.session_period - pos;
+      // Land at a random point in the window, not always its start.
+      next_time_ += FromSeconds(
+          rng_.NextDouble() * ToSeconds(options_.session_length) * 0.8);
+    }
+  }
+  if (next_time_ >= options_.end) {
+    next_time_ = kNoMoreIo;
+    return;
+  }
+  remaining_in_episode_ = std::max<int64_t>(
+      1, static_cast<int64_t>(rng_.Exponential(options_.episode_length)));
+  int64_t blocks =
+      std::max<int64_t>(options_.item_size / options_.io_size, 1);
+  if (options_.cap_episode_to_item_size) {
+    remaining_in_episode_ = std::min(remaining_in_episode_, blocks);
+    episode_offset_ = 0;
+  } else {
+    episode_offset_ = rng_.UniformInt(0, blocks - 1) * options_.io_size;
+  }
+}
+
+trace::LogicalIoRecord BurstySource::Emit() {
+  trace::LogicalIoRecord rec;
+  rec.time = next_time_;
+  rec.item = options_.item;
+  rec.size = options_.io_size;
+  rec.type = rng_.Bernoulli(options_.read_ratio) ? IoType::kRead
+                                                 : IoType::kWrite;
+  rec.sequential = options_.sequential;
+  if (options_.sequential) {
+    rec.offset = episode_offset_ % std::max<int64_t>(options_.item_size, 1);
+    episode_offset_ += rec.size;
+  } else {
+    int64_t max_offset = std::max<int64_t>(options_.item_size - rec.size, 0);
+    rec.offset =
+        max_offset > 0
+            ? rng_.UniformInt(0, max_offset / rec.size) * rec.size
+            : 0;
+  }
+
+  remaining_in_episode_--;
+  if (remaining_in_episode_ > 0) {
+    double gap = rng_.Exponential(ToSeconds(options_.intra_gap));
+    next_time_ += std::max<SimDuration>(FromSeconds(gap), 1);
+    if (next_time_ >= options_.end) next_time_ = kNoMoreIo;
+  } else {
+    ScheduleNextEpisode();
+  }
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// PhasedSource
+// ---------------------------------------------------------------------------
+
+PhasedSource::PhasedSource(DataItemId item, int64_t item_size,
+                           std::vector<Phase> phases)
+    : item_(item), item_size_(item_size), phases_(std::move(phases)) {
+  assert(item_size_ > 0);
+  // Skip any degenerate phases.
+  while (phase_index_ < phases_.size() &&
+         phases_[phase_index_].n_ios <= 0) {
+    phase_index_++;
+  }
+}
+
+SimTime PhasedSource::next_time() const {
+  if (phase_index_ >= phases_.size()) return kNoMoreIo;
+  const Phase& p = phases_[phase_index_];
+  return p.start + emitted_in_phase_ * p.gap;
+}
+
+trace::LogicalIoRecord PhasedSource::Emit() {
+  const Phase& p = phases_[phase_index_];
+  trace::LogicalIoRecord rec;
+  rec.time = p.start + emitted_in_phase_ * p.gap;
+  rec.item = item_;
+  rec.size = p.io_size;
+  rec.type = p.type;
+  rec.sequential = p.sequential;
+  rec.tag = p.tag;
+  rec.offset = (p.offset_start + emitted_in_phase_ * p.io_size) %
+               std::max<int64_t>(item_size_, 1);
+  emitted_in_phase_++;
+  if (emitted_in_phase_ >= p.n_ios) {
+    emitted_in_phase_ = 0;
+    phase_index_++;
+    while (phase_index_ < phases_.size() &&
+           phases_[phase_index_].n_ios <= 0) {
+      phase_index_++;
+    }
+  }
+  return rec;
+}
+
+}  // namespace ecostore::workload

@@ -1,0 +1,177 @@
+#ifndef ECOSTORE_WORKLOAD_IO_SOURCES_H_
+#define ECOSTORE_WORKLOAD_IO_SOURCES_H_
+
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "common/types.h"
+#include "trace/io_record.h"
+
+namespace ecostore::workload {
+
+/// Sentinel: the source has no further records.
+inline constexpr SimTime kNoMoreIo = std::numeric_limits<SimTime>::max();
+
+/// \brief One independent stream of logical I/Os for a single data item.
+///
+/// Sources are merged by SourceMixer; each owns a deterministic PRNG so
+/// the merged trace is reproducible regardless of other sources.
+class IoSource {
+ public:
+  virtual ~IoSource() = default;
+
+  /// Timestamp of the next record, or kNoMoreIo.
+  virtual SimTime next_time() const = 0;
+
+  /// Emits the record at next_time() and advances the stream.
+  virtual trace::LogicalIoRecord Emit() = 0;
+};
+
+/// \brief Merges many IoSources into one time-ordered stream.
+class SourceMixer {
+ public:
+  void Add(std::unique_ptr<IoSource> source);
+
+  /// Pops the earliest pending record; false when all sources are done.
+  bool Next(trace::LogicalIoRecord* rec);
+
+  void Clear();
+  size_t source_count() const { return sources_.size(); }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    size_t index;
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return index > o.index;
+    }
+  };
+
+  std::vector<std::unique_ptr<IoSource>> sources_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+};
+
+/// \brief Continuous random I/O with two-phase rate modulation — the
+/// access process of a busy OLTP table partition or a hot file (P3
+/// behaviour: no gap ever approaches the break-even time).
+class SteadyRandomSource : public IoSource {
+ public:
+  struct Options {
+    DataItemId item = kInvalidDataItem;
+    int64_t item_size = 0;
+    double high_rate = 10.0;          ///< IOPS during the high phase
+    double low_rate = 5.0;            ///< IOPS during the low phase
+    SimDuration high_duration = 30 * kSecond;
+    SimDuration low_duration = 60 * kSecond;
+    SimTime phase_offset = 0;         ///< staggers phases across sources
+    double read_ratio = 0.5;
+    int32_t io_size = 8 * 1024;
+    bool sequential = false;
+    SimTime start = 0;
+    SimTime end = kNoMoreIo;
+    uint64_t seed = 1;
+  };
+
+  explicit SteadyRandomSource(const Options& options);
+
+  SimTime next_time() const override { return next_time_; }
+  trace::LogicalIoRecord Emit() override;
+
+ private:
+  double CurrentRate(SimTime t) const;
+  void Advance();
+
+  Options options_;
+  Xoshiro256 rng_;
+  SimTime next_time_;
+};
+
+/// \brief Episodic access: bursts of I/O separated by long quiet spans —
+/// the access process of a file-server file (P1/P2 behaviour: Long
+/// Intervals between episodes, I/O Sequences within them).
+class BurstySource : public IoSource {
+ public:
+  struct Options {
+    DataItemId item = kInvalidDataItem;
+    int64_t item_size = 0;
+    /// Mean quiet time between episodes (exponential).
+    SimDuration episode_interval = 30 * kMinute;
+    /// Mean I/O count per episode (geometric-ish via exponential draw).
+    double episode_length = 100.0;
+    /// Mean gap between I/Os inside an episode (exponential).
+    SimDuration intra_gap = 100 * kMillisecond;
+    double read_ratio = 0.9;
+    int32_t io_size = 8 * 1024;
+    /// Episodes walk the item sequentially from a random start.
+    bool sequential = true;
+    /// Limit each episode to one pass over the item (no wrap-around
+    /// re-reads that the shared LRU would absorb).
+    bool cap_episode_to_item_size = false;
+    /// Optional activity-session gating: episodes only start inside
+    /// windows of `session_length` every `session_period` (offset by
+    /// `session_offset`). Models volume-level activity clustering of file
+    /// servers. 0 disables gating.
+    SimDuration session_period = 0;
+    SimDuration session_length = 0;
+    SimDuration session_offset = 0;
+    SimTime start = 0;
+    SimTime end = kNoMoreIo;
+    uint64_t seed = 1;
+  };
+
+  explicit BurstySource(const Options& options);
+
+  SimTime next_time() const override { return next_time_; }
+  trace::LogicalIoRecord Emit() override;
+
+ private:
+  void ScheduleNextEpisode();
+
+  Options options_;
+  Xoshiro256 rng_;
+  SimTime next_time_;
+  int64_t remaining_in_episode_ = 0;
+  int64_t episode_offset_ = 0;
+};
+
+/// One scripted burst of I/O (used by the DSS generator for query scan,
+/// work-file and log phases).
+struct Phase {
+  SimTime start = 0;
+  int64_t n_ios = 0;
+  SimDuration gap = 0;       ///< fixed spacing between the phase's I/Os
+  int32_t io_size = 1 << 20;
+  IoType type = IoType::kRead;
+  bool sequential = true;
+  int64_t offset_start = 0;
+  int32_t tag = 0;
+};
+
+/// \brief Emits a precomputed list of phases for one item.
+class PhasedSource : public IoSource {
+ public:
+  /// Phases must be sorted by start and non-overlapping.
+  PhasedSource(DataItemId item, int64_t item_size,
+               std::vector<Phase> phases);
+
+  SimTime next_time() const override;
+  trace::LogicalIoRecord Emit() override;
+
+ private:
+  DataItemId item_;
+  int64_t item_size_;
+  std::vector<Phase> phases_;
+  size_t phase_index_ = 0;
+  int64_t emitted_in_phase_ = 0;
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_IO_SOURCES_H_

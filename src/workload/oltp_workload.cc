@@ -1,0 +1,171 @@
+#include "workload/oltp_workload.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace ecostore::workload {
+
+namespace {
+
+/// TPC-C table shapes: per-partition size, share of total DB IOPS (over
+/// all partitions of the table), read ratio, and whether the table is
+/// episodic (DBMS-buffered read-only master data -> P1 behaviour).
+struct TableSpec {
+  const char* name;
+  int64_t partition_bytes;
+  double iops_weight;  // relative
+  double read_ratio;
+  bool episodic;
+};
+
+constexpr int64_t kMiB64 = 1024 * 1024;
+
+const TableSpec kTables[] = {
+    {"stock", 30LL * 1024 * kMiB64, 0.40, 0.55, false},
+    {"order_line", 15LL * 1024 * kMiB64, 0.20, 0.25, false},
+    {"customer", 10LL * 1024 * kMiB64, 0.20, 0.65, false},
+    {"orders", 5LL * 1024 * kMiB64, 0.10, 0.45, false},
+    {"new_order", 1LL * 1024 * kMiB64, 0.05, 0.30, false},
+    {"history", 2LL * 1024 * kMiB64, 0.03, 0.05, false},
+    {"district", 128 * kMiB64, 0.02, 0.50, false},
+    {"item", 64 * kMiB64, 0.0, 1.00, true},
+    {"warehouse", 16 * kMiB64, 0.0, 0.98, true},
+};
+
+}  // namespace
+
+Status OltpConfig::Validate() const {
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  if (db_enclosures < 1) {
+    return Status::InvalidArgument("need at least one DB enclosure");
+  }
+  if (total_db_iops <= 0 || log_iops < 0) {
+    return Status::InvalidArgument("IOPS must be positive");
+  }
+  if (burst_factor < 1.0) {
+    return Status::InvalidArgument("burst factor must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OltpWorkload>> OltpWorkload::Create(
+    const OltpConfig& config) {
+  ECOSTORE_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<OltpWorkload> workload(new OltpWorkload(config));
+  ECOSTORE_RETURN_NOT_OK(workload->Build());
+  return workload;
+}
+
+Status OltpWorkload::Build() {
+  const OltpConfig& c = config_;
+  info_.name = "oltp_tpcc";
+  info_.duration = c.duration;
+  info_.num_enclosures = c.db_enclosures + 1;
+
+  // Volume 0 on enclosure 0: the log. One DB volume per DB enclosure.
+  VolumeId log_volume = catalog_.AddVolume(0);
+  std::vector<VolumeId> db_volumes;
+  for (int e = 1; e <= c.db_enclosures; ++e) {
+    db_volumes.push_back(catalog_.AddVolume(static_cast<EnclosureId>(e)));
+  }
+
+  Result<DataItemId> log_id = catalog_.AddItem(
+      "redo_log", log_volume, c.log_bytes, storage::DataItemKind::kLog);
+  if (!log_id.ok()) return log_id.status();
+  log_item_ = log_id.value();
+  info_.total_data_bytes += c.log_bytes;
+
+  double weight_sum = 0.0;
+  for (const TableSpec& t : kTables) weight_sum += t.iops_weight;
+
+  for (const TableSpec& t : kTables) {
+    for (int p = 0; p < c.db_enclosures; ++p) {
+      Result<DataItemId> id = catalog_.AddItem(
+          std::string(t.name) + "_p" + std::to_string(p),
+          db_volumes[static_cast<size_t>(p)], t.partition_bytes,
+          storage::DataItemKind::kTable);
+      if (!id.ok()) return id.status();
+      PartitionSpec spec;
+      spec.item = id.value();
+      spec.size = t.partition_bytes;
+      spec.iops_share =
+          t.iops_weight / weight_sum / static_cast<double>(c.db_enclosures);
+      spec.read_ratio = t.read_ratio;
+      spec.episodic = t.episodic;
+      partitions_.push_back(spec);
+      info_.total_data_bytes += t.partition_bytes;
+    }
+  }
+
+  BuildSources();
+  return Status::OK();
+}
+
+void OltpWorkload::BuildSources() {
+  const OltpConfig& c = config_;
+  mixer_.Clear();
+  uint64_t salt = 0;
+
+  // Log: steady sequential appends; never pauses (P3 on the log device).
+  {
+    SteadyRandomSource::Options o;
+    o.item = log_item_;
+    o.item_size = c.log_bytes;
+    o.high_rate = c.log_iops;
+    o.low_rate = c.log_iops;
+    o.read_ratio = 0.0;
+    o.io_size = 16 * 1024;
+    o.sequential = true;
+    o.end = c.duration;
+    o.seed = c.seed * 1000003 + (++salt);
+    mixer_.Add(std::make_unique<SteadyRandomSource>(o));
+  }
+
+  for (const PartitionSpec& spec : partitions_) {
+    uint64_t seed = c.seed * 1000003 + (++salt);
+    if (spec.episodic) {
+      // Master data served from the DBMS buffer pool; storage sees rare
+      // episodic read bursts (cold-start / buffer churn).
+      BurstySource::Options o;
+      o.item = spec.item;
+      o.item_size = spec.size;
+      o.episode_interval = 8 * kMinute;
+      o.episode_length = 40.0;
+      o.intra_gap = 100 * kMillisecond;
+      o.read_ratio = spec.read_ratio;
+      o.io_size = 8 * 1024;
+      o.sequential = false;
+      o.end = c.duration;
+      o.seed = seed;
+      mixer_.Add(std::make_unique<BurstySource>(o));
+    } else {
+      double avg = c.total_db_iops * spec.iops_share;
+      // high phase at burst_factor * avg for a third of the cycle, low
+      // phase balancing the average.
+      double high = avg * c.burst_factor;
+      double low = std::max(0.1, (3.0 * avg - high) / 2.0);
+      SteadyRandomSource::Options o;
+      o.item = spec.item;
+      o.item_size = spec.size;
+      o.high_rate = high;
+      o.low_rate = low;
+      o.high_duration = 20 * kSecond;
+      o.low_duration = 40 * kSecond;
+      // All busy partitions share one phase (transaction waves hit every
+      // table at once), so the aggregate peak - and with it I_max and
+      // N_hot - really is burst_factor times the average.
+      o.phase_offset = 0;
+      o.read_ratio = spec.read_ratio;
+      o.io_size = 8 * 1024;
+      o.sequential = false;
+      o.end = c.duration;
+      o.seed = seed;
+      mixer_.Add(std::make_unique<SteadyRandomSource>(o));
+    }
+  }
+}
+
+void OltpWorkload::Reset() { BuildSources(); }
+
+}  // namespace ecostore::workload

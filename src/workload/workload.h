@@ -1,0 +1,46 @@
+#ifndef ECOSTORE_WORKLOAD_WORKLOAD_H_
+#define ECOSTORE_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+
+#include "common/sim_time.h"
+#include "storage/data_item.h"
+#include "trace/io_record.h"
+
+namespace ecostore::workload {
+
+/// Static facts about a workload (paper Table I).
+struct WorkloadInfo {
+  std::string name;
+  SimDuration duration = 0;
+  int num_enclosures = 0;
+  /// Descriptive totals for reports.
+  int64_t total_data_bytes = 0;
+};
+
+/// \brief A deterministic, streamed logical I/O trace generator plus its
+/// data-item catalog (our stand-in for the MSR trace files and the TPC-C /
+/// TPC-H executions of paper §VI; see DESIGN.md for the substitution
+/// rationale).
+///
+/// Records stream in non-decreasing time order. Reset() rewinds the
+/// stream; a reset stream replays the identical records, which is what
+/// lets every policy be evaluated against the same workload.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const WorkloadInfo& info() const = 0;
+  virtual const storage::DataItemCatalog& catalog() const = 0;
+
+  /// Produces the next record. Returns false at end of trace (record
+  /// untouched). Records with time >= info().duration are suppressed.
+  virtual bool Next(trace::LogicalIoRecord* rec) = 0;
+
+  /// Rewinds the stream to time zero with the original seed.
+  virtual void Reset() = 0;
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_WORKLOAD_H_

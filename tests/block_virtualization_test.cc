@@ -1,0 +1,114 @@
+// Unit tests for the block-virtualization layer and the data-item catalog.
+
+#include <gtest/gtest.h>
+
+#include "storage/block_virtualization.h"
+#include "storage/data_item.h"
+
+namespace ecostore::storage {
+namespace {
+
+DataItemCatalog MakeCatalog() {
+  DataItemCatalog catalog;
+  VolumeId v0 = catalog.AddVolume(0);
+  VolumeId v1 = catalog.AddVolume(1);
+  EXPECT_TRUE(catalog.AddItem("a", v0, 100, DataItemKind::kFile).ok());
+  EXPECT_TRUE(catalog.AddItem("b", v0, 200, DataItemKind::kTable).ok());
+  EXPECT_TRUE(catalog.AddItem("c", v1, 300, DataItemKind::kLog).ok());
+  return catalog;
+}
+
+TEST(DataItemCatalogTest, SequentialIdsAndLookup) {
+  DataItemCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.item_count(), 3u);
+  EXPECT_EQ(catalog.volume_count(), 2u);
+  EXPECT_EQ(catalog.item(0).name, "a");
+  EXPECT_EQ(catalog.item(2).kind, DataItemKind::kLog);
+  EXPECT_EQ(catalog.initial_enclosure(0), 0);
+  EXPECT_EQ(catalog.initial_enclosure(2), 1);
+}
+
+TEST(DataItemCatalogTest, RejectsBadItems) {
+  DataItemCatalog catalog;
+  EXPECT_FALSE(catalog.AddItem("x", 5, 100, DataItemKind::kFile).ok());
+  VolumeId v = catalog.AddVolume(0);
+  EXPECT_FALSE(catalog.AddItem("x", v, 0, DataItemKind::kFile).ok());
+}
+
+TEST(DataItemCatalogTest, PinnedFlagStored) {
+  DataItemCatalog catalog;
+  VolumeId v = catalog.AddVolume(0);
+  auto id = catalog.AddItem("meta", v, 100, DataItemKind::kIndex,
+                            /*pinned=*/true);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(catalog.item(id.value()).pinned);
+}
+
+TEST(DataItemKindTest, Names) {
+  EXPECT_STREQ(DataItemKindName(DataItemKind::kFile), "file");
+  EXPECT_STREQ(DataItemKindName(DataItemKind::kWorkFile), "workfile");
+}
+
+TEST(BlockVirtualizationTest, InitialPlacementFollowsVolumes) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 1000);
+  ASSERT_TRUE(virt.PlaceInitial().ok());
+  EXPECT_EQ(virt.EnclosureOf(0), 0);
+  EXPECT_EQ(virt.EnclosureOf(1), 0);
+  EXPECT_EQ(virt.EnclosureOf(2), 1);
+  EXPECT_EQ(virt.UsedBytes(0), 300);
+  EXPECT_EQ(virt.UsedBytes(1), 300);
+  EXPECT_EQ(virt.FreeBytes(0), 700);
+}
+
+TEST(BlockVirtualizationTest, InitialPlacementOverflowFails) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 250);  // item b alone is 200
+  EXPECT_TRUE(virt.PlaceInitial().IsCapacityExceeded());
+}
+
+TEST(BlockVirtualizationTest, MoveItemUpdatesAccounting) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 1000);
+  ASSERT_TRUE(virt.PlaceInitial().ok());
+  ASSERT_TRUE(virt.MoveItem(0, 1).ok());
+  EXPECT_EQ(virt.EnclosureOf(0), 1);
+  EXPECT_EQ(virt.UsedBytes(0), 200);
+  EXPECT_EQ(virt.UsedBytes(1), 400);
+}
+
+TEST(BlockVirtualizationTest, MoveToSameEnclosureIsNoop) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 1000);
+  ASSERT_TRUE(virt.PlaceInitial().ok());
+  ASSERT_TRUE(virt.MoveItem(0, 0).ok());
+  EXPECT_EQ(virt.UsedBytes(0), 300);
+}
+
+TEST(BlockVirtualizationTest, MoveRejectsOverflowAndBadIds) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 350);
+  ASSERT_TRUE(virt.PlaceInitial().ok());
+  // Enclosure 1 holds 300; item b (200) does not fit in 350.
+  EXPECT_TRUE(virt.MoveItem(1, 1).IsCapacityExceeded());
+  EXPECT_FALSE(virt.MoveItem(99, 1).ok());
+  EXPECT_FALSE(virt.MoveItem(0, 7).ok());
+}
+
+TEST(BlockVirtualizationTest, ItemsOnListsResidents) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 1000);
+  ASSERT_TRUE(virt.PlaceInitial().ok());
+  EXPECT_EQ(virt.ItemsOn(0), (std::vector<DataItemId>{0, 1}));
+  EXPECT_EQ(virt.ItemsOn(1), (std::vector<DataItemId>{2}));
+}
+
+TEST(BlockVirtualizationTest, BaseBlocksAreUnique) {
+  DataItemCatalog catalog = MakeCatalog();
+  BlockVirtualization virt(&catalog, 2, 1000);
+  EXPECT_NE(virt.BaseBlock(0), virt.BaseBlock(1));
+  EXPECT_NE(virt.BaseBlock(1), virt.BaseBlock(2));
+}
+
+}  // namespace
+}  // namespace ecostore::storage

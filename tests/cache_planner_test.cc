@@ -1,0 +1,134 @@
+// Unit tests for write-delay / preload selection (paper §IV-E/F) and the
+// monitoring-period controller (paper §IV-H).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cache_planner.h"
+
+namespace ecostore::core {
+namespace {
+
+struct Fixture {
+  ClassificationResult result;
+  HotColdPartition partition;
+  std::vector<EnclosureId> final_enclosure;
+
+  explicit Fixture(int enclosures) {
+    partition.is_hot.assign(static_cast<size_t>(enclosures), false);
+  }
+
+  void SetHot(int e) {
+    if (!partition.is_hot[static_cast<size_t>(e)]) {
+      partition.is_hot[static_cast<size_t>(e)] = true;
+      partition.n_hot++;
+    }
+  }
+
+  DataItemId AddItem(EnclosureId enclosure, IoPattern pattern, int64_t size,
+                     int64_t reads, int64_t writes, int64_t write_bytes = 0) {
+    ItemClassification cls;
+    cls.item = static_cast<DataItemId>(result.items.size());
+    cls.pattern = pattern;
+    cls.size_bytes = size;
+    cls.reads = reads;
+    cls.writes = writes;
+    cls.read_bytes = reads * 4096;
+    cls.write_bytes = write_bytes > 0 ? write_bytes : writes * 4096;
+    result.items.push_back(cls);
+    final_enclosure.push_back(enclosure);
+    return cls.item;
+  }
+};
+
+TEST(CachePlannerTest, AllColdP2AreWriteDelayed) {
+  Fixture f(2);
+  f.SetHot(0);
+  DataItemId p2_cold = f.AddItem(1, IoPattern::kP2, 100, 1, 10);
+  DataItemId p2_hot = f.AddItem(0, IoPattern::kP2, 100, 1, 10);
+  CachePlanner planner(CachePlanner::Options{1000, 1000});
+  auto plan = planner.Plan(f.result, f.partition, f.final_enclosure);
+  EXPECT_NE(std::find(plan.write_delay.begin(), plan.write_delay.end(),
+                      p2_cold),
+            plan.write_delay.end());
+  EXPECT_EQ(std::find(plan.write_delay.begin(), plan.write_delay.end(),
+                      p2_hot),
+            plan.write_delay.end());
+}
+
+TEST(CachePlannerTest, LeftoverBudgetGoesToWriteHeavyP1) {
+  Fixture f(2);
+  f.SetHot(0);
+  f.AddItem(1, IoPattern::kP2, 100, 0, 2, /*write_bytes=*/4000);
+  DataItemId p1_many_writes =
+      f.AddItem(1, IoPattern::kP1, 100, 50, 10, 2000);
+  DataItemId p1_few_writes = f.AddItem(1, IoPattern::kP1, 100, 50, 1, 5000);
+  // Budget 7000: P2 takes 4000; P1 with more writes (2000) fits; the last
+  // one (5000) does not.
+  CachePlanner planner(CachePlanner::Options{100000, 7000});
+  auto plan = planner.Plan(f.result, f.partition, f.final_enclosure);
+  EXPECT_NE(std::find(plan.write_delay.begin(), plan.write_delay.end(),
+                      p1_many_writes),
+            plan.write_delay.end());
+  EXPECT_EQ(std::find(plan.write_delay.begin(), plan.write_delay.end(),
+                      p1_few_writes),
+            plan.write_delay.end());
+}
+
+TEST(CachePlannerTest, PreloadPicksByReadDensityUntilFull) {
+  Fixture f(1);  // single cold enclosure
+  DataItemId dense = f.AddItem(0, IoPattern::kP1, 100, 1000, 0);
+  DataItemId sparse = f.AddItem(0, IoPattern::kP1, 100, 10, 0);
+  DataItemId big = f.AddItem(0, IoPattern::kP1, 10000, 100000, 0);
+  CachePlanner planner(CachePlanner::Options{250, 1000});
+  auto plan = planner.Plan(f.result, f.partition, f.final_enclosure);
+  // `big` has the highest density but exceeds the 250-byte area; the two
+  // small items fit.
+  ASSERT_EQ(plan.preload.size(), 2u);
+  EXPECT_EQ(plan.preload[0].first, dense);
+  EXPECT_EQ(plan.preload[1].first, sparse);
+  for (const auto& [item, size] : plan.preload) {
+    EXPECT_NE(item, big);
+    EXPECT_EQ(size, 100);
+  }
+}
+
+TEST(CachePlannerTest, NoPreloadOfHotP1OrUnreadItems) {
+  Fixture f(2);
+  f.SetHot(0);
+  f.AddItem(0, IoPattern::kP1, 100, 50, 0);  // hot
+  f.AddItem(1, IoPattern::kP1, 100, 0, 0);   // cold but never read
+  f.AddItem(1, IoPattern::kP0, 100, 0, 0);   // P0
+  CachePlanner planner(CachePlanner::Options{1000, 1000});
+  auto plan = planner.Plan(f.result, f.partition, f.final_enclosure);
+  EXPECT_TRUE(plan.preload.empty());
+}
+
+TEST(MonitoringPeriodTest, ScalesMeanLongIntervalByAlpha) {
+  MonitoringPeriodController controller(
+      MonitoringPeriodController::Options{1.2, 52 * kSecond, 2 * kHour});
+  ClassificationResult result;
+  result.mean_long_interval = 100 * kSecond;
+  EXPECT_EQ(controller.Next(result, 520 * kSecond), 120 * kSecond);
+}
+
+TEST(MonitoringPeriodTest, KeepsCurrentWithoutLongIntervals) {
+  MonitoringPeriodController controller(
+      MonitoringPeriodController::Options{1.2, 52 * kSecond, 2 * kHour});
+  ClassificationResult result;
+  EXPECT_EQ(controller.Next(result, 520 * kSecond), 520 * kSecond);
+}
+
+TEST(MonitoringPeriodTest, ClampsToBounds) {
+  MonitoringPeriodController controller(
+      MonitoringPeriodController::Options{1.2, 52 * kSecond, 2 * kHour});
+  ClassificationResult result;
+  result.mean_long_interval = 1 * kSecond;
+  EXPECT_EQ(controller.Next(result, 520 * kSecond), 52 * kSecond);
+  result.mean_long_interval = 10 * kHour;
+  EXPECT_EQ(controller.Next(result, 520 * kSecond), 2 * kHour);
+}
+
+}  // namespace
+}  // namespace ecostore::core

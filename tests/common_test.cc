@@ -1,0 +1,206 @@
+// Unit tests for common/: Status, Result, random, sim_time, units.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace ecostore {
+namespace {
+
+// --- Status -----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad iops");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad iops");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad iops");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_TRUE(Status::NotFound("x").code() == StatusCode::kNotFound);
+  EXPECT_TRUE(Status::AlreadyExists("x").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(Status::OutOfRange("x").code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(Status::CapacityExceeded("x").IsCapacityExceeded());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").code() == StatusCode::kInternal);
+  EXPECT_TRUE(Status::IoError("x").code() == StatusCode::kIoError);
+  EXPECT_TRUE(Status::NotSupported("x").code() == StatusCode::kNotSupported);
+}
+
+Status FailsThrough() {
+  ECOSTORE_RETURN_NOT_OK(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kInternal);
+}
+
+// --- Result -----------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --- Random -----------------------------------------------------------
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.Next(), b.Next());
+  Xoshiro256 a2(123);
+  EXPECT_NE(a2.Next(), c.Next());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformIntStaysInBounds) {
+  Xoshiro256 rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // all values reached
+}
+
+TEST(RandomTest, UniformIntSingleton) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RandomTest, ExponentialMeanApproximatelyCorrect) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RandomTest, NormalMoments) {
+  Xoshiro256 rng(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RandomTest, LogNormalMedian) {
+  Xoshiro256 rng(17);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.LogNormal(5.0, 1.0) < 5.0) below++;
+  }
+  // Median property: about half the draws below the median.
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(RandomTest, ZipfRankZeroMostPopular) {
+  ZipfGenerator zipf(100, 0.99);
+  Xoshiro256 rng(19);
+  std::vector<int64_t> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(RandomTest, ZipfThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0);
+  Xoshiro256 rng(23);
+  std::vector<int64_t> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(RandomTest, NuRandWithinBounds) {
+  NuRand nurand(255, 1, 3000, 123);
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = nurand.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3000);
+  }
+}
+
+// --- SimTime / units --------------------------------------------------
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.5), 1500000);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+}
+
+TEST(SimTimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(52 * kSecond), "52s");
+  EXPECT_EQ(FormatDuration(2 * kHour), "2h");
+}
+
+TEST(UnitsTest, EnergyOfIntegratesWatts) {
+  EXPECT_DOUBLE_EQ(EnergyOf(100.0, 10 * kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(AveragePower(1000.0, 10 * kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(AveragePower(1000.0, 0), 0.0);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kMiB), "2 MiB");
+  EXPECT_EQ(FormatBytes(3 * kTiB), "3 TiB");
+}
+
+}  // namespace
+}  // namespace ecostore

@@ -1,0 +1,130 @@
+// Tests for the composite (multi-application) workload and the oracle
+// potential analysis.
+
+#include <gtest/gtest.h>
+
+#include "replay/potential.h"
+#include "workload/composite_workload.h"
+#include "workload/recorded_workload.h"
+
+namespace ecostore::workload {
+namespace {
+
+std::unique_ptr<Workload> MakeChild(const std::string& name,
+                                    int enclosures, SimTime first_io,
+                                    SimDuration step, int n_records) {
+  storage::DataItemCatalog catalog;
+  for (int e = 0; e < enclosures; ++e) {
+    catalog.AddVolume(static_cast<EnclosureId>(e));
+  }
+  EXPECT_TRUE(
+      catalog.AddItem("data", 0, 1 << 20, storage::DataItemKind::kFile)
+          .ok());
+  std::vector<trace::LogicalIoRecord> records;
+  for (int i = 0; i < n_records; ++i) {
+    trace::LogicalIoRecord rec;
+    rec.time = first_io + i * step;
+    rec.item = 0;
+    rec.size = 4096;
+    rec.type = IoType::kRead;
+    records.push_back(rec);
+  }
+  auto workload = RecordedWorkload::FromRecords(name, std::move(catalog),
+                                                std::move(records), 0,
+                                                enclosures);
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload).value();
+}
+
+TEST(CompositeWorkloadTest, RequiresChildren) {
+  EXPECT_FALSE(CompositeWorkload::Create("empty", {}).ok());
+}
+
+TEST(CompositeWorkloadTest, RebasesEnclosuresAndItems) {
+  std::vector<std::unique_ptr<Workload>> children;
+  children.push_back(MakeChild("a", 3, 0, kSecond, 5));
+  children.push_back(MakeChild("b", 2, kSecond / 2, kSecond, 5));
+  auto composite = CompositeWorkload::Create("mix", std::move(children));
+  ASSERT_TRUE(composite.ok());
+  const CompositeWorkload& mix = *composite.value();
+
+  EXPECT_EQ(mix.info().num_enclosures, 5);
+  EXPECT_EQ(mix.catalog().item_count(), 2u);
+  EXPECT_EQ(mix.enclosure_offset(0), 0);
+  EXPECT_EQ(mix.enclosure_offset(1), 3);
+  // Child b's item 0 became composite item 1, on volume mapped to
+  // enclosure 3.
+  EXPECT_EQ(mix.item_offset(1), 1);
+  EXPECT_EQ(mix.catalog().initial_enclosure(1), 3);
+  EXPECT_EQ(mix.catalog().item(1).name, "b/data");
+}
+
+TEST(CompositeWorkloadTest, MergesInTimeOrder) {
+  std::vector<std::unique_ptr<Workload>> children;
+  children.push_back(MakeChild("a", 1, 0, kSecond, 5));
+  children.push_back(MakeChild("b", 1, kSecond / 2, kSecond, 5));
+  auto composite = CompositeWorkload::Create("mix", std::move(children));
+  ASSERT_TRUE(composite.ok());
+
+  trace::LogicalIoRecord rec;
+  SimTime last = -1;
+  int count = 0;
+  std::array<int, 2> per_item = {0, 0};
+  while (composite.value()->Next(&rec)) {
+    EXPECT_GT(rec.time, last);
+    last = rec.time;
+    per_item[static_cast<size_t>(rec.item)]++;
+    count++;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(per_item[0], 5);
+  EXPECT_EQ(per_item[1], 5);
+}
+
+TEST(CompositeWorkloadTest, ResetReplaysIdentically) {
+  std::vector<std::unique_ptr<Workload>> children;
+  children.push_back(MakeChild("a", 1, 0, kSecond, 3));
+  children.push_back(MakeChild("b", 1, 100, kSecond, 3));
+  auto composite = CompositeWorkload::Create("mix", std::move(children));
+  ASSERT_TRUE(composite.ok());
+
+  std::vector<SimTime> first;
+  trace::LogicalIoRecord rec;
+  while (composite.value()->Next(&rec)) first.push_back(rec.time);
+  composite.value()->Reset();
+  std::vector<SimTime> second;
+  while (composite.value()->Next(&rec)) second.push_back(rec.time);
+  EXPECT_EQ(first, second);
+}
+
+TEST(OraclePotentialTest, CountsOnlyProfitableGaps) {
+  replay::ExperimentMetrics metrics;
+  metrics.duration = 1 * kHour;
+  metrics.enclosure_energy = 1000000.0;
+  storage::EnclosureConfig enclosure;  // break-even ~52 s
+  // Break-even is ~51.7 s; 51 s falls below it, 120 s and 10 min clear it.
+  metrics.idle_gaps = {10 * kSecond, 51 * kSecond, 120 * kSecond,
+                       10 * kMinute};
+  auto potential = replay::ComputeOraclePotential(metrics, enclosure);
+  EXPECT_EQ(potential.exploitable_intervals, 2);  // 120 s and 10 min
+  EXPECT_GT(potential.savable_energy, 0.0);
+  // The 10-minute gap alone saves roughly idle_power * (600 - 12) minus
+  // the spin-up premium.
+  double ten_min_saving =
+      enclosure.idle_power * (600.0 - 12.0) -
+      (enclosure.spinup_power - enclosure.idle_power) * 12.0;
+  EXPECT_GT(potential.savable_energy, ten_min_saving * 0.99);
+}
+
+TEST(OraclePotentialTest, EmptyGapsMeanNoPotential) {
+  replay::ExperimentMetrics metrics;
+  metrics.duration = 1 * kHour;
+  auto potential = replay::ComputeOraclePotential(
+      metrics, storage::EnclosureConfig{});
+  EXPECT_EQ(potential.exploitable_intervals, 0);
+  EXPECT_DOUBLE_EQ(potential.savable_energy, 0.0);
+  EXPECT_DOUBLE_EQ(potential.savable_pct_of_enclosures, 0.0);
+}
+
+}  // namespace
+}  // namespace ecostore::workload

@@ -1,0 +1,203 @@
+// Unit + property tests for the disk enclosure power/service model.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/disk_enclosure.h"
+
+namespace ecostore::storage {
+namespace {
+
+EnclosureConfig TestConfig() {
+  EnclosureConfig config;  // defaults: 232 W idle, 300 W active, 12 s spin-up
+  return config;
+}
+
+TEST(EnclosureConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(TestConfig().Validate().ok());
+}
+
+TEST(EnclosureConfigTest, BreakEvenNearPaperValue) {
+  // Paper Table II: 52 s.
+  SimDuration be = TestConfig().BreakEvenTime();
+  EXPECT_NEAR(ToSeconds(be), 52.0, 1.0);
+}
+
+TEST(EnclosureConfigTest, ValidationCatchesBadValues) {
+  EnclosureConfig config = TestConfig();
+  config.capacity_bytes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = TestConfig();
+  config.max_sequential_iops = config.max_random_iops / 2;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = TestConfig();
+  config.idle_power = config.active_power + 1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = TestConfig();
+  config.spinup_power = config.idle_power;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = TestConfig();
+  config.spinup_time = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(DiskEnclosureTest, IdleEnergyIntegration) {
+  DiskEnclosure enc(0, TestConfig());
+  Joules e = enc.Energy(10 * kSecond);
+  EXPECT_DOUBLE_EQ(e, TestConfig().idle_power * 10.0);
+}
+
+TEST(DiskEnclosureTest, SingleIoServiceAndLatency) {
+  EnclosureConfig config = TestConfig();
+  DiskEnclosure enc(0, config);
+  auto grant = enc.SubmitIo(1 * kSecond, 1, 8192, IoType::kRead,
+                            /*sequential=*/false);
+  EXPECT_EQ(grant.start, 1 * kSecond);
+  // Service = 1/900 s; completion adds the random positioning latency.
+  SimDuration service = static_cast<SimDuration>(kSecond / 900.0);
+  EXPECT_NEAR(static_cast<double>(grant.completion),
+              static_cast<double>(1 * kSecond + service +
+                                  config.random_access_latency),
+              2.0);
+  EXPECT_FALSE(grant.powered_on);
+  EXPECT_EQ(grant.idle_gap_before, 0);  // first I/O has no gap
+}
+
+TEST(DiskEnclosureTest, QueueingDelaysSecondIo) {
+  DiskEnclosure enc(0, TestConfig());
+  auto g1 = enc.SubmitIo(0, 900, 900 * 8192, IoType::kRead, false);
+  EXPECT_NEAR(static_cast<double>(g1.completion - g1.start),
+              static_cast<double>(kSecond + TestConfig().random_access_latency),
+              static_cast<double>(kMillisecond));
+  // Submitted immediately after: queued behind the first batch.
+  auto g2 = enc.SubmitIo(1, 1, 8192, IoType::kRead, false);
+  EXPECT_GE(g2.start, enc.busy_until() - 2 * kMillisecond);
+  EXPECT_GT(g2.start, 1);
+}
+
+TEST(DiskEnclosureTest, SequentialFasterThanRandom) {
+  DiskEnclosure enc(0, TestConfig());
+  auto seq = enc.SubmitIo(0, 2800, 0, IoType::kRead, true);
+  SimDuration seq_service = seq.completion - seq.start;
+  DiskEnclosure enc2(1, TestConfig());
+  auto rnd = enc2.SubmitIo(0, 2800, 0, IoType::kRead, false);
+  EXPECT_LT(seq_service, rnd.completion - rnd.start);
+}
+
+TEST(DiskEnclosureTest, IdleGapReported) {
+  DiskEnclosure enc(0, TestConfig());
+  enc.SubmitIo(0, 1, 0, IoType::kRead, false);
+  SimTime first_busy_end = enc.busy_until();
+  auto g2 = enc.SubmitIo(10 * kSecond, 1, 0, IoType::kRead, false);
+  EXPECT_EQ(g2.idle_gap_before, 10 * kSecond - first_busy_end);
+}
+
+TEST(DiskEnclosureTest, PowerOffRequiresDrainedQueue) {
+  DiskEnclosure enc(0, TestConfig());
+  enc.SubmitIo(0, 900, 0, IoType::kRead, false);  // busy for ~1 s
+  EXPECT_FALSE(enc.PowerOff(500 * kMillisecond));
+  EXPECT_TRUE(enc.PowerOff(2 * kSecond));
+  EXPECT_EQ(enc.state(2 * kSecond), PowerState::kOff);
+}
+
+TEST(DiskEnclosureTest, SpinUpOnIoWhileOff) {
+  EnclosureConfig config = TestConfig();
+  DiskEnclosure enc(0, config);
+  ASSERT_TRUE(enc.PowerOff(0));
+  auto grant = enc.SubmitIo(100 * kSecond, 1, 0, IoType::kRead, false);
+  EXPECT_TRUE(grant.powered_on);
+  EXPECT_EQ(grant.start, 100 * kSecond + config.spinup_time);
+  EXPECT_EQ(enc.spinup_count(), 1);
+  EXPECT_EQ(enc.state(100 * kSecond + config.spinup_time / 2),
+            PowerState::kSpinningUp);
+  EXPECT_EQ(enc.state(200 * kSecond), PowerState::kOn);
+}
+
+TEST(DiskEnclosureTest, OffSavesEnergyOnlyBeyondBreakEven) {
+  EnclosureConfig config = TestConfig();
+  SimDuration be = config.BreakEvenTime();
+
+  // Cycle shorter than break-even: off+spin-up costs MORE than idling.
+  DiskEnclosure idle_enc(0, config);
+  idle_enc.SubmitIo(0, 1, 0, IoType::kRead, false);
+  DiskEnclosure cycle_enc(1, config);
+  cycle_enc.SubmitIo(0, 1, 0, IoType::kRead, false);
+  SimTime off_at = 2 * kSecond;
+  ASSERT_TRUE(cycle_enc.PowerOff(off_at));
+  SimTime wake_short = off_at + be / 2;
+  cycle_enc.SubmitIo(wake_short, 1, 0, IoType::kRead, false);
+  SimTime probe = wake_short + 2 * config.spinup_time;
+  EXPECT_GT(cycle_enc.Energy(probe), idle_enc.Energy(probe) * 0.99);
+
+  // Cycle much longer than break-even: off wins.
+  DiskEnclosure idle2(2, config);
+  idle2.SubmitIo(0, 1, 0, IoType::kRead, false);
+  DiskEnclosure cycle2(3, config);
+  cycle2.SubmitIo(0, 1, 0, IoType::kRead, false);
+  ASSERT_TRUE(cycle2.PowerOff(off_at));
+  SimTime wake_long = off_at + 4 * be;
+  cycle2.SubmitIo(wake_long, 1, 0, IoType::kRead, false);
+  probe = wake_long + 2 * config.spinup_time;
+  EXPECT_LT(cycle2.Energy(probe), idle2.Energy(probe));
+}
+
+TEST(DiskEnclosureTest, EligibleForSpinDownAfterTimeout) {
+  EnclosureConfig config = TestConfig();
+  DiskEnclosure enc(0, config);
+  enc.SubmitIo(0, 1, 0, IoType::kRead, false);
+  SimTime done = enc.busy_until();
+  EXPECT_FALSE(enc.EligibleForSpinDown(done + config.spindown_timeout / 2));
+  EXPECT_TRUE(enc.EligibleForSpinDown(done + config.spindown_timeout + 1));
+}
+
+TEST(DiskEnclosureTest, CountersAccumulate) {
+  DiskEnclosure enc(0, TestConfig());
+  enc.SubmitIo(0, 10, 1000, IoType::kRead, false);
+  enc.SubmitIo(5 * kSecond, 5, 500, IoType::kWrite, true);
+  EXPECT_EQ(enc.served_ios(), 15);
+  EXPECT_EQ(enc.served_bytes(), 1500);
+  EXPECT_GT(enc.active_time(), 0);
+}
+
+// Property: energy is monotone in time and bounded by [off, spinup] power
+// envelope, for arbitrary schedules of I/O and power-off attempts.
+class EnclosureScheduleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnclosureScheduleTest, EnergyMonotoneAndBounded) {
+  Xoshiro256 rng(GetParam());
+  EnclosureConfig config;
+  DiskEnclosure enc(0, config);
+  SimTime t = 0;
+  Joules last_energy = 0;
+  for (int step = 0; step < 300; ++step) {
+    t += rng.UniformInt(1, 60 * kSecond);
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        enc.SubmitIo(t, rng.UniformInt(1, 500), 0,
+                     rng.Bernoulli(0.5) ? IoType::kRead : IoType::kWrite,
+                     rng.Bernoulli(0.5));
+        break;
+      case 1:
+        enc.PowerOff(t);  // may or may not succeed
+        break;
+      case 2:
+        enc.PowerOn(t);
+        break;
+    }
+    Joules e = enc.Energy(t);
+    EXPECT_GE(e, last_energy);
+    EXPECT_LE(e, EnergyOf(config.spinup_power, t) + 1.0);
+    EXPECT_GE(e, EnergyOf(config.off_power, t) - 1.0);
+    last_energy = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnclosureScheduleTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ecostore::storage

@@ -1,0 +1,136 @@
+// Tests for the experiment runner, metrics, and the application
+// performance models (paper §VII-A.4/5).
+
+#include <gtest/gtest.h>
+
+#include "policies/basic_policies.h"
+#include "replay/experiment.h"
+#include "replay/metrics.h"
+#include "workload/file_server_workload.h"
+
+namespace ecostore::replay {
+namespace {
+
+workload::FileServerConfig TinyFsConfig() {
+  workload::FileServerConfig config;
+  config.duration = 5 * kMinute;
+  config.big_hot_files = 2;
+  config.small_hot_files = 4;
+  config.popular_files = 10;
+  config.tail_files = 10;
+  config.archive_files = 2;
+  config.big_hot_file_bytes = 1 * kGiB;
+  config.archive_file_bytes = 1 * kGiB;
+  return config;
+}
+
+TEST(ExperimentTest, RunProducesSaneMetrics) {
+  auto workload = workload::FileServerWorkload::Create(TinyFsConfig());
+  ASSERT_TRUE(workload.ok());
+  policies::NoPowerSavingPolicy policy;
+  ExperimentConfig config;
+  Experiment experiment(workload.value().get(), &policy, config);
+  auto metrics = experiment.Run();
+  ASSERT_TRUE(metrics.ok());
+  const ExperimentMetrics& m = metrics.value();
+  EXPECT_EQ(m.policy, "no_power_saving");
+  EXPECT_EQ(m.workload, "file_server");
+  EXPECT_EQ(m.duration, 5 * kMinute);
+  EXPECT_GT(m.logical_ios, 0);
+  EXPECT_GT(m.physical_batches, 0);
+  EXPECT_GT(m.avg_enclosure_power, 0);
+  EXPECT_NEAR(m.avg_controller_power, 190.0, 0.5);
+  EXPECT_GT(m.avg_response_ms, 0);
+  EXPECT_EQ(m.spinups, 0);  // no power saving: nothing ever spins up
+  EXPECT_EQ(m.migrated_bytes, 0);
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  auto workload = workload::FileServerWorkload::Create(TinyFsConfig());
+  ASSERT_TRUE(workload.ok());
+  ExperimentMetrics first;
+  {
+    policies::FixedTimeoutPolicy policy;
+    Experiment experiment(workload.value().get(), &policy,
+                          ExperimentConfig{});
+    first = experiment.Run().value();
+  }
+  ExperimentMetrics second;
+  {
+    policies::FixedTimeoutPolicy policy;
+    Experiment experiment(workload.value().get(), &policy,
+                          ExperimentConfig{});
+    second = experiment.Run().value();
+  }
+  EXPECT_EQ(first.logical_ios, second.logical_ios);
+  EXPECT_DOUBLE_EQ(first.enclosure_energy, second.enclosure_energy);
+  EXPECT_DOUBLE_EQ(first.avg_response_ms, second.avg_response_ms);
+  EXPECT_EQ(first.spinups, second.spinups);
+}
+
+TEST(ExperimentTest, ExplicitDurationOverridesWorkload) {
+  auto workload = workload::FileServerWorkload::Create(TinyFsConfig());
+  ASSERT_TRUE(workload.ok());
+  policies::NoPowerSavingPolicy policy;
+  ExperimentConfig config;
+  config.duration = 1 * kMinute;
+  Experiment experiment(workload.value().get(), &policy, config);
+  auto metrics = experiment.Run();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().duration, 1 * kMinute);
+}
+
+TEST(MetricsTest, IntervalCdfSumsGapsAboveThreshold) {
+  ExperimentMetrics m;
+  m.idle_gaps = {10 * kSecond, 60 * kSecond, 120 * kSecond};
+  auto points = m.IntervalCdf({1 * kSecond, 52 * kSecond, 100 * kSecond});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].cumulative_seconds, 190.0);
+  EXPECT_EQ(points[0].count, 3);
+  EXPECT_DOUBLE_EQ(points[1].cumulative_seconds, 180.0);
+  EXPECT_EQ(points[1].count, 2);
+  EXPECT_DOUBLE_EQ(points[2].cumulative_seconds, 120.0);
+}
+
+TEST(MetricsTest, PowerSavingPercentage) {
+  ExperimentMetrics base, run;
+  base.avg_enclosure_power = 2000.0;
+  run.avg_enclosure_power = 1500.0;
+  EXPECT_DOUBLE_EQ(run.EnclosurePowerSavingVs(base), 25.0);
+  EXPECT_DOUBLE_EQ(base.EnclosurePowerSavingVs(base), 0.0);
+}
+
+TEST(MetricsTest, ThroughputScalesInverselyWithReadResponse) {
+  ExperimentMetrics base, run;
+  base.avg_read_response_ms = 10.0;
+  run.avg_read_response_ms = 20.0;
+  EXPECT_DOUBLE_EQ(ScaledTransactionThroughput(1859.0, base, run), 929.5);
+  // Faster reads -> higher throughput.
+  run.avg_read_response_ms = 5.0;
+  EXPECT_DOUBLE_EQ(ScaledTransactionThroughput(1859.0, base, run), 3718.0);
+  // Degenerate inputs fall back to the baseline.
+  run.avg_read_response_ms = 0.0;
+  EXPECT_DOUBLE_EQ(ScaledTransactionThroughput(1859.0, base, run), 1859.0);
+}
+
+TEST(MetricsTest, QueryResponseScalesWithSums) {
+  ExperimentMetrics base, run;
+  base.tag_read_response_us_sum[7] = 1000.0;
+  run.tag_read_response_us_sum[7] = 3000.0;
+  auto scaled = ScaledQueryResponses({{7, 100.0}}, base, run);
+  EXPECT_DOUBLE_EQ(scaled[7], 300.0);
+  // Missing tags keep the baseline value.
+  auto missing = ScaledQueryResponses({{9, 50.0}}, base, run);
+  EXPECT_DOUBLE_EQ(missing[9], 50.0);
+}
+
+TEST(MetricsTest, MeasuredQueryWall) {
+  ExperimentMetrics run;
+  run.tag_first_issue[3] = 10 * kSecond;
+  run.tag_last_completion[3] = 70 * kSecond;
+  auto wall = MeasuredQueryWallSeconds(run);
+  EXPECT_DOUBLE_EQ(wall[3], 60.0);
+}
+
+}  // namespace
+}  // namespace ecostore::replay

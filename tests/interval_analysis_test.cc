@@ -1,0 +1,104 @@
+// Unit tests for Long Interval / I/O Sequence extraction (paper §II-C.2,
+// Fig. 1, §IV-B Steps 1-2).
+
+#include <gtest/gtest.h>
+
+#include "core/interval_analysis.h"
+
+namespace ecostore::core {
+namespace {
+
+constexpr SimDuration kBreakEven = 52 * kSecond;
+
+std::pair<SimTime, bool> R(double seconds) {
+  return {FromSeconds(seconds), true};
+}
+std::pair<SimTime, bool> W(double seconds) {
+  return {FromSeconds(seconds), false};
+}
+
+TEST(IntervalAnalysisTest, NoIoIsSingleLongInterval) {
+  auto profile = AnalyzeIntervals({}, 0, 520 * kSecond, kBreakEven);
+  ASSERT_EQ(profile.long_intervals.size(), 1u);
+  EXPECT_EQ(profile.long_intervals[0], 520 * kSecond);
+  EXPECT_TRUE(profile.sequences.empty());
+}
+
+TEST(IntervalAnalysisTest, DenseIosFormOneSequence) {
+  std::vector<std::pair<SimTime, bool>> ios;
+  for (int i = 0; i < 100; ++i) ios.push_back(R(i * 1.0));
+  auto profile = AnalyzeIntervals(ios, 0, FromSeconds(100), kBreakEven);
+  EXPECT_TRUE(profile.long_intervals.empty());
+  ASSERT_EQ(profile.sequences.size(), 1u);
+  EXPECT_EQ(profile.sequences[0].reads, 100);
+  EXPECT_EQ(profile.sequences[0].writes, 0);
+}
+
+TEST(IntervalAnalysisTest, Fig1Shape) {
+  // Mimics Fig. 1: sequence #1 at period start, long interval, sequence,
+  // long interval, sequence, trailing long interval.
+  std::vector<std::pair<SimTime, bool>> ios = {
+      R(0),   R(10),  W(20),          // sequence 1
+      R(120), R(130),                 // sequence 2 after 100 s gap
+      W(300),                         // sequence 3 after 170 s gap
+  };
+  auto profile =
+      AnalyzeIntervals(ios, 0, FromSeconds(520), kBreakEven);
+  EXPECT_EQ(profile.sequences.size(), 3u);
+  ASSERT_EQ(profile.long_intervals.size(), 3u);
+  EXPECT_EQ(profile.long_intervals[0], FromSeconds(100));
+  EXPECT_EQ(profile.long_intervals[1], FromSeconds(170));
+  EXPECT_EQ(profile.long_intervals[2], FromSeconds(220));  // trailing
+  EXPECT_EQ(profile.total_reads(), 4);
+  EXPECT_EQ(profile.total_writes(), 2);
+}
+
+TEST(IntervalAnalysisTest, LeadingGapCounts) {
+  auto profile = AnalyzeIntervals({R(100), R(101)}, 0, FromSeconds(110),
+                                  kBreakEven);
+  ASSERT_EQ(profile.long_intervals.size(), 1u);
+  EXPECT_EQ(profile.long_intervals[0], FromSeconds(100));
+  EXPECT_EQ(profile.sequences.size(), 1u);
+}
+
+TEST(IntervalAnalysisTest, GapExactlyBreakEvenIsNotLong) {
+  // "longer than the break-even time" is strict.
+  auto profile = AnalyzeIntervals({R(0), R(52)}, 0, FromSeconds(52),
+                                  kBreakEven);
+  EXPECT_TRUE(profile.long_intervals.empty());
+  EXPECT_EQ(profile.sequences.size(), 1u);
+}
+
+TEST(IntervalAnalysisTest, GapJustOverBreakEvenSplits) {
+  auto profile = AnalyzeIntervals({R(0), R(52.1)}, 0, FromSeconds(52.1),
+                                  kBreakEven);
+  EXPECT_EQ(profile.long_intervals.size(), 1u);
+  EXPECT_EQ(profile.sequences.size(), 2u);
+}
+
+TEST(IntervalAnalysisTest, SequenceBoundariesRecorded) {
+  auto profile = AnalyzeIntervals({R(0), R(5), W(200), W(205)}, 0,
+                                  FromSeconds(205), kBreakEven);
+  ASSERT_EQ(profile.sequences.size(), 2u);
+  EXPECT_EQ(profile.sequences[0].start, 0);
+  EXPECT_EQ(profile.sequences[0].end, FromSeconds(5));
+  EXPECT_EQ(profile.sequences[1].start, FromSeconds(200));
+  EXPECT_EQ(profile.sequences[1].end, FromSeconds(205));
+  EXPECT_EQ(profile.sequences[1].writes, 2);
+}
+
+TEST(IntervalAnalysisTest, SingleIoAtPeriodStart) {
+  auto profile = AnalyzeIntervals({R(0)}, 0, FromSeconds(520), kBreakEven);
+  EXPECT_EQ(profile.sequences.size(), 1u);
+  ASSERT_EQ(profile.long_intervals.size(), 1u);
+  EXPECT_EQ(profile.long_intervals[0], FromSeconds(520));
+}
+
+TEST(IntervalAnalysisTest, ZeroLengthPeriodWithIo) {
+  auto profile = AnalyzeIntervals({R(0)}, 0, 0, kBreakEven);
+  EXPECT_EQ(profile.sequences.size(), 1u);
+  EXPECT_TRUE(profile.long_intervals.empty());
+}
+
+}  // namespace
+}  // namespace ecostore::core

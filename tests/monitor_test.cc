@@ -1,0 +1,73 @@
+// Tests for the Application and Storage Monitors (paper §III).
+
+#include <gtest/gtest.h>
+
+#include "monitor/application_monitor.h"
+#include "monitor/snapshot.h"
+#include "monitor/storage_monitor.h"
+
+namespace ecostore::monitor {
+namespace {
+
+trace::LogicalIoRecord Logical(SimTime t, DataItemId item) {
+  trace::LogicalIoRecord rec;
+  rec.time = t;
+  rec.item = item;
+  rec.size = 4096;
+  rec.type = IoType::kRead;
+  return rec;
+}
+
+TEST(ApplicationMonitorTest, RecordsAndResets) {
+  ApplicationMonitor monitor;
+  monitor.Record(Logical(10, 1));
+  monitor.Record(Logical(20, 2));
+  EXPECT_EQ(monitor.buffer().size(), 2u);
+  EXPECT_EQ(monitor.total_records(), 2);
+
+  monitor.ResetPeriod(100);
+  EXPECT_TRUE(monitor.buffer().empty());
+  EXPECT_EQ(monitor.period_start(), 100);
+  // Cumulative count survives the period reset.
+  EXPECT_EQ(monitor.total_records(), 2);
+}
+
+TEST(StorageMonitorTest, TracksPhysicalIoAndPowerEvents) {
+  StorageMonitor monitor(3);
+  trace::PhysicalIoRecord rec;
+  rec.time = 5;
+  rec.enclosure = 1;
+  rec.size = 65536;
+  rec.type = IoType::kWrite;
+  monitor.OnPhysicalIo(rec);
+  EXPECT_EQ(monitor.buffer().size(), 1u);
+
+  monitor.OnPowerStateChange(1, 10, storage::PowerState::kSpinningUp);
+  monitor.OnPowerStateChange(1, 20, storage::PowerState::kOff);
+  monitor.OnPowerStateChange(2, 30, storage::PowerState::kSpinningUp);
+  EXPECT_EQ(monitor.power_events().size(), 3u);
+  // Power-on counts only count spin-ups, per enclosure.
+  EXPECT_EQ(monitor.power_on_count(0), 0);
+  EXPECT_EQ(monitor.power_on_count(1), 1);
+  EXPECT_EQ(monitor.power_on_count(2), 1);
+
+  monitor.ResetPeriod(100);
+  EXPECT_TRUE(monitor.buffer().empty());
+  EXPECT_TRUE(monitor.power_events().empty());
+  EXPECT_EQ(monitor.power_on_count(1), 0);
+  EXPECT_EQ(monitor.period_start(), 100);
+}
+
+TEST(MonitorSnapshotTest, PeriodLength) {
+  ApplicationMonitor app;
+  StorageMonitor storage(1);
+  MonitorSnapshot snapshot;
+  snapshot.period_start = 100;
+  snapshot.period_end = 620;
+  snapshot.application = &app;
+  snapshot.storage = &storage;
+  EXPECT_EQ(snapshot.period_length(), 520);
+}
+
+}  // namespace
+}  // namespace ecostore::monitor

@@ -1,0 +1,239 @@
+// Unit + property tests for the controller cache (general LRU, preload
+// area, write-delay area).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/random.h"
+#include "storage/storage_cache.h"
+
+namespace ecostore::storage {
+namespace {
+
+CacheConfig SmallCache() {
+  CacheConfig config;
+  config.block_size = 4096;
+  config.total_bytes = 64 * 4096;        // 64 blocks total
+  config.preload_area_bytes = 16 * 4096;  // 16 blocks
+  config.write_delay_area_bytes = 16 * 4096;
+  config.default_dirty_ratio = 0.25;     // general: 32 blocks, destage at 8
+  config.write_delay_dirty_ratio = 0.5;  // wd: destage at 8 blocks
+  return config;
+}
+
+int64_t TotalBlocks(const std::vector<FlushDemand>& demands) {
+  return std::accumulate(demands.begin(), demands.end(), int64_t{0},
+                         [](int64_t acc, const FlushDemand& d) {
+                           return acc + d.blocks;
+                         });
+}
+
+TEST(StorageCacheTest, ColdReadMissesThenHits) {
+  StorageCache cache(SmallCache());
+  auto miss = cache.Read(1, 0, 4096);
+  EXPECT_EQ(miss.miss_blocks, 1);
+  EXPECT_EQ(miss.hit_blocks, 0);
+  auto hit = cache.Read(1, 0, 4096);
+  EXPECT_EQ(hit.miss_blocks, 0);
+  EXPECT_EQ(hit.hit_blocks, 1);
+  EXPECT_TRUE(hit.fully_hit());
+}
+
+TEST(StorageCacheTest, MultiBlockSpan) {
+  StorageCache cache(SmallCache());
+  // 10000 bytes starting at offset 100 touches blocks 0..2.
+  auto out = cache.Read(1, 100, 10000);
+  EXPECT_EQ(out.miss_blocks, 3);
+}
+
+TEST(StorageCacheTest, LruEvictsOldest) {
+  StorageCache cache(SmallCache());
+  // Fill the 32-block general area with reads of items 1..32.
+  for (int i = 0; i < 32; ++i) cache.Read(1, i * 4096, 4096);
+  // Touch block 0 to make it most-recent, then overflow by one.
+  cache.Read(1, 0, 4096);
+  cache.Read(2, 0, 4096);
+  // Block 0 must still be resident; block 1 (the LRU) was evicted.
+  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
+  EXPECT_FALSE(cache.Read(1, 1 * 4096, 4096).fully_hit());
+}
+
+TEST(StorageCacheTest, WriteIsAbsorbedAndDirty) {
+  StorageCache cache(SmallCache());
+  auto out = cache.Write(1, 0, 4096);
+  EXPECT_FALSE(out.write_delayed);
+  EXPECT_TRUE(out.destage.empty());
+  EXPECT_EQ(cache.general_dirty_blocks(), 1);
+  // The dirty block is readable from cache.
+  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
+}
+
+TEST(StorageCacheTest, GeneralDestageAtDirtyRatio) {
+  StorageCache cache(SmallCache());
+  // Threshold: 25% of 32 = 8 dirty blocks -> the 8th write destages all.
+  std::vector<FlushDemand> destaged;
+  for (int i = 0; i < 8; ++i) {
+    auto out = cache.Write(1, i * 4096, 4096);
+    for (const auto& d : out.destage) destaged.push_back(d);
+  }
+  EXPECT_EQ(TotalBlocks(destaged), 8);
+  EXPECT_EQ(cache.general_dirty_blocks(), 0);
+  // Blocks remain cached (clean) after the destage.
+  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
+}
+
+TEST(StorageCacheTest, DirtyEvictionEmitsFlush) {
+  CacheConfig config = SmallCache();
+  config.default_dirty_ratio = 1.0;  // never destage by ratio
+  StorageCache cache(config);
+  for (int i = 0; i < 4; ++i) cache.Write(9, i * 4096, 4096);
+  // Flood the general area with clean reads to force dirty evictions.
+  std::vector<FlushDemand> evicted;
+  for (int i = 0; i < 40; ++i) {
+    auto out = cache.Read(1, i * 4096, 4096);
+    for (const auto& d : out.eviction_flushes) evicted.push_back(d);
+  }
+  EXPECT_EQ(TotalBlocks(evicted), 4);
+  for (const auto& d : evicted) EXPECT_EQ(d.item, 9);
+}
+
+TEST(StorageCacheTest, WriteDelayRoutesToDedicatedArea) {
+  StorageCache cache(SmallCache());
+  ASSERT_TRUE(cache.SetWriteDelayItems({7}).empty());
+  auto out = cache.Write(7, 0, 4096);
+  EXPECT_TRUE(out.write_delayed);
+  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);
+  EXPECT_EQ(cache.general_dirty_blocks(), 0);
+  // Write-delayed blocks serve reads.
+  EXPECT_TRUE(cache.Read(7, 0, 4096).fully_hit());
+}
+
+TEST(StorageCacheTest, WriteDelayDestagesAtEnlargedRatio) {
+  StorageCache cache(SmallCache());
+  cache.SetWriteDelayItems({7});
+  std::vector<FlushDemand> destaged;
+  for (int i = 0; i < 8; ++i) {  // 50% of 16 blocks
+    auto out = cache.Write(7, i * 4096, 4096);
+    for (const auto& d : out.destage) destaged.push_back(d);
+  }
+  EXPECT_EQ(TotalBlocks(destaged), 8);
+  EXPECT_EQ(cache.write_delay_dirty_blocks(), 0);
+}
+
+TEST(StorageCacheTest, RewritingSameBlockDoesNotDoubleCount) {
+  StorageCache cache(SmallCache());
+  cache.SetWriteDelayItems({7});
+  cache.Write(7, 0, 4096);
+  cache.Write(7, 0, 4096);
+  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);
+}
+
+TEST(StorageCacheTest, LeavingWriteDelaySetFlushes) {
+  StorageCache cache(SmallCache());
+  cache.SetWriteDelayItems({7, 8});
+  cache.Write(7, 0, 4096);
+  cache.Write(8, 0, 4096);
+  auto demands = cache.SetWriteDelayItems({8});
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_EQ(demands[0].item, 7);
+  EXPECT_EQ(demands[0].blocks, 1);
+  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);  // item 8 remains
+}
+
+TEST(StorageCacheTest, PreloadLifecycle) {
+  StorageCache cache(SmallCache());
+  auto to_load = cache.SetPreloadItems({{3, 8 * 4096}});
+  ASSERT_TRUE(to_load.ok());
+  ASSERT_EQ(to_load.value().size(), 1u);
+  EXPECT_TRUE(cache.IsPreloadSelected(3));
+  EXPECT_FALSE(cache.IsPreloaded(3));
+  // Not loaded yet: reads still miss.
+  EXPECT_FALSE(cache.Read(3, 0, 4096).fully_hit());
+  ASSERT_TRUE(cache.MarkPreloaded(3).ok());
+  EXPECT_TRUE(cache.IsPreloaded(3));
+  EXPECT_TRUE(cache.Read(3, 4 * 4096, 4096).fully_hit());
+}
+
+TEST(StorageCacheTest, PreloadKeepsLoadedItemsAcrossReplacement) {
+  StorageCache cache(SmallCache());
+  ASSERT_TRUE(cache.SetPreloadItems({{3, 4 * 4096}}).ok());
+  ASSERT_TRUE(cache.MarkPreloaded(3).ok());
+  auto to_load = cache.SetPreloadItems({{3, 4 * 4096}, {4, 4 * 4096}});
+  ASSERT_TRUE(to_load.ok());
+  // Only the new item needs loading (paper §V-C).
+  ASSERT_EQ(to_load.value().size(), 1u);
+  EXPECT_EQ(to_load.value()[0], 4);
+  EXPECT_TRUE(cache.IsPreloaded(3));
+}
+
+TEST(StorageCacheTest, PreloadRejectsOverBudget) {
+  StorageCache cache(SmallCache());
+  auto result = cache.SetPreloadItems({{3, 17 * 4096}});  // area is 16 blocks
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacityExceeded());
+}
+
+TEST(StorageCacheTest, MarkPreloadedUnknownItemFails) {
+  StorageCache cache(SmallCache());
+  EXPECT_FALSE(cache.MarkPreloaded(99).ok());
+}
+
+TEST(StorageCacheTest, FlushAllDrainsEverything) {
+  StorageCache cache(SmallCache());
+  cache.SetWriteDelayItems({7});
+  cache.Write(7, 0, 4096);
+  cache.Write(1, 0, 4096);
+  auto demands = cache.FlushAll();
+  EXPECT_EQ(TotalBlocks(demands), 2);
+  EXPECT_EQ(cache.general_dirty_blocks(), 0);
+  EXPECT_EQ(cache.write_delay_dirty_blocks(), 0);
+}
+
+TEST(StorageCacheTest, InvalidateItemDropsAndReturnsDirty) {
+  StorageCache cache(SmallCache());
+  cache.Read(5, 0, 4096);       // clean resident block
+  cache.Write(5, 4096, 4096);   // dirty block
+  auto demands = cache.InvalidateItem(5);
+  EXPECT_EQ(TotalBlocks(demands), 1);
+  EXPECT_FALSE(cache.Read(5, 0, 4096).fully_hit());  // dropped
+}
+
+// Property: dirty counters never go negative and never exceed area
+// capacities under random op sequences.
+class CachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CachePropertyTest, CountersStayConsistent) {
+  Xoshiro256 rng(GetParam());
+  StorageCache cache(SmallCache());
+  std::unordered_set<DataItemId> wd = {1, 2};
+  cache.SetWriteDelayItems(wd);
+  for (int step = 0; step < 3000; ++step) {
+    DataItemId item = static_cast<DataItemId>(rng.UniformInt(1, 6));
+    int64_t offset = rng.UniformInt(0, 63) * 4096;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        cache.Read(item, offset, 4096);
+        break;
+      case 1:
+        cache.Write(item, offset, 4096);
+        break;
+      case 2:
+        cache.InvalidateItem(item);
+        break;
+      case 3:
+        if (rng.Bernoulli(0.1)) cache.FlushAll();
+        break;
+    }
+    EXPECT_GE(cache.general_dirty_blocks(), 0);
+    EXPECT_LE(cache.general_dirty_blocks(), 32);
+    EXPECT_GE(cache.write_delay_dirty_blocks(), 0);
+    EXPECT_LE(cache.write_delay_dirty_blocks(), 16);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachePropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ecostore::storage

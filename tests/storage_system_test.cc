@@ -1,0 +1,204 @@
+// Integration tests for the StorageSystem facade: logical I/O paths,
+// automatic spin-down, preload, write-delay and item moves.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "storage/storage_system.h"
+
+namespace ecostore::storage {
+namespace {
+
+struct RecordingObserver : public StorageObserver {
+  std::vector<trace::PhysicalIoRecord> physical;
+  std::vector<std::pair<EnclosureId, PowerState>> power;
+  std::vector<SimDuration> gaps;
+
+  void OnPhysicalIo(const trace::PhysicalIoRecord& rec) override {
+    physical.push_back(rec);
+  }
+  void OnIdleGapEnd(EnclosureId enclosure, SimTime at,
+                    SimDuration gap) override {
+    (void)at;
+    (void)enclosure;
+    gaps.push_back(gap);
+  }
+  void OnPowerStateChange(EnclosureId enclosure, SimTime at,
+                          PowerState state) override {
+    (void)at;
+    power.emplace_back(enclosure, state);
+  }
+};
+
+class StorageSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VolumeId v0 = catalog_.AddVolume(0);
+    VolumeId v1 = catalog_.AddVolume(1);
+    item_a_ = catalog_.AddItem("a", v0, 64 * kMiB, DataItemKind::kFile)
+                  .value();
+    item_b_ = catalog_.AddItem("b", v1, 64 * kMiB, DataItemKind::kFile)
+                  .value();
+    config_.num_enclosures = 2;
+    system_ = std::make_unique<StorageSystem>(&sim_, config_, &catalog_);
+    ASSERT_TRUE(system_->Init().ok());
+    system_->AddObserver(&observer_);
+  }
+
+  trace::LogicalIoRecord Read(DataItemId item, int64_t offset,
+                              int32_t size = 8192) {
+    trace::LogicalIoRecord rec;
+    rec.time = sim_.Now();
+    rec.item = item;
+    rec.offset = offset;
+    rec.size = size;
+    rec.type = IoType::kRead;
+    return rec;
+  }
+  trace::LogicalIoRecord Write(DataItemId item, int64_t offset,
+                               int32_t size = 8192) {
+    trace::LogicalIoRecord rec = Read(item, offset, size);
+    rec.type = IoType::kWrite;
+    return rec;
+  }
+
+  sim::Simulator sim_;
+  StorageConfig config_;
+  DataItemCatalog catalog_;
+  std::unique_ptr<StorageSystem> system_;
+  RecordingObserver observer_;
+  DataItemId item_a_ = kInvalidDataItem;
+  DataItemId item_b_ = kInvalidDataItem;
+};
+
+TEST_F(StorageSystemTest, ReadMissGoesToCorrectEnclosure) {
+  auto result = system_->SubmitLogicalIo(Read(item_b_, 0));
+  EXPECT_FALSE(result.cache_hit);
+  ASSERT_EQ(observer_.physical.size(), 1u);
+  EXPECT_EQ(observer_.physical[0].enclosure, 1);
+  EXPECT_EQ(observer_.physical[0].type, IoType::kRead);
+  // Latency includes device service + positioning + cache hop.
+  EXPECT_GT(result.latency, config_.enclosure.random_access_latency);
+}
+
+TEST_F(StorageSystemTest, RereadHitsCache) {
+  system_->SubmitLogicalIo(Read(item_a_, 0));
+  auto result = system_->SubmitLogicalIo(Read(item_a_, 0));
+  EXPECT_TRUE(result.cache_hit);
+  EXPECT_EQ(result.latency, config_.cache.hit_latency);
+  EXPECT_EQ(observer_.physical.size(), 1u);  // no second device I/O
+}
+
+TEST_F(StorageSystemTest, WriteAbsorbedByCache) {
+  auto result = system_->SubmitLogicalIo(Write(item_a_, 0));
+  EXPECT_TRUE(result.cache_hit);
+  EXPECT_EQ(result.latency, config_.cache.hit_latency);
+  EXPECT_TRUE(observer_.physical.empty());  // destage comes later
+}
+
+TEST_F(StorageSystemTest, SpinDownOnlyWhenAllowed) {
+  system_->SubmitLogicalIo(Read(item_a_, 0));
+  sim_.RunUntil(10 * kMinute);
+  EXPECT_EQ(system_->enclosure(0).state(sim_.Now()), PowerState::kOn);
+
+  system_->SetSpinDownAllowed(0, true);
+  sim_.RunUntil(20 * kMinute);
+  EXPECT_EQ(system_->enclosure(0).state(sim_.Now()), PowerState::kOff);
+  // The observer saw the power-off.
+  bool saw_off = false;
+  for (auto& [enc, state] : observer_.power) {
+    if (enc == 0 && state == PowerState::kOff) saw_off = true;
+  }
+  EXPECT_TRUE(saw_off);
+}
+
+TEST_F(StorageSystemTest, IoWakesSleepingEnclosure) {
+  system_->SetSpinDownAllowed(0, true);
+  system_->SubmitLogicalIo(Read(item_a_, 0));
+  sim_.RunUntil(10 * kMinute);
+  ASSERT_EQ(system_->enclosure(0).state(sim_.Now()), PowerState::kOff);
+  auto result = system_->SubmitLogicalIo(Read(item_a_, 16 * kMiB));
+  EXPECT_GT(result.latency, config_.enclosure.spinup_time);
+  EXPECT_EQ(system_->enclosure(0).spinup_count(), 1);
+}
+
+TEST_F(StorageSystemTest, PreloadServesReadsAfterLoad) {
+  ASSERT_TRUE(
+      system_->SetPreloadItems({{item_a_, catalog_.item(item_a_).size_bytes}})
+          .ok());
+  // The load is a bulk read on enclosure 0.
+  ASSERT_FALSE(observer_.physical.empty());
+  sim_.RunUntil(1 * kMinute);  // let the load complete
+  auto result = system_->SubmitLogicalIo(Read(item_a_, 32 * kMiB - 8192));
+  EXPECT_TRUE(result.cache_hit);
+}
+
+TEST_F(StorageSystemTest, WriteDelayedItemsDestageInBursts) {
+  ASSERT_TRUE(system_->SetWriteDelayItems({item_a_}).ok());
+  int64_t wd_block_limit = static_cast<int64_t>(
+      config_.cache.write_delay_dirty_ratio *
+      static_cast<double>(config_.cache.write_delay_area_bytes /
+                          config_.cache.block_size));
+  // Write just under the destage threshold: no physical I/O at all.
+  for (int64_t i = 0; i + 1 < wd_block_limit; ++i) {
+    system_->SubmitLogicalIo(Write(
+        item_a_, i * config_.cache.block_size, config_.cache.block_size));
+  }
+  EXPECT_TRUE(observer_.physical.empty());
+  // One more write crosses the enlarged dirty rate: a single bulk write.
+  system_->SubmitLogicalIo(Write(item_a_, wd_block_limit *
+                                              config_.cache.block_size,
+                                 config_.cache.block_size));
+  ASSERT_EQ(observer_.physical.size(), 1u);
+  EXPECT_EQ(observer_.physical[0].type, IoType::kWrite);
+  EXPECT_TRUE(observer_.physical[0].sequential);
+}
+
+TEST_F(StorageSystemTest, CommitItemMoveRedirectsIo) {
+  ASSERT_TRUE(system_->CommitItemMove(item_a_, 1).ok());
+  observer_.physical.clear();
+  system_->SubmitLogicalIo(Read(item_a_, 0));
+  ASSERT_EQ(observer_.physical.size(), 1u);
+  EXPECT_EQ(observer_.physical[0].enclosure, 1);
+}
+
+TEST_F(StorageSystemTest, FinalizeRunFlushesDirtyBlocks) {
+  system_->SubmitLogicalIo(Write(item_a_, 0));
+  sim_.RunUntil(1 * kMinute);
+  observer_.physical.clear();
+  system_->FinalizeRun();
+  ASSERT_EQ(observer_.physical.size(), 1u);
+  EXPECT_EQ(observer_.physical[0].type, IoType::kWrite);
+}
+
+TEST_F(StorageSystemTest, EnergySplitsControllerAndEnclosures) {
+  sim_.RunUntil(100 * kSecond);
+  Joules controller = system_->ControllerEnergy();
+  Joules enclosures = system_->EnclosureEnergy();
+  EXPECT_DOUBLE_EQ(controller,
+                   EnergyOf(config_.controller.base_power, 100 * kSecond));
+  EXPECT_NEAR(enclosures,
+              2 * EnergyOf(config_.enclosure.idle_power, 100 * kSecond),
+              1.0);
+  EXPECT_DOUBLE_EQ(system_->TotalEnergy(), controller + enclosures);
+}
+
+TEST_F(StorageSystemTest, IdleGapsReportedAboveFloor) {
+  system_->SubmitLogicalIo(Read(item_a_, 0));
+  sim_.RunUntil(sim_.Now() + 30 * kSecond);
+  system_->SubmitLogicalIo(Read(item_a_, 16 * kMiB));
+  ASSERT_EQ(observer_.gaps.size(), 1u);
+  EXPECT_NEAR(ToSeconds(observer_.gaps[0]), 30.0, 0.1);
+}
+
+TEST(StorageSystemInitTest, RejectsInvalidConfig) {
+  sim::Simulator sim;
+  DataItemCatalog catalog;
+  StorageConfig config;
+  config.num_enclosures = 0;
+  StorageSystem system(&sim, config, &catalog);
+  EXPECT_FALSE(system.Init().ok());
+}
+
+}  // namespace
+}  // namespace ecostore::storage

@@ -1,0 +1,96 @@
+// Tests for the suite runner (identical-trace methodology) and the
+// PaperPolicySet factory.
+
+#include <gtest/gtest.h>
+
+#include "replay/suite.h"
+#include "workload/recorded_workload.h"
+
+namespace ecostore::replay {
+namespace {
+
+std::unique_ptr<workload::Workload> TwoEnclosureWorkload() {
+  storage::DataItemCatalog catalog;
+  VolumeId v0 = catalog.AddVolume(0);
+  VolumeId v1 = catalog.AddVolume(1);
+  EXPECT_TRUE(
+      catalog.AddItem("hot", v0, 8 * kMiB, storage::DataItemKind::kFile)
+          .ok());
+  EXPECT_TRUE(
+      catalog.AddItem("cold", v1, 8 * kMiB, storage::DataItemKind::kFile)
+          .ok());
+  std::vector<trace::LogicalIoRecord> records;
+  for (SimTime t = 0; t < 20 * kMinute; t += 5 * kSecond) {
+    trace::LogicalIoRecord rec;
+    rec.time = t;
+    rec.item = 0;
+    rec.size = 8192;
+    rec.type = IoType::kRead;
+    rec.offset = (t / (5 * kSecond)) % 1000 * 8192;
+    records.push_back(rec);
+    if (t % (5 * kMinute) == 0) {
+      rec.item = 1;
+      rec.time = t + kSecond;
+      records.push_back(rec);
+    }
+  }
+  auto workload = workload::RecordedWorkload::FromRecords(
+      "two_enc", std::move(catalog), std::move(records), 20 * kMinute, 2);
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload).value();
+}
+
+TEST(SuiteTest, PaperPolicySetHasTheFourComparisonMethods) {
+  auto factories = PaperPolicySet(core::PowerManagementConfig{});
+  ASSERT_EQ(factories.size(), 4u);
+  std::vector<std::string> names;
+  for (const PolicyFactory& factory : factories) {
+    names.push_back(factory()->name());
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "no_power_saving", "proposed", "pdc", "ddr"}));
+}
+
+TEST(SuiteTest, EveryRunReplaysTheIdenticalTrace) {
+  auto workload = TwoEnclosureWorkload();
+  auto runs = RunSuite(workload.get(),
+                       PaperPolicySet(core::PowerManagementConfig{}),
+                       ExperimentConfig{});
+  ASSERT_TRUE(runs.ok());
+  ASSERT_EQ(runs.value().size(), 4u);
+  for (const ExperimentMetrics& m : runs.value()) {
+    EXPECT_EQ(m.logical_ios, runs.value()[0].logical_ios);
+    EXPECT_EQ(m.duration, runs.value()[0].duration);
+    EXPECT_EQ(m.workload, "two_enc");
+  }
+}
+
+TEST(SuiteTest, FindRunByName) {
+  auto workload = TwoEnclosureWorkload();
+  auto runs = RunSuite(workload.get(),
+                       PaperPolicySet(core::PowerManagementConfig{}),
+                       ExperimentConfig{});
+  ASSERT_TRUE(runs.ok());
+  EXPECT_NE(FindRun(runs.value(), "proposed"), nullptr);
+  EXPECT_NE(FindRun(runs.value(), "ddr"), nullptr);
+  EXPECT_EQ(FindRun(runs.value(), "unknown"), nullptr);
+}
+
+TEST(SuiteTest, ProposedSleepsTheColdEnclosure) {
+  // Item 0 is continuously read (P3, enclosure 0 hot); item 1 sees a read
+  // every 5 minutes (P1, enclosure 1 cold -> sleeps between touches).
+  auto workload = TwoEnclosureWorkload();
+  auto runs = RunSuite(workload.get(),
+                       PaperPolicySet(core::PowerManagementConfig{}),
+                       ExperimentConfig{});
+  ASSERT_TRUE(runs.ok());
+  const ExperimentMetrics* base = FindRun(runs.value(), "no_power_saving");
+  const ExperimentMetrics* proposed = FindRun(runs.value(), "proposed");
+  EXPECT_LT(proposed->avg_enclosure_power, base->avg_enclosure_power);
+  // The hot enclosure must not have cycled.
+  ASSERT_EQ(proposed->per_enclosure.size(), 2u);
+  EXPECT_EQ(proposed->per_enclosure[0].spinups, 0);
+}
+
+}  // namespace
+}  // namespace ecostore::replay

@@ -1,0 +1,280 @@
+// Tests for the I/O sources and the three workload generators, including
+// the Fig. 6 pattern-mix shape checks.
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_classifier.h"
+#include "workload/dss_workload.h"
+#include "workload/file_server_workload.h"
+#include "workload/io_sources.h"
+#include "workload/oltp_workload.h"
+
+namespace ecostore::workload {
+namespace {
+
+// --- Sources ----------------------------------------------------------
+
+TEST(SteadyRandomSourceTest, EmitsOrderedRecordsWithinBounds) {
+  SteadyRandomSource::Options o;
+  o.item = 3;
+  o.item_size = 1 << 20;
+  o.high_rate = 100;
+  o.low_rate = 50;
+  o.end = 10 * kSecond;
+  o.seed = 1;
+  SteadyRandomSource source(o);
+  SimTime last = 0;
+  int count = 0;
+  while (source.next_time() != kNoMoreIo) {
+    EXPECT_GE(source.next_time(), last);
+    last = source.next_time();
+    trace::LogicalIoRecord rec = source.Emit();
+    EXPECT_EQ(rec.item, 3);
+    EXPECT_GE(rec.offset, 0);
+    EXPECT_LE(rec.offset + rec.size, o.item_size);
+    count++;
+  }
+  // ~10 s at 50-100 IOPS.
+  EXPECT_GT(count, 300);
+  EXPECT_LT(count, 1300);
+}
+
+TEST(BurstySourceTest, EpisodesSeparatedByQuietSpans) {
+  BurstySource::Options o;
+  o.item = 1;
+  o.item_size = 1 << 20;
+  o.episode_interval = 100 * kSecond;
+  o.episode_length = 10;
+  o.intra_gap = 10 * kMillisecond;
+  o.end = 1000 * kSecond;
+  o.seed = 2;
+  BurstySource source(o);
+  std::vector<SimTime> times;
+  while (source.next_time() != kNoMoreIo) {
+    times.push_back(source.next_time());
+    source.Emit();
+  }
+  ASSERT_GT(times.size(), 10u);
+  // There must be at least one quiet gap far longer than the intra gap.
+  SimDuration max_gap = 0;
+  for (size_t i = 1; i < times.size(); ++i) {
+    max_gap = std::max(max_gap, times[i] - times[i - 1]);
+  }
+  EXPECT_GT(max_gap, 20 * kSecond);
+}
+
+TEST(BurstySourceTest, SessionGatingConfinesEpisodes) {
+  BurstySource::Options o;
+  o.item = 1;
+  o.item_size = 1 << 20;
+  o.episode_interval = 30 * kSecond;
+  o.episode_length = 3;
+  o.intra_gap = 10 * kMillisecond;
+  o.session_period = 10 * kMinute;
+  o.session_length = 1 * kMinute;
+  o.end = 1 * kHour;
+  o.seed = 3;
+  BurstySource source(o);
+  while (source.next_time() != kNoMoreIo) {
+    trace::LogicalIoRecord rec = source.Emit();
+    SimDuration pos = rec.time % o.session_period;
+    // Episodes START inside the window; with 3 quick I/Os they stay close.
+    EXPECT_LT(pos, o.session_length + 10 * kSecond)
+        << "record escaped its session window at t=" << rec.time;
+  }
+}
+
+TEST(PhasedSourceTest, EmitsScriptedPhases) {
+  std::vector<Phase> phases(2);
+  phases[0].start = 100;
+  phases[0].n_ios = 3;
+  phases[0].gap = 10;
+  phases[0].io_size = 4096;
+  phases[0].type = IoType::kWrite;
+  phases[0].tag = 7;
+  phases[1].start = 1000;
+  phases[1].n_ios = 2;
+  phases[1].gap = 5;
+  phases[1].io_size = 4096;
+  phases[1].type = IoType::kRead;
+  PhasedSource source(42, 1 << 20, phases);
+  std::vector<trace::LogicalIoRecord> records;
+  while (source.next_time() != kNoMoreIo) records.push_back(source.Emit());
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(records[0].time, 100);
+  EXPECT_EQ(records[2].time, 120);
+  EXPECT_EQ(records[0].type, IoType::kWrite);
+  EXPECT_EQ(records[0].tag, 7);
+  EXPECT_EQ(records[3].time, 1000);
+  EXPECT_EQ(records[4].type, IoType::kRead);
+}
+
+TEST(SourceMixerTest, MergesInTimeOrder) {
+  SourceMixer mixer;
+  std::vector<Phase> p1(1), p2(1);
+  p1[0] = {.start = 50, .n_ios = 3, .gap = 100, .io_size = 4096};
+  p2[0] = {.start = 60, .n_ios = 3, .gap = 100, .io_size = 4096};
+  mixer.Add(std::make_unique<PhasedSource>(1, 4096, p1));
+  mixer.Add(std::make_unique<PhasedSource>(2, 4096, p2));
+  trace::LogicalIoRecord rec;
+  SimTime last = 0;
+  int count = 0;
+  while (mixer.Next(&rec)) {
+    EXPECT_GE(rec.time, last);
+    last = rec.time;
+    count++;
+  }
+  EXPECT_EQ(count, 6);
+}
+
+// --- Workload generators ----------------------------------------------
+
+template <typename WorkloadT>
+void ExpectDeterministicAndOrdered(WorkloadT& workload, int probe) {
+  std::vector<trace::LogicalIoRecord> first;
+  trace::LogicalIoRecord rec;
+  SimTime last = 0;
+  while (workload.Next(&rec) && static_cast<int>(first.size()) < probe) {
+    EXPECT_GE(rec.time, last) << "records out of order";
+    EXPECT_LT(rec.time, workload.info().duration);
+    last = rec.time;
+    first.push_back(rec);
+  }
+  ASSERT_GT(first.size(), 100u);
+
+  workload.Reset();
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(workload.Next(&rec));
+    EXPECT_EQ(rec.time, first[i].time);
+    EXPECT_EQ(rec.item, first[i].item);
+    EXPECT_EQ(rec.offset, first[i].offset);
+    EXPECT_EQ(rec.type, first[i].type);
+  }
+}
+
+/// Classifies a whole run of a workload (like the paper's full-duration
+/// Fig. 6 measurement).
+core::ClassificationResult ClassifyFullRun(Workload& workload) {
+  trace::LogicalTraceBuffer buffer;
+  trace::LogicalIoRecord rec;
+  workload.Reset();
+  while (workload.Next(&rec)) buffer.Append(rec);
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  return classifier.Classify(buffer, workload.catalog(), 0,
+                             workload.info().duration);
+}
+
+TEST(FileServerWorkloadTest, ValidatesConfig) {
+  FileServerConfig config;
+  config.duration = 0;
+  EXPECT_FALSE(FileServerWorkload::Create(config).ok());
+  config = FileServerConfig{};
+  config.popular_files = 0;
+  EXPECT_FALSE(FileServerWorkload::Create(config).ok());
+}
+
+TEST(FileServerWorkloadTest, DeterministicStream) {
+  FileServerConfig config;
+  config.duration = 10 * kMinute;
+  auto workload = FileServerWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  ExpectDeterministicAndOrdered(*workload.value(), 2000);
+}
+
+TEST(FileServerWorkloadTest, Fig6MixIsP1Dominated) {
+  FileServerConfig config;
+  config.duration = 90 * kMinute;  // shortened full run
+  auto workload = FileServerWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  auto result = ClassifyFullRun(*workload.value());
+  // Paper Fig. 6 File Server: ~89.6% P1, ~9.9% P3, almost no P2.
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP1), 0.55);
+  double p3 = result.PatternFraction(core::IoPattern::kP3);
+  EXPECT_GT(p3, 0.04);
+  EXPECT_LT(p3, 0.25);
+  EXPECT_LT(result.PatternFraction(core::IoPattern::kP2), 0.10);
+}
+
+TEST(OltpWorkloadTest, CatalogShape) {
+  OltpConfig config;
+  config.duration = 1 * kMinute;
+  auto workload = OltpWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  // 1 log + 9 tables x 9 partitions.
+  EXPECT_EQ(workload.value()->catalog().item_count(), 82u);
+  EXPECT_EQ(workload.value()->info().num_enclosures, 10);
+}
+
+TEST(OltpWorkloadTest, Fig6MixIsP3Dominated) {
+  OltpConfig config;
+  config.duration = 30 * kMinute;
+  config.total_db_iops = 800;  // keep the test fast; shape is preserved
+  auto workload = OltpWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  auto result = ClassifyFullRun(*workload.value());
+  // Paper Fig. 6 TPC-C: ~76.2% P3, ~23.3% P1.
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP3), 0.6);
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP1), 0.1);
+  EXPECT_LT(result.PatternFraction(core::IoPattern::kP2), 0.05);
+}
+
+TEST(DssWorkloadTest, CatalogShape) {
+  DssConfig config;
+  config.duration = 10 * kMinute;
+  config.scale = 0.01;
+  auto workload = DssWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  // 8 tables x 8 partitions + 39 work files + 1 log.
+  EXPECT_EQ(workload.value()->catalog().item_count(), 104u);
+  EXPECT_EQ(workload.value()->info().num_enclosures, 9);
+}
+
+TEST(DssWorkloadTest, Fig6MixIsP1AndP2NoP3) {
+  DssConfig config;
+  config.duration = 2 * kHour;
+  config.scale = 0.05;  // small DB keeps the test quick
+  auto workload = DssWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  auto result = ClassifyFullRun(*workload.value());
+  // Paper Fig. 6 TPC-H: 61.5% P1, 38.5% P2, no P3.
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP1), 0.4);
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP2), 0.2);
+  EXPECT_EQ(result.pattern_counts[static_cast<size_t>(
+                core::IoPattern::kP3)],
+            0);
+}
+
+TEST(DssWorkloadTest, RecordsCarryQueryTags) {
+  DssConfig config;
+  config.duration = 1 * kHour;
+  config.scale = 0.02;
+  auto workload = DssWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  trace::LogicalIoRecord rec;
+  std::set<int32_t> tags;
+  while (workload.value()->Next(&rec)) tags.insert(rec.tag);
+  EXPECT_GT(tags.size(), 3u);
+  for (int32_t tag : tags) {
+    EXPECT_GE(tag, 1);
+    EXPECT_LE(tag, 22);
+  }
+}
+
+TEST(DssWorkloadTest, QueryWallTimesFillDuration) {
+  DssConfig config;
+  config.duration = 2 * kHour;
+  config.scale = 0.05;
+  auto workload = DssWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  const auto& wall = workload.value()->query_wall_seconds();
+  double total = 0;
+  for (int q = 1; q <= DssWorkload::kNumQueries; ++q) {
+    EXPECT_GT(wall[static_cast<size_t>(q)], 0);
+    total += wall[static_cast<size_t>(q)];
+  }
+  EXPECT_NEAR(total, ToSeconds(config.duration), 0.25 * total);
+}
+
+}  // namespace
+}  // namespace ecostore::workload
