@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fileserver.dir/bench_fileserver.cpp.o"
+  "CMakeFiles/bench_fileserver.dir/bench_fileserver.cpp.o.d"
+  "bench_fileserver"
+  "bench_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

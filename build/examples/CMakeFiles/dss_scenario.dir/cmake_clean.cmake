@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dss_scenario.dir/dss_scenario.cpp.o"
+  "CMakeFiles/dss_scenario.dir/dss_scenario.cpp.o.d"
+  "dss_scenario"
+  "dss_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dss_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

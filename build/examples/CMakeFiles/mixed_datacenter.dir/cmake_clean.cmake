@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_datacenter.dir/mixed_datacenter.cpp.o"
+  "CMakeFiles/mixed_datacenter.dir/mixed_datacenter.cpp.o.d"
+  "mixed_datacenter"
+  "mixed_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_scenario.dir/oltp_scenario.cpp.o"
+  "CMakeFiles/oltp_scenario.dir/oltp_scenario.cpp.o.d"
+  "oltp_scenario"
+  "oltp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_common.dir/histogram.cc.o"
+  "CMakeFiles/ecostore_common.dir/histogram.cc.o.d"
+  "CMakeFiles/ecostore_common.dir/logging.cc.o"
+  "CMakeFiles/ecostore_common.dir/logging.cc.o.d"
+  "CMakeFiles/ecostore_common.dir/random.cc.o"
+  "CMakeFiles/ecostore_common.dir/random.cc.o.d"
+  "CMakeFiles/ecostore_common.dir/sim_time.cc.o"
+  "CMakeFiles/ecostore_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/ecostore_common.dir/status.cc.o"
+  "CMakeFiles/ecostore_common.dir/status.cc.o.d"
+  "CMakeFiles/ecostore_common.dir/units.cc.o"
+  "CMakeFiles/ecostore_common.dir/units.cc.o.d"
+  "libecostore_common.a"
+  "libecostore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_planner.cc" "src/core/CMakeFiles/ecostore_core.dir/cache_planner.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/cache_planner.cc.o.d"
+  "/root/repo/src/core/eco_storage_policy.cc" "src/core/CMakeFiles/ecostore_core.dir/eco_storage_policy.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/eco_storage_policy.cc.o.d"
+  "/root/repo/src/core/hot_cold_planner.cc" "src/core/CMakeFiles/ecostore_core.dir/hot_cold_planner.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/hot_cold_planner.cc.o.d"
+  "/root/repo/src/core/interval_analysis.cc" "src/core/CMakeFiles/ecostore_core.dir/interval_analysis.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/interval_analysis.cc.o.d"
+  "/root/repo/src/core/pattern_classifier.cc" "src/core/CMakeFiles/ecostore_core.dir/pattern_classifier.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/pattern_classifier.cc.o.d"
+  "/root/repo/src/core/placement_planner.cc" "src/core/CMakeFiles/ecostore_core.dir/placement_planner.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/placement_planner.cc.o.d"
+  "/root/repo/src/core/power_management.cc" "src/core/CMakeFiles/ecostore_core.dir/power_management.cc.o" "gcc" "src/core/CMakeFiles/ecostore_core.dir/power_management.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ecostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

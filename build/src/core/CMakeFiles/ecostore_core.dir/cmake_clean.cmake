@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_core.dir/cache_planner.cc.o"
+  "CMakeFiles/ecostore_core.dir/cache_planner.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/eco_storage_policy.cc.o"
+  "CMakeFiles/ecostore_core.dir/eco_storage_policy.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/hot_cold_planner.cc.o"
+  "CMakeFiles/ecostore_core.dir/hot_cold_planner.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/interval_analysis.cc.o"
+  "CMakeFiles/ecostore_core.dir/interval_analysis.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/pattern_classifier.cc.o"
+  "CMakeFiles/ecostore_core.dir/pattern_classifier.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/placement_planner.cc.o"
+  "CMakeFiles/ecostore_core.dir/placement_planner.cc.o.d"
+  "CMakeFiles/ecostore_core.dir/power_management.cc.o"
+  "CMakeFiles/ecostore_core.dir/power_management.cc.o.d"
+  "libecostore_core.a"
+  "libecostore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecostore_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/ddr_policy.cc" "src/policies/CMakeFiles/ecostore_policies.dir/ddr_policy.cc.o" "gcc" "src/policies/CMakeFiles/ecostore_policies.dir/ddr_policy.cc.o.d"
+  "/root/repo/src/policies/pdc_policy.cc" "src/policies/CMakeFiles/ecostore_policies.dir/pdc_policy.cc.o" "gcc" "src/policies/CMakeFiles/ecostore_policies.dir/pdc_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ecostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

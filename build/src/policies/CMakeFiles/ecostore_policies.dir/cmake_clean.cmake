@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_policies.dir/ddr_policy.cc.o"
+  "CMakeFiles/ecostore_policies.dir/ddr_policy.cc.o.d"
+  "CMakeFiles/ecostore_policies.dir/pdc_policy.cc.o"
+  "CMakeFiles/ecostore_policies.dir/pdc_policy.cc.o.d"
+  "libecostore_policies.a"
+  "libecostore_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/experiment.cc" "src/replay/CMakeFiles/ecostore_replay.dir/experiment.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/experiment.cc.o.d"
+  "/root/repo/src/replay/metrics.cc" "src/replay/CMakeFiles/ecostore_replay.dir/metrics.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/metrics.cc.o.d"
+  "/root/repo/src/replay/migration_engine.cc" "src/replay/CMakeFiles/ecostore_replay.dir/migration_engine.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/migration_engine.cc.o.d"
+  "/root/repo/src/replay/potential.cc" "src/replay/CMakeFiles/ecostore_replay.dir/potential.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/potential.cc.o.d"
+  "/root/repo/src/replay/report.cc" "src/replay/CMakeFiles/ecostore_replay.dir/report.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/report.cc.o.d"
+  "/root/repo/src/replay/suite.cc" "src/replay/CMakeFiles/ecostore_replay.dir/suite.cc.o" "gcc" "src/replay/CMakeFiles/ecostore_replay.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecostore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ecostore_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ecostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecostore_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_replay.dir/experiment.cc.o"
+  "CMakeFiles/ecostore_replay.dir/experiment.cc.o.d"
+  "CMakeFiles/ecostore_replay.dir/metrics.cc.o"
+  "CMakeFiles/ecostore_replay.dir/metrics.cc.o.d"
+  "CMakeFiles/ecostore_replay.dir/migration_engine.cc.o"
+  "CMakeFiles/ecostore_replay.dir/migration_engine.cc.o.d"
+  "CMakeFiles/ecostore_replay.dir/potential.cc.o"
+  "CMakeFiles/ecostore_replay.dir/potential.cc.o.d"
+  "CMakeFiles/ecostore_replay.dir/report.cc.o"
+  "CMakeFiles/ecostore_replay.dir/report.cc.o.d"
+  "CMakeFiles/ecostore_replay.dir/suite.cc.o"
+  "CMakeFiles/ecostore_replay.dir/suite.cc.o.d"
+  "libecostore_replay.a"
+  "libecostore_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_sim.dir/simulator.cc.o"
+  "CMakeFiles/ecostore_sim.dir/simulator.cc.o.d"
+  "libecostore_sim.a"
+  "libecostore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_virtualization.cc" "src/storage/CMakeFiles/ecostore_storage.dir/block_virtualization.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/block_virtualization.cc.o.d"
+  "/root/repo/src/storage/catalog_csv.cc" "src/storage/CMakeFiles/ecostore_storage.dir/catalog_csv.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/catalog_csv.cc.o.d"
+  "/root/repo/src/storage/data_item.cc" "src/storage/CMakeFiles/ecostore_storage.dir/data_item.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/data_item.cc.o.d"
+  "/root/repo/src/storage/disk_enclosure.cc" "src/storage/CMakeFiles/ecostore_storage.dir/disk_enclosure.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/disk_enclosure.cc.o.d"
+  "/root/repo/src/storage/power_meter.cc" "src/storage/CMakeFiles/ecostore_storage.dir/power_meter.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/power_meter.cc.o.d"
+  "/root/repo/src/storage/storage_cache.cc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_cache.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_cache.cc.o.d"
+  "/root/repo/src/storage/storage_config.cc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_config.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_config.cc.o.d"
+  "/root/repo/src/storage/storage_system.cc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_system.cc.o" "gcc" "src/storage/CMakeFiles/ecostore_storage.dir/storage_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

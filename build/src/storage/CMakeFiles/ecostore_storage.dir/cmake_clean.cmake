@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_storage.dir/block_virtualization.cc.o"
+  "CMakeFiles/ecostore_storage.dir/block_virtualization.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/catalog_csv.cc.o"
+  "CMakeFiles/ecostore_storage.dir/catalog_csv.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/data_item.cc.o"
+  "CMakeFiles/ecostore_storage.dir/data_item.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/disk_enclosure.cc.o"
+  "CMakeFiles/ecostore_storage.dir/disk_enclosure.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/power_meter.cc.o"
+  "CMakeFiles/ecostore_storage.dir/power_meter.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/storage_cache.cc.o"
+  "CMakeFiles/ecostore_storage.dir/storage_cache.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/storage_config.cc.o"
+  "CMakeFiles/ecostore_storage.dir/storage_config.cc.o.d"
+  "CMakeFiles/ecostore_storage.dir/storage_system.cc.o"
+  "CMakeFiles/ecostore_storage.dir/storage_system.cc.o.d"
+  "libecostore_storage.a"
+  "libecostore_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_trace.dir/trace_buffer.cc.o"
+  "CMakeFiles/ecostore_trace.dir/trace_buffer.cc.o.d"
+  "CMakeFiles/ecostore_trace.dir/trace_csv.cc.o"
+  "CMakeFiles/ecostore_trace.dir/trace_csv.cc.o.d"
+  "CMakeFiles/ecostore_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/ecostore_trace.dir/trace_stats.cc.o.d"
+  "libecostore_trace.a"
+  "libecostore_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

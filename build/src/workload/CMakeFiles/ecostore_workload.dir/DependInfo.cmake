@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/composite_workload.cc" "src/workload/CMakeFiles/ecostore_workload.dir/composite_workload.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/composite_workload.cc.o.d"
+  "/root/repo/src/workload/dss_workload.cc" "src/workload/CMakeFiles/ecostore_workload.dir/dss_workload.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/dss_workload.cc.o.d"
+  "/root/repo/src/workload/file_server_workload.cc" "src/workload/CMakeFiles/ecostore_workload.dir/file_server_workload.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/file_server_workload.cc.o.d"
+  "/root/repo/src/workload/io_sources.cc" "src/workload/CMakeFiles/ecostore_workload.dir/io_sources.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/io_sources.cc.o.d"
+  "/root/repo/src/workload/oltp_workload.cc" "src/workload/CMakeFiles/ecostore_workload.dir/oltp_workload.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/oltp_workload.cc.o.d"
+  "/root/repo/src/workload/recorded_workload.cc" "src/workload/CMakeFiles/ecostore_workload.dir/recorded_workload.cc.o" "gcc" "src/workload/CMakeFiles/ecostore_workload.dir/recorded_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ecostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

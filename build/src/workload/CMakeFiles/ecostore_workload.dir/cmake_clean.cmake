@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecostore_workload.dir/composite_workload.cc.o"
+  "CMakeFiles/ecostore_workload.dir/composite_workload.cc.o.d"
+  "CMakeFiles/ecostore_workload.dir/dss_workload.cc.o"
+  "CMakeFiles/ecostore_workload.dir/dss_workload.cc.o.d"
+  "CMakeFiles/ecostore_workload.dir/file_server_workload.cc.o"
+  "CMakeFiles/ecostore_workload.dir/file_server_workload.cc.o.d"
+  "CMakeFiles/ecostore_workload.dir/io_sources.cc.o"
+  "CMakeFiles/ecostore_workload.dir/io_sources.cc.o.d"
+  "CMakeFiles/ecostore_workload.dir/oltp_workload.cc.o"
+  "CMakeFiles/ecostore_workload.dir/oltp_workload.cc.o.d"
+  "CMakeFiles/ecostore_workload.dir/recorded_workload.cc.o"
+  "CMakeFiles/ecostore_workload.dir/recorded_workload.cc.o.d"
+  "libecostore_workload.a"
+  "libecostore_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecostore_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecostore_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_virtualization_test.dir/block_virtualization_test.cc.o"
+  "CMakeFiles/block_virtualization_test.dir/block_virtualization_test.cc.o.d"
+  "block_virtualization_test"
+  "block_virtualization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_virtualization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

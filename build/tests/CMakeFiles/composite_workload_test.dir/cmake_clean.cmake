@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_workload_test.dir/composite_workload_test.cc.o"
+  "CMakeFiles/composite_workload_test.dir/composite_workload_test.cc.o.d"
+  "composite_workload_test"
+  "composite_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_enclosure_test.dir/disk_enclosure_test.cc.o"
+  "CMakeFiles/disk_enclosure_test.dir/disk_enclosure_test.cc.o.d"
+  "disk_enclosure_test"
+  "disk_enclosure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_enclosure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_policy_test.dir/eco_policy_test.cc.o"
+  "CMakeFiles/eco_policy_test.dir/eco_policy_test.cc.o.d"
+  "eco_policy_test"
+  "eco_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

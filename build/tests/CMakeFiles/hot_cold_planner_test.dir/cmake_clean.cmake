@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cold_planner_test.dir/hot_cold_planner_test.cc.o"
+  "CMakeFiles/hot_cold_planner_test.dir/hot_cold_planner_test.cc.o.d"
+  "hot_cold_planner_test"
+  "hot_cold_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cold_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

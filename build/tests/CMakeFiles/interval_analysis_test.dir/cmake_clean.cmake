@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_analysis_test.dir/interval_analysis_test.cc.o"
+  "CMakeFiles/interval_analysis_test.dir/interval_analysis_test.cc.o.d"
+  "interval_analysis_test"
+  "interval_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_classifier_test.dir/pattern_classifier_test.cc.o"
+  "CMakeFiles/pattern_classifier_test.dir/pattern_classifier_test.cc.o.d"
+  "pattern_classifier_test"
+  "pattern_classifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_planner_test.dir/placement_planner_test.cc.o"
+  "CMakeFiles/placement_planner_test.dir/placement_planner_test.cc.o.d"
+  "placement_planner_test"
+  "placement_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

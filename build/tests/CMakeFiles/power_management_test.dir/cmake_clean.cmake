@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_management_test.dir/power_management_test.cc.o"
+  "CMakeFiles/power_management_test.dir/power_management_test.cc.o.d"
+  "power_management_test"
+  "power_management_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_management_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_meter_test.dir/power_meter_test.cc.o"
+  "CMakeFiles/power_meter_test.dir/power_meter_test.cc.o.d"
+  "power_meter_test"
+  "power_meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recorded_workload_test.dir/recorded_workload_test.cc.o"
+  "CMakeFiles/recorded_workload_test.dir/recorded_workload_test.cc.o.d"
+  "recorded_workload_test"
+  "recorded_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recorded_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

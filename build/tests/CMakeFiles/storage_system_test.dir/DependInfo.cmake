@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage_system_test.cc" "tests/CMakeFiles/storage_system_test.dir/storage_system_test.cc.o" "gcc" "tests/CMakeFiles/storage_system_test.dir/storage_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/ecostore_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecostore_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecostore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/ecostore_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ecostore_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecostore_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecostore_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecostore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
