@@ -37,8 +37,9 @@ replay::PolicyFactory Variant(core::PowerManagementConfig pm,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::InitBenchLogging();
+  const int threads = bench::ParseThreadsFlag(argc, argv);
   bench::PrintHeader("Ablation — proposed method feature contributions",
                      "design-choice study (DESIGN.md); no paper analogue");
 
@@ -79,8 +80,25 @@ int main() {
   variant.enable_pattern_change_triggers = false;
   factories.push_back(Variant(variant, "no_triggers"));
 
-  auto runs = replay::RunSuite(workload.value().get(), factories,
-                               replay::ExperimentConfig{});
+  // Serial (the default) replays one shared workload instance exactly as
+  // before; --threads=N>1 gives every policy its own deterministic clone
+  // and runs them concurrently — same numbers, less wall-clock.
+  Result<std::vector<replay::ExperimentMetrics>> runs =
+      std::vector<replay::ExperimentMetrics>{};
+  if (threads <= 1) {
+    runs = replay::RunSuite(workload.value().get(), factories,
+                            replay::ExperimentConfig{});
+  } else {
+    replay::WorkloadFactory clone =
+        [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto w = workload::FileServerWorkload::Create(wl_config);
+      if (!w.ok()) return w.status();
+      return std::unique_ptr<workload::Workload>(std::move(w).value());
+    };
+    runs = replay::ParallelRunSuite(clone, factories,
+                                    replay::ExperimentConfig{},
+                                    replay::SuiteOptions{threads});
+  }
   if (!runs.ok()) {
     std::cerr << runs.status().ToString() << "\n";
     return 1;

@@ -2,8 +2,20 @@
 // loop, the cache, interval analysis, the classifier and the placement
 // planner. These bound the monitoring overhead the paper argues is small
 // (§III-A, §VII-D).
+//
+// In addition to the google-benchmark suite, main() times the per-period
+// classification hot path on a real file-server monitoring period — both
+// the current streaming implementation and the pre-optimisation
+// vector-of-vectors gather (replicated below) — and writes the results to
+// BENCH_perf.json (override the path with ECOSTORE_BENCH_JSON) so the
+// perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/random.h"
 #include "core/pattern_classifier.h"
@@ -11,6 +23,8 @@
 #include "sim/simulator.h"
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
+#include "trace/trace_stats.h"
+#include "workload/file_server_workload.h"
 
 namespace ecostore {
 namespace {
@@ -58,13 +72,159 @@ void BM_IntervalAnalysis(benchmark::State& state) {
     t += rng.UniformInt(1, 2 * kSecond);
     ios.emplace_back(t, rng.Bernoulli(0.6));
   }
+  core::IntervalProfile profile;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::AnalyzeIntervals(
-        ios, 0, t + kSecond, 52 * kSecond));
+    core::AnalyzeIntervalsInto(ios, 0, t + kSecond, 52 * kSecond, &profile);
+    benchmark::DoNotOptimize(profile);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_IntervalAnalysis)->Arg(100)->Arg(10000);
+
+// ---------------------------------------------------------------------
+// Classification: synthetic uniform trace and a real file-server period.
+// ---------------------------------------------------------------------
+
+/// The pre-optimisation classifier hot path, kept verbatim as the
+/// regression reference: per period it materialised one vector of
+/// (time, is_read) pairs PER CATALOG ITEM and copied every profile.
+core::ClassificationResult ClassifyLegacy(
+    const core::PatternClassifier::Options& options,
+    const trace::LogicalTraceBuffer& buffer,
+    const storage::DataItemCatalog& catalog, SimTime period_start,
+    SimTime period_end) {
+  core::ClassificationResult result;
+  result.items.resize(catalog.item_count());
+
+  std::vector<std::vector<std::pair<SimTime, bool>>> per_item(
+      catalog.item_count());
+  std::vector<std::pair<int64_t, int64_t>> bytes(catalog.item_count(),
+                                                 {0, 0});
+  for (const trace::LogicalIoRecord& rec : buffer.records()) {
+    if (rec.item < 0 ||
+        static_cast<size_t>(rec.item) >= catalog.item_count()) {
+      continue;
+    }
+    auto idx = static_cast<size_t>(rec.item);
+    per_item[idx].emplace_back(rec.time, rec.is_read());
+    if (rec.is_read()) {
+      bytes[idx].first += rec.size;
+    } else {
+      bytes[idx].second += rec.size;
+    }
+  }
+
+  double period_seconds = ToSeconds(period_end - period_start);
+  double long_interval_sum = 0.0;
+  int64_t long_interval_count = 0;
+
+  for (size_t i = 0; i < catalog.item_count(); ++i) {
+    core::ItemClassification& cls = result.items[i];
+    cls.item = static_cast<DataItemId>(i);
+    cls.size_bytes = catalog.item(cls.item).size_bytes;
+    cls.read_bytes = bytes[i].first;
+    cls.write_bytes = bytes[i].second;
+
+    core::IntervalProfile profile = core::AnalyzeIntervals(
+        per_item[i], period_start, period_end, options.break_even);
+    cls.reads = profile.total_reads();
+    cls.writes = profile.total_writes();
+    cls.avg_iops = period_seconds > 0
+                       ? static_cast<double>(cls.total_ios()) / period_seconds
+                       : 0.0;
+    cls.long_intervals = std::move(profile.long_intervals);
+
+    for (SimDuration li : cls.long_intervals) {
+      long_interval_sum += static_cast<double>(li);
+      long_interval_count++;
+    }
+
+    if (per_item[i].empty()) {
+      cls.pattern = core::IoPattern::kP0;
+    } else if (cls.long_intervals.empty()) {
+      cls.pattern = core::IoPattern::kP3;
+    } else if (cls.reads * 2 > cls.total_ios()) {
+      cls.pattern = core::IoPattern::kP1;
+    } else {
+      cls.pattern = core::IoPattern::kP2;
+    }
+    result.pattern_counts[static_cast<size_t>(cls.pattern)]++;
+  }
+
+  if (long_interval_count > 0) {
+    result.mean_long_interval = static_cast<SimDuration>(
+        long_interval_sum / static_cast<double>(long_interval_count));
+  }
+
+  trace::IopsSeries p3_series(
+      period_start, std::max(period_end, period_start + 1),
+      options.iops_bucket);
+  bool any_p3 = false;
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    if (result.items[i].pattern != core::IoPattern::kP3) continue;
+    any_p3 = true;
+    for (const auto& [t, is_read] : per_item[i]) {
+      (void)is_read;
+      p3_series.Add(t);
+    }
+  }
+  result.p3_max_iops = any_p3 ? p3_series.MaxIops() : 0.0;
+  return result;
+}
+
+/// One monitoring period (the paper's initial 520 s) of the file-server
+/// workload, replayed into a trace buffer once and shared by the
+/// classification benchmarks.
+struct FileServerPeriod {
+  storage::DataItemCatalog catalog;
+  trace::LogicalTraceBuffer buffer;
+  SimTime period_end = 520 * kSecond;
+
+  static const FileServerPeriod& Get() {
+    static FileServerPeriod* period = [] {
+      auto* p = new FileServerPeriod();
+      workload::FileServerConfig config;
+      config.duration = p->period_end;
+      auto workload = workload::FileServerWorkload::Create(config);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "file-server workload: %s\n",
+                     workload.status().ToString().c_str());
+        std::abort();
+      }
+      trace::LogicalIoRecord rec;
+      while (workload.value()->Next(&rec)) p->buffer.Append(rec);
+      // The catalog outlives the workload via a copy.
+      p->catalog = workload.value()->catalog();
+      return p;
+    }();
+    return *period;
+  }
+};
+
+void BM_ClassifyFileServerPeriod(benchmark::State& state) {
+  const FileServerPeriod& period = FileServerPeriod::Get();
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(
+        period.buffer, period.catalog, 0, period.period_end));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(period.buffer.size()));
+}
+BENCHMARK(BM_ClassifyFileServerPeriod);
+
+void BM_ClassifyFileServerPeriodLegacy(benchmark::State& state) {
+  const FileServerPeriod& period = FileServerPeriod::Get();
+  core::PatternClassifier::Options options{52 * kSecond, 1 * kSecond};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifyLegacy(
+        options, period.buffer, period.catalog, 0, period.period_end));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(period.buffer.size()));
+}
+BENCHMARK(BM_ClassifyFileServerPeriodLegacy);
 
 void BM_PatternClassifier(benchmark::State& state) {
   const int n_items = static_cast<int>(state.range(0));
@@ -154,7 +314,99 @@ void BM_EnclosureSubmit(benchmark::State& state) {
 }
 BENCHMARK(BM_EnclosureSubmit);
 
+// ---------------------------------------------------------------------
+// BENCH_perf.json: manually timed classification throughput (events/s)
+// on the file-server period, current vs legacy, for cross-PR tracking.
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+double MeasureEventsPerSec(int64_t events_per_call, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up (grows the reusable scratch to steady state).
+  fn();
+  int64_t calls = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    calls++;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 1.0);
+  return static_cast<double>(events_per_call * calls) / elapsed;
+}
+
+void WriteBenchPerfJson() {
+  const FileServerPeriod& period = FileServerPeriod::Get();
+  const auto events = static_cast<int64_t>(period.buffer.size());
+  core::PatternClassifier classifier(
+      core::PatternClassifier::Options{52 * kSecond, 1 * kSecond});
+  core::PatternClassifier::Options options{52 * kSecond, 1 * kSecond};
+
+  // Sanity: both implementations must agree before we compare speed.
+  core::ClassificationResult current =
+      classifier.Classify(period.buffer, period.catalog, 0,
+                          period.period_end);
+  core::ClassificationResult legacy = ClassifyLegacy(
+      options, period.buffer, period.catalog, 0, period.period_end);
+  if (current.pattern_counts != legacy.pattern_counts ||
+      current.p3_max_iops != legacy.p3_max_iops ||
+      current.mean_long_interval != legacy.mean_long_interval) {
+    std::fprintf(stderr,
+                 "BENCH_perf: streaming and legacy classification disagree!\n");
+    std::exit(1);
+  }
+
+  double streaming = MeasureEventsPerSec(events, [&] {
+    benchmark::DoNotOptimize(classifier.Classify(
+        period.buffer, period.catalog, 0, period.period_end));
+  });
+  double legacy_rate = MeasureEventsPerSec(events, [&] {
+    benchmark::DoNotOptimize(ClassifyLegacy(
+        options, period.buffer, period.catalog, 0, period.period_end));
+  });
+
+  double sim_rate = MeasureEventsPerSec(100000, [] {
+    sim::Simulator sim;
+    for (int i = 0; i < 100000; ++i) sim.ScheduleAt(i, [] {});
+    benchmark::DoNotOptimize(sim.RunAll());
+  });
+
+  const char* path = std::getenv("ECOSTORE_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_perf.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "BENCH_perf: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"bench_micro\",\n");
+  std::fprintf(out, "  \"classification_fileserver_period\": {\n");
+  std::fprintf(out, "    \"trace_events\": %lld,\n",
+               static_cast<long long>(events));
+  std::fprintf(out, "    \"catalog_items\": %zu,\n",
+               period.catalog.item_count());
+  std::fprintf(out, "    \"streaming_events_per_sec\": %.0f,\n", streaming);
+  std::fprintf(out, "    \"legacy_events_per_sec\": %.0f,\n", legacy_rate);
+  std::fprintf(out, "    \"speedup\": %.2f\n", streaming / legacy_rate);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f\n",
+               sim_rate);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nclassification (file-server period, %lld events): "
+              "streaming %.2fM ev/s vs legacy %.2fM ev/s (%.2fx) -> %s\n",
+              static_cast<long long>(events), streaming / 1e6, legacy_rate / 1e6,
+              streaming / legacy_rate, path);
+}
+
 }  // namespace
 }  // namespace ecostore
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ecostore::WriteBenchPerfJson();
+  return 0;
+}

@@ -6,7 +6,12 @@
 //   4. HDD vs SSD enclosures (paper §VIII-D).
 // Each row runs the proposed method on the file-server workload against
 // its own no-power-saving reference.
+//
+// `--threads=N` runs all (row, policy) experiments on a shared thread
+// pool (N=0: all hardware threads). Every experiment owns its workload
+// clone and simulator, so the numbers are identical to a serial run.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -20,6 +25,18 @@ using namespace ecostore;  // NOLINT
 
 namespace {
 
+struct RowSpec {
+  std::string label;
+  workload::FileServerConfig wl;
+  replay::ExperimentConfig config;
+  core::PowerManagementConfig pm;
+};
+
+struct Section {
+  std::string title;
+  std::vector<RowSpec> rows;
+};
+
 struct SweepRow {
   std::string label;
   double saving_pct = 0;
@@ -27,26 +44,13 @@ struct SweepRow {
   int64_t spinups = 0;
 };
 
-Result<SweepRow> RunOne(const std::string& label,
-                        const workload::FileServerConfig& wl_config,
-                        const replay::ExperimentConfig& config,
-                        const core::PowerManagementConfig& pm) {
-  auto workload = workload::FileServerWorkload::Create(wl_config);
-  if (!workload.ok()) return workload.status();
-  std::vector<replay::PolicyFactory> factories;
-  factories.push_back(
-      [] { return std::make_unique<policies::NoPowerSavingPolicy>(); });
-  factories.push_back(
-      [pm] { return std::make_unique<core::EcoStoragePolicy>(pm); });
-  auto runs = replay::RunSuite(workload.value().get(), factories, config);
-  if (!runs.ok()) return runs.status();
-  SweepRow row;
-  row.label = label;
-  row.saving_pct =
-      runs.value()[1].EnclosurePowerSavingVs(runs.value()[0]);
-  row.response_ms = runs.value()[1].avg_response_ms;
-  row.spinups = runs.value()[1].spinups;
-  return row;
+replay::WorkloadFactory FileServerFactory(
+    const workload::FileServerConfig& wl) {
+  return [wl]() -> Result<std::unique_ptr<workload::Workload>> {
+    auto workload = workload::FileServerWorkload::Create(wl);
+    if (!workload.ok()) return workload.status();
+    return std::unique_ptr<workload::Workload>(std::move(workload).value());
+  };
 }
 
 void Print(const std::vector<SweepRow>& rows) {
@@ -62,8 +66,9 @@ void Print(const std::vector<SweepRow>& rows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::InitBenchLogging();
+  const int threads = bench::ParseThreadsFlag(argc, argv);
   bench::PrintHeader("Sensitivity sweeps — proposed method",
                      "configuration study (paper \xC2\xA7IX future work); "
                      "no paper figure");
@@ -71,92 +76,130 @@ int main() {
   workload::FileServerConfig wl;
   wl.duration = bench::MaybeShorten(90 * kMinute, 30 * kMinute);
 
+  std::vector<Section> sections;
+
   // --- 1. preload area --------------------------------------------------
   {
-    std::vector<SweepRow> rows;
+    Section section;
+    section.title = "[sweep 1] preload-area size:";
     for (int64_t mb : {0, 125, 250, 500, 1000}) {
-      replay::ExperimentConfig config;
-      core::PowerManagementConfig pm;
+      RowSpec row;
+      row.label = "preload area " + std::to_string(mb) + " MiB";
+      row.wl = wl;
       if (mb == 0) {
-        pm.enable_preload = false;
+        row.pm.enable_preload = false;
       } else {
-        config.storage.cache.preload_area_bytes = mb * kMiB;
+        row.config.storage.cache.preload_area_bytes = mb * kMiB;
       }
-      auto row = RunOne("preload area " + std::to_string(mb) + " MiB", wl,
-                        config, pm);
-      if (!row.ok()) {
-        std::cerr << row.status().ToString() << "\n";
-        return 1;
-      }
-      rows.push_back(row.value());
+      section.rows.push_back(std::move(row));
     }
-    std::cout << "[sweep 1] preload-area size:\n";
-    Print(rows);
+    sections.push_back(std::move(section));
   }
 
   // --- 2. spin-down timeout --------------------------------------------
   {
-    std::vector<SweepRow> rows;
+    Section section;
+    section.title = "[sweep 2] spin-down timeout (break-even 52 s):";
     for (int seconds : {13, 26, 52, 104, 208}) {
-      replay::ExperimentConfig config;
-      config.storage.enclosure.spindown_timeout = seconds * kSecond;
-      core::PowerManagementConfig pm;
-      auto row = RunOne("spin-down timeout " + std::to_string(seconds) +
-                            " s",
-                        wl, config, pm);
-      if (!row.ok()) {
-        std::cerr << row.status().ToString() << "\n";
-        return 1;
-      }
-      rows.push_back(row.value());
+      RowSpec row;
+      row.label = "spin-down timeout " + std::to_string(seconds) + " s";
+      row.wl = wl;
+      row.config.storage.enclosure.spindown_timeout = seconds * kSecond;
+      section.rows.push_back(std::move(row));
     }
-    std::cout << "[sweep 2] spin-down timeout (break-even 52 s):\n";
-    Print(rows);
+    sections.push_back(std::move(section));
   }
 
   // --- 3. array width ---------------------------------------------------
   {
-    std::vector<SweepRow> rows;
+    Section section;
+    section.title = "[sweep 3] array width:";
     for (int enclosures : {6, 12, 24}) {
-      workload::FileServerConfig wide = wl;
-      wide.num_enclosures = enclosures;
+      RowSpec row;
+      row.label = std::to_string(enclosures) + " enclosures";
+      row.wl = wl;
+      row.wl.num_enclosures = enclosures;
       // Keep total data within capacity when the array shrinks.
-      wide.archive_files = enclosures * 13;
-      replay::ExperimentConfig config;
-      core::PowerManagementConfig pm;
-      auto row = RunOne(std::to_string(enclosures) + " enclosures", wide,
-                        config, pm);
-      if (!row.ok()) {
-        std::cerr << row.status().ToString() << "\n";
-        return 1;
-      }
-      rows.push_back(row.value());
+      row.wl.archive_files = enclosures * 13;
+      section.rows.push_back(std::move(row));
     }
-    std::cout << "[sweep 3] array width:\n";
-    Print(rows);
+    sections.push_back(std::move(section));
   }
 
   // --- 4. HDD vs SSD (paper §VIII-D) -------------------------------------
   {
+    Section section;
+    section.title = "[sweep 4] media type:";
+    {
+      RowSpec row;
+      row.label = "HDD enclosures (break-even 52 s)";
+      row.wl = wl;
+      row.config.storage.enclosure = storage::EnterpriseHddEnclosureConfig();
+      section.rows.push_back(std::move(row));
+    }
+    {
+      RowSpec row;
+      row.label = "SSD enclosures (break-even ~2 s)";
+      row.wl = wl;
+      row.config.storage.enclosure = storage::SsdEnclosureConfig();
+      row.pm.break_even = row.config.storage.enclosure.BreakEvenTime();
+      section.rows.push_back(std::move(row));
+    }
+    sections.push_back(std::move(section));
+  }
+
+  // Flatten into independent (workload-clone, policy) experiments: per
+  // row the no-power-saving reference followed by the proposed method.
+  std::vector<replay::ExperimentJob> jobs;
+  for (const Section& section : sections) {
+    for (const RowSpec& row : section.rows) {
+      replay::ExperimentJob base;
+      base.workload = FileServerFactory(row.wl);
+      base.policy = [] {
+        return std::make_unique<policies::NoPowerSavingPolicy>();
+      };
+      base.config = row.config;
+      jobs.push_back(std::move(base));
+
+      replay::ExperimentJob eco;
+      eco.workload = FileServerFactory(row.wl);
+      core::PowerManagementConfig pm = row.pm;
+      eco.policy = [pm] {
+        return std::make_unique<core::EcoStoragePolicy>(pm);
+      };
+      eco.config = row.config;
+      jobs.push_back(std::move(eco));
+    }
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  auto runs = replay::RunExperiments(jobs, replay::SuiteOptions{threads});
+  auto wall = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - wall_start)
+                  .count();
+  if (!runs.ok()) {
+    std::cerr << runs.status().ToString() << "\n";
+    return 1;
+  }
+
+  size_t next = 0;
+  for (const Section& section : sections) {
     std::vector<SweepRow> rows;
-    {
-      replay::ExperimentConfig config;
-      config.storage.enclosure = storage::EnterpriseHddEnclosureConfig();
-      auto row = RunOne("HDD enclosures (break-even 52 s)", wl, config,
-                        core::PowerManagementConfig{});
-      if (row.ok()) rows.push_back(row.value());
+    for (const RowSpec& spec : section.rows) {
+      const replay::ExperimentMetrics& base = runs.value()[next++];
+      const replay::ExperimentMetrics& eco = runs.value()[next++];
+      SweepRow row;
+      row.label = spec.label;
+      row.saving_pct = eco.EnclosurePowerSavingVs(base);
+      row.response_ms = eco.avg_response_ms;
+      row.spinups = eco.spinups;
+      rows.push_back(std::move(row));
     }
-    {
-      replay::ExperimentConfig config;
-      config.storage.enclosure = storage::SsdEnclosureConfig();
-      core::PowerManagementConfig pm;
-      pm.break_even = config.storage.enclosure.BreakEvenTime();
-      auto row = RunOne("SSD enclosures (break-even ~2 s)", wl, config,
-                        pm);
-      if (row.ok()) rows.push_back(row.value());
-    }
-    std::cout << "[sweep 4] media type:\n";
+    std::cout << section.title << "\n";
     Print(rows);
   }
+
+  std::printf("ran %zu experiments on %d thread(s) in %.1f s wall\n",
+              jobs.size(), threads, wall);
   return 0;
 }

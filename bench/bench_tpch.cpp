@@ -17,8 +17,9 @@
 
 using namespace ecostore;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   bench::InitBenchLogging();
+  const int threads = bench::ParseThreadsFlag(argc, argv);
   bench::PrintHeader("Figs. 14-16, 19 — TPC-H (DSS)",
                      "all methods save >50%; proposed & DDR ~70%, PDC "
                      "~56%; DDR's responses worst");
@@ -34,8 +35,24 @@ int main() {
 
   replay::ExperimentConfig config;
   core::PowerManagementConfig pm;
-  auto runs = replay::RunSuite(workload.value().get(),
-                               replay::PaperPolicySet(pm), config);
+  // Serial (default) keeps the original shared-instance replay;
+  // --threads=N>1 runs the four policies concurrently, each against its
+  // own deterministic workload clone (identical trace, same figures).
+  Result<std::vector<replay::ExperimentMetrics>> runs =
+      std::vector<replay::ExperimentMetrics>{};
+  if (threads <= 1) {
+    runs = replay::RunSuite(workload.value().get(),
+                            replay::PaperPolicySet(pm), config);
+  } else {
+    replay::WorkloadFactory clone =
+        [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto w = workload::DssWorkload::Create(wl_config);
+      if (!w.ok()) return w.status();
+      return std::unique_ptr<workload::Workload>(std::move(w).value());
+    };
+    runs = replay::ParallelRunSuite(clone, replay::PaperPolicySet(pm),
+                                    config, replay::SuiteOptions{threads});
+  }
   if (!runs.ok()) {
     std::cerr << runs.status().ToString() << "\n";
     return 1;

@@ -6,11 +6,31 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/sim_time.h"
 
 namespace ecostore::bench {
+
+/// Parses a `--threads=N` argument (default 1 == today's serial
+/// behaviour). `--threads=0` means "all hardware threads". Unknown
+/// arguments are left alone for the caller.
+inline int ParseThreadsFlag(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    const std::string prefix = "--threads=";
+    if (arg.rfind(prefix, 0) == 0) {
+      threads = std::atoi(arg.c_str() + prefix.size());
+    }
+  }
+  if (threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return threads;
+}
 
 /// True when ECOSTORE_QUICK=1: benchmarks run shortened workloads (for CI
 /// and smoke runs); otherwise the paper's full durations are used.

@@ -61,20 +61,17 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   std::vector<std::pair<DataItemId, int64_t>> preload =
       last_plan_.cache.preload;
   int64_t budget = function_->config().preload_area_bytes;
+  std::unordered_set<DataItemId> fresh_ids;
+  fresh_ids.reserve(preload.size());
   for (const auto& [item, size] : preload) {
-    (void)item;
+    fresh_ids.insert(item);
     budget -= size;
   }
   for (const auto& [item, size] : prev_preload_) {
-    bool already = false;
-    for (const auto& [fresh_item, fresh_size] : preload) {
-      (void)fresh_size;
-      if (fresh_item == item) {
-        already = true;
-        break;
-      }
+    if (fresh_ids.count(item) != 0 || !still_cold_non_p3(item) ||
+        size > budget) {
+      continue;
     }
-    if (already || !still_cold_non_p3(item) || size > budget) continue;
     preload.emplace_back(item, size);
     budget -= size;
   }

@@ -16,15 +16,16 @@ int64_t IntervalProfile::total_writes() const {
   return n;
 }
 
-IntervalProfile AnalyzeIntervals(
-    const std::vector<std::pair<SimTime, bool>>& ios, SimTime period_start,
-    SimTime period_end, SimDuration break_even) {
+void AnalyzeIntervalsInto(std::span<const std::pair<SimTime, bool>> ios,
+                          SimTime period_start, SimTime period_end,
+                          SimDuration break_even, IntervalProfile* profile) {
   assert(period_end >= period_start);
-  IntervalProfile profile;
+  profile->long_intervals.clear();
+  profile->sequences.clear();
 
   if (ios.empty()) {
-    profile.long_intervals.push_back(period_end - period_start);
-    return profile;
+    profile->long_intervals.push_back(period_end - period_start);
+    return;
   }
 
   IoSequence current;
@@ -33,7 +34,7 @@ IntervalProfile AnalyzeIntervals(
 
   auto close_sequence = [&] {
     if (in_sequence) {
-      profile.sequences.push_back(current);
+      profile->sequences.push_back(current);
       in_sequence = false;
     }
   };
@@ -53,7 +54,7 @@ IntervalProfile AnalyzeIntervals(
       // leading gap (i == 0) also counts (Fig. 1: Long Interval #1 may
       // start at the period start).
       close_sequence();
-      profile.long_intervals.push_back(gap);
+      profile->long_intervals.push_back(gap);
     }
     if (!in_sequence) open_sequence(t);
     current.end = t;
@@ -68,10 +69,17 @@ IntervalProfile AnalyzeIntervals(
   SimDuration trailing = period_end - prev;
   if (trailing > break_even) {
     close_sequence();
-    profile.long_intervals.push_back(trailing);
+    profile->long_intervals.push_back(trailing);
   } else {
     close_sequence();
   }
+}
+
+IntervalProfile AnalyzeIntervals(
+    const std::vector<std::pair<SimTime, bool>>& ios, SimTime period_start,
+    SimTime period_end, SimDuration break_even) {
+  IntervalProfile profile;
+  AnalyzeIntervalsInto(ios, period_start, period_end, break_even, &profile);
   return profile;
 }
 

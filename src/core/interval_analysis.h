@@ -1,6 +1,7 @@
 #ifndef ECOSTORE_CORE_INTERVAL_ANALYSIS_H_
 #define ECOSTORE_CORE_INTERVAL_ANALYSIS_H_
 
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -34,7 +35,13 @@ struct IntervalProfile {
 };
 
 /// \brief Splits one item's period trace into Long Intervals and I/O
-/// Sequences (paper §IV-B Steps 1-2).
+/// Sequences (paper §IV-B Steps 1-2), reusing `profile`'s buffers.
+///
+/// Callers that analyze many items per period (tools, benchmarks) should
+/// reuse one long-lived profile so the hot path performs no allocation
+/// once the profile's vectors have grown to their steady-state capacity.
+/// (PatternClassifier::Classify derives the same quantities in a single
+/// streaming pass over the whole trace instead of calling this per item.)
 ///
 /// \param ios (time, IoType-as-read-flag) pairs in non-decreasing time
 ///        order; times must lie within [period_start, period_end].
@@ -42,6 +49,12 @@ struct IntervalProfile {
 /// \param period_end end of the monitoring period
 /// \param break_even the break-even time; gaps strictly longer than this
 ///        are Long Intervals
+/// \param profile output; previous contents are cleared (capacity kept)
+void AnalyzeIntervalsInto(std::span<const std::pair<SimTime, bool>> ios,
+                          SimTime period_start, SimTime period_end,
+                          SimDuration break_even, IntervalProfile* profile);
+
+/// Convenience wrapper returning a freshly allocated profile.
 IntervalProfile AnalyzeIntervals(
     const std::vector<std::pair<SimTime, bool>>& ios, SimTime period_start,
     SimTime period_end, SimDuration break_even);

@@ -13,46 +13,67 @@ ClassificationResult PatternClassifier::Classify(
     SimTime period_end) const {
   assert(period_end >= period_start);
   ClassificationResult result;
-  result.items.resize(catalog.item_count());
+  const size_t n_items = catalog.item_count();
+  result.items.resize(n_items);
 
-  // Gather each item's (time, is_read) pairs and byte counts in one pass.
-  std::vector<std::vector<std::pair<SimTime, bool>>> per_item(
-      catalog.item_count());
-  std::vector<std::pair<int64_t, int64_t>> bytes(catalog.item_count(),
-                                                 {0, 0});
+  // One streaming pass over the trace, which must be time-ordered per
+  // item (the monitor appends it in global time order). Per item, a gap
+  // between consecutive I/Os (including the leading gap from the period
+  // start) strictly longer than the break-even time is a Long Interval
+  // (paper §IV-B Steps 1-2). The read/write counters double as the I/O
+  // Sequence totals because every I/O belongs to some sequence, so no
+  // per-item copy of the trace is ever materialised.
+  Scratch& s = scratch_;
+  s.state.assign(n_items, ItemState{period_start, 0, 0, 0, 0});
   for (const trace::LogicalIoRecord& rec : buffer.records()) {
-    if (rec.item < 0 ||
-        static_cast<size_t>(rec.item) >= catalog.item_count()) {
+    if (rec.item < 0 || static_cast<size_t>(rec.item) >= n_items) {
       continue;  // unknown item: not classifiable
     }
     auto idx = static_cast<size_t>(rec.item);
-    per_item[idx].emplace_back(rec.time, rec.is_read());
-    if (rec.is_read()) {
-      bytes[idx].first += rec.size;
-    } else {
-      bytes[idx].second += rec.size;
+    ItemState& st = s.state[idx];
+    assert(rec.time >= st.last_time);
+    SimDuration gap = rec.time - st.last_time;
+    if (gap > options_.break_even) {
+      result.items[idx].long_intervals.push_back(gap);
     }
+    if (rec.is_read()) {
+      st.reads++;
+      st.read_bytes += rec.size;
+    } else {
+      st.writes++;
+      st.write_bytes += rec.size;
+    }
+    st.last_time = rec.time;
   }
 
   double period_seconds = ToSeconds(period_end - period_start);
   double long_interval_sum = 0.0;
   int64_t long_interval_count = 0;
+  s.is_p3.assign(n_items, 0);
+  bool any_p3 = false;
 
-  for (size_t i = 0; i < catalog.item_count(); ++i) {
+  for (size_t i = 0; i < n_items; ++i) {
+    const ItemState& st = s.state[i];
     ItemClassification& cls = result.items[i];
     cls.item = static_cast<DataItemId>(i);
     cls.size_bytes = catalog.item(cls.item).size_bytes;
-    cls.read_bytes = bytes[i].first;
-    cls.write_bytes = bytes[i].second;
+    cls.reads = st.reads;
+    cls.writes = st.writes;
+    cls.read_bytes = st.read_bytes;
+    cls.write_bytes = st.write_bytes;
 
-    IntervalProfile profile = AnalyzeIntervals(
-        per_item[i], period_start, period_end, options_.break_even);
-    cls.reads = profile.total_reads();
-    cls.writes = profile.total_writes();
+    if (cls.total_ios() == 0) {
+      // An untouched item has the single full-period Long Interval.
+      cls.long_intervals.push_back(period_end - period_start);
+    } else {
+      SimDuration trailing = period_end - st.last_time;
+      if (trailing > options_.break_even) {
+        cls.long_intervals.push_back(trailing);
+      }
+    }
     cls.avg_iops = period_seconds > 0
                        ? static_cast<double>(cls.total_ios()) / period_seconds
                        : 0.0;
-    cls.long_intervals = std::move(profile.long_intervals);
 
     for (SimDuration li : cls.long_intervals) {
       long_interval_sum += static_cast<double>(li);
@@ -60,10 +81,12 @@ ClassificationResult PatternClassifier::Classify(
     }
 
     // Paper §IV-B Step 3.
-    if (per_item[i].empty()) {
+    if (cls.total_ios() == 0) {
       cls.pattern = IoPattern::kP0;
     } else if (cls.long_intervals.empty()) {
       cls.pattern = IoPattern::kP3;
+      s.is_p3[i] = 1;
+      any_p3 = true;
     } else if (cls.reads * 2 > cls.total_ios()) {
       cls.pattern = IoPattern::kP1;
     } else {
@@ -78,19 +101,20 @@ ClassificationResult PatternClassifier::Classify(
   }
 
   // Aggregate IOPS series of the P3 items -> I_max (paper §IV-C Step 1).
-  trace::IopsSeries p3_series(period_start, std::max(period_end,
-                                                     period_start + 1),
-                              options_.iops_bucket);
-  bool any_p3 = false;
-  for (size_t i = 0; i < result.items.size(); ++i) {
-    if (result.items[i].pattern != IoPattern::kP3) continue;
-    any_p3 = true;
-    for (const auto& [t, is_read] : per_item[i]) {
-      (void)is_read;
-      p3_series.Add(t);
+  // Second pass over the trace; AddOrdered exploits the usual global
+  // time order but stays correct for merely per-item-ordered input.
+  if (any_p3) {
+    trace::IopsSeries p3_series(
+        period_start, std::max(period_end, period_start + 1),
+        options_.iops_bucket);
+    for (const trace::LogicalIoRecord& rec : buffer.records()) {
+      if (rec.item < 0 || static_cast<size_t>(rec.item) >= n_items) continue;
+      if (s.is_p3[static_cast<size_t>(rec.item)]) {
+        p3_series.AddOrdered(rec.time);
+      }
     }
+    result.p3_max_iops = p3_series.MaxIops();
   }
-  result.p3_max_iops = any_p3 ? p3_series.MaxIops() : 0.0;
   return result;
 }
 

@@ -2,6 +2,8 @@
 #define ECOSTORE_CORE_PATTERN_CLASSIFIER_H_
 
 #include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -61,6 +63,19 @@ struct ClassificationResult {
 
 /// \brief Determines the Logical I/O Pattern of every data item from one
 /// monitoring period's logical trace (paper §IV-B).
+///
+/// Classification runs at the end of every monitoring period, so its cost
+/// is continuous monitoring overhead (paper §III-A, §VII-D). The period's
+/// Long Intervals and I/O Sequences are therefore derived in ONE
+/// streaming pass over the time-ordered trace against per-item running
+/// state (last I/O time, counters) held in a scratch that is reused
+/// across periods — the classifier never materialises a per-item copy of
+/// the trace, so the hot path is allocation-free once warm (only the
+/// returned result allocates). A second, branch-light pass accumulates
+/// the P3 IOPS series for I_max. Consequently a PatternClassifier
+/// instance is NOT safe for concurrent Classify calls; parallel
+/// experiments each own their classifier (see DESIGN.md, "Threading
+/// model & determinism").
 class PatternClassifier {
  public:
   struct Options {
@@ -80,7 +95,25 @@ class PatternClassifier {
                                 SimTime period_end) const;
 
  private:
+  /// Per-item running state of the streaming pass. Kept compact (32
+  /// bytes) so the whole per-item working set stays cache-resident while
+  /// the pass scatters into it.
+  struct ItemState {
+    SimTime last_time = 0;  ///< previous I/O time (period start initially)
+    int32_t reads = 0;
+    int32_t writes = 0;
+    int64_t read_bytes = 0;
+    int64_t write_bytes = 0;
+  };
+
+  /// Reusable per-period working set (allocation-free once warm).
+  struct Scratch {
+    std::vector<ItemState> state;  ///< one slot per catalog item
+    std::vector<uint8_t> is_p3;    ///< per item: pattern == P3 flag
+  };
+
   Options options_;
+  mutable Scratch scratch_;
 };
 
 }  // namespace ecostore::core

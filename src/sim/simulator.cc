@@ -1,6 +1,6 @@
 #include "sim/simulator.h"
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 
 namespace ecostore::sim {
@@ -8,8 +8,8 @@ namespace ecostore::sim {
 EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) when = now_;
   EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id,
-                    std::make_shared<Callback>(std::move(cb))});
+  queue_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(queue_.begin(), queue_.end(), Later);
   live_++;
   return id;
 }
@@ -27,13 +27,18 @@ bool Simulator::Cancel(EventId id) {
   return inserted;
 }
 
+Simulator::Entry Simulator::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later);
+  Entry entry = std::move(queue_.back());
+  queue_.pop_back();
+  return entry;
+}
+
 int64_t Simulator::RunUntil(SimTime deadline) {
   int64_t executed = 0;
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.when > deadline) break;
-    Entry entry = top;
-    queue_.pop();
+    if (queue_.front().when > deadline) break;
+    Entry entry = PopTop();
     auto cancelled_it = cancelled_.find(entry.id);
     if (cancelled_it != cancelled_.end()) {
       cancelled_.erase(cancelled_it);
@@ -41,7 +46,7 @@ int64_t Simulator::RunUntil(SimTime deadline) {
     }
     live_--;
     now_ = entry.when;
-    (*entry.cb)();
+    entry.cb();
     executed++;
   }
   if (now_ < deadline && queue_.empty()) {
@@ -57,8 +62,7 @@ int64_t Simulator::RunUntil(SimTime deadline) {
 int64_t Simulator::RunAll() {
   int64_t executed = 0;
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
+    Entry entry = PopTop();
     auto cancelled_it = cancelled_.find(entry.id);
     if (cancelled_it != cancelled_.end()) {
       cancelled_.erase(cancelled_it);
@@ -66,7 +70,7 @@ int64_t Simulator::RunAll() {
     }
     live_--;
     now_ = entry.when;
-    (*entry.cb)();
+    entry.cb();
     executed++;
   }
   return executed;

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -56,24 +54,30 @@ class Simulator {
   size_t PendingEvents() const { return live_; }
 
  private:
+  // Move-only: the callback lives directly in the heap entry, so
+  // scheduling an event performs no allocation beyond the callback's own
+  // state (small captures fit std::function's inline storage).
   struct Entry {
     SimTime when;
     uint64_t seq;
     EventId id;
-    // Shared so that Entry stays copyable inside priority_queue.
-    std::shared_ptr<Callback> cb;
-
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+    Callback cb;
   };
+
+  /// Min-heap order on (when, seq): true when `a` fires after `b`.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  /// Removes and returns the earliest entry (queue must be non-empty).
+  Entry PopTop();
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   size_t live_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::vector<Entry> queue_;  ///< binary heap ordered by Later()
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -18,10 +18,19 @@ namespace ecostore::trace {
 class LogicalTraceBuffer {
  public:
   void Append(const LogicalIoRecord& rec) { records_.push_back(rec); }
+
+  /// Empties the buffer for the next period while KEEPING the backing
+  /// storage, so a steady-state workload appends without reallocating:
+  /// after the first few periods the monitor's record-capture hot path is
+  /// allocation-free.
   void Clear() { records_.clear(); }
+
+  /// Pre-grows the backing storage (e.g. to an expected period volume).
+  void Reserve(size_t n) { records_.reserve(n); }
 
   const std::vector<LogicalIoRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
+  size_t capacity() const { return records_.capacity(); }
   bool empty() const { return records_.empty(); }
 
   /// Groups record indices by data item. Order within each group follows
@@ -37,7 +46,12 @@ class LogicalTraceBuffer {
 class PhysicalTraceBuffer {
  public:
   void Append(const PhysicalIoRecord& rec) { records_.push_back(rec); }
+
+  /// Empties the buffer, keeping capacity (see LogicalTraceBuffer::Clear).
   void Clear() { records_.clear(); }
+
+  /// Pre-grows the backing storage.
+  void Reserve(size_t n) { records_.reserve(n); }
 
   const std::vector<PhysicalIoRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }

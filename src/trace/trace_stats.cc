@@ -12,6 +12,26 @@ IopsSeries::IopsSeries(SimTime start, SimTime end, SimDuration bucket_width)
   size_t buckets =
       static_cast<size_t>((end - start + bucket_width - 1) / bucket_width);
   counts_.assign(std::max<size_t>(buckets, 1), 0);
+  cursor_end_ = start_ + bucket_width_;
+}
+
+void IopsSeries::AddOrdered(SimTime t, int64_t ios) {
+  if (t < start_) return;
+  if (t < cursor_end_ - bucket_width_) {
+    // Backward jump before the cursor's bucket: recompute by division,
+    // exactly as Add() does.
+    size_t bucket = static_cast<size_t>((t - start_) / bucket_width_);
+    if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+    cursor_ = bucket;
+    cursor_end_ =
+        start_ + static_cast<SimDuration>(bucket + 1) * bucket_width_;
+  } else {
+    while (t >= cursor_end_ && cursor_ + 1 < counts_.size()) {
+      cursor_++;
+      cursor_end_ += bucket_width_;
+    }
+  }
+  counts_[cursor_] += ios;
 }
 
 void IopsSeries::Add(SimTime t, int64_t ios) {
