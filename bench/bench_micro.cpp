@@ -17,9 +17,14 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/legacy_cache.h"
+#include "bench/replay_check.h"
 #include "common/random.h"
+#include "core/eco_storage_policy.h"
 #include "core/pattern_classifier.h"
 #include "core/placement_planner.h"
+#include "policies/basic_policies.h"
+#include "replay/experiment.h"
 #include "sim/simulator.h"
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
@@ -44,9 +49,10 @@ BENCHMARK(BM_SimulatorScheduleRun);
 void BM_CacheReadHit(benchmark::State& state) {
   storage::CacheConfig config;
   storage::StorageCache cache(config);
-  cache.Read(1, 0, 65536);  // warm one block
+  std::vector<storage::FlushDemand> scratch;
+  cache.Read(1, 0, 65536, &scratch);  // warm the blocks
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Read(1, 0, 65536));
+    benchmark::DoNotOptimize(cache.Read(1, 0, 65536, &scratch));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -55,14 +61,122 @@ BENCHMARK(BM_CacheReadHit);
 void BM_CacheWriteAbsorb(benchmark::State& state) {
   storage::CacheConfig config;
   storage::StorageCache cache(config);
+  std::vector<storage::FlushDemand> scratch;
   Xoshiro256 rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        cache.Write(1, rng.UniformInt(0, 1 << 20) * 4096, 4096));
+        cache.Write(1, rng.UniformInt(0, 1 << 20) * 4096, 4096, &scratch));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheWriteAbsorb);
+
+// ---------------------------------------------------------------------
+// Cache read/write mix: the identical operation stream through the slab
+// cache and through the pre-rewrite map/list implementation
+// (bench/legacy_cache.h), with every aggregate asserted equal before the
+// throughputs are compared — the PR-1 ClassifyLegacy pattern.
+// ---------------------------------------------------------------------
+
+struct CacheMixOp {
+  bool write = false;
+  DataItemId item = 0;
+  int64_t offset = 0;
+};
+
+std::vector<CacheMixOp> MakeCacheMixOps(size_t n) {
+  Xoshiro256 rng(7);
+  std::vector<CacheMixOp> ops(n);
+  for (CacheMixOp& op : ops) {
+    op.write = rng.Bernoulli(0.4);
+    op.item = static_cast<DataItemId>(rng.UniformInt(0, 63));
+    op.offset = rng.UniformInt(0, 255) * 4096;
+  }
+  return ops;
+}
+
+storage::CacheConfig MixCacheConfig() {
+  // 64 items x 256 hot blocks against a ~1.5k-block general area: an
+  // eviction- and destage-heavy mix, with items 1-3 write-delayed.
+  storage::CacheConfig config;
+  config.block_size = 4096;
+  config.total_bytes = 2048 * 4096;
+  config.preload_area_bytes = 256 * 4096;
+  config.write_delay_area_bytes = 256 * 4096;
+  return config;
+}
+
+struct CacheMixTotals {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t absorbed = 0;
+  int64_t demand_blocks = 0;
+  int64_t demand_bytes = 0;
+
+  bool operator==(const CacheMixTotals& o) const {
+    return hits == o.hits && misses == o.misses && absorbed == o.absorbed &&
+           demand_blocks == o.demand_blocks && demand_bytes == o.demand_bytes;
+  }
+};
+
+CacheMixTotals RunCacheMixSlab(const std::vector<CacheMixOp>& ops) {
+  storage::StorageCache cache(MixCacheConfig());
+  cache.SetWriteDelayItems({1, 2, 3});
+  std::vector<storage::FlushDemand> scratch;
+  CacheMixTotals totals;
+  auto consume = [&] {
+    for (const auto& d : scratch) {
+      totals.demand_blocks += d.blocks;
+      totals.demand_bytes += d.bytes;
+    }
+  };
+  for (const CacheMixOp& op : ops) {
+    if (op.write) {
+      cache.Write(op.item, op.offset, 4096, &scratch);
+      consume();
+    } else {
+      auto out = cache.Read(op.item, op.offset, 4096, &scratch);
+      totals.hits += out.hit_blocks;
+      totals.misses += out.miss_blocks;
+      consume();
+    }
+  }
+  for (const auto& d : cache.FlushAll()) {
+    totals.demand_blocks += d.blocks;
+    totals.demand_bytes += d.bytes;
+  }
+  totals.absorbed = cache.absorbed_write_blocks();
+  return totals;
+}
+
+CacheMixTotals RunCacheMixLegacy(const std::vector<CacheMixOp>& ops) {
+  legacy::LegacyStorageCache cache(MixCacheConfig());
+  cache.SetWriteDelayItems({1, 2, 3});
+  CacheMixTotals totals;
+  for (const CacheMixOp& op : ops) {
+    if (op.write) {
+      auto out = cache.Write(op.item, op.offset, 4096);
+      for (const auto& d : out.destage) {
+        totals.demand_blocks += d.blocks;
+        totals.demand_bytes += d.bytes;
+      }
+    } else {
+      auto out = cache.Read(op.item, op.offset, 4096);
+      totals.hits += out.hit_blocks;
+      totals.misses += out.miss_blocks;
+      for (const auto& d : out.eviction_flushes) {
+        totals.demand_blocks += d.blocks;
+        totals.demand_bytes += d.bytes;
+      }
+    }
+  }
+  for (const auto& d : cache.FlushAll()) {
+    totals.demand_blocks += d.blocks;
+    totals.demand_bytes += d.bytes;
+  }
+  totals.absorbed = cache.absorbed_write_blocks();
+  return totals;
+}
 
 void BM_IntervalAnalysis(benchmark::State& state) {
   Xoshiro256 rng(2);
@@ -319,6 +433,68 @@ BENCHMARK(BM_EnclosureSubmit);
 // on the file-server period, current vs legacy, for cross-PR tracking.
 // ---------------------------------------------------------------------
 
+}  // namespace
+
+// ---------------------------------------------------------------------
+// End-to-end replay throughput: a whole Experiment (cache + simulator +
+// policy + migration engine) on a 20-minute file-server trace, measured
+// in logical I/Os per wall second. Non-anonymous so main() can reach it.
+// ---------------------------------------------------------------------
+
+struct ReplayFigure {
+  int64_t logical_ios = 0;
+  double lios_per_sec = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+ReplayFigure MeasureReplayThroughput(bool eco) {
+  workload::FileServerConfig wl;
+  wl.duration = 20 * kMinute;
+  auto workload = workload::FileServerWorkload::Create(wl);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "replay bench workload: %s\n",
+                 workload.status().ToString().c_str());
+    std::abort();
+  }
+
+  ReplayFigure figure;
+  auto run_once = [&] {
+    std::unique_ptr<policies::StoragePolicy> policy;
+    if (eco) {
+      policy = std::make_unique<core::EcoStoragePolicy>(
+          core::PowerManagementConfig{});
+    } else {
+      policy = std::make_unique<policies::NoPowerSavingPolicy>();
+    }
+    replay::Experiment experiment(workload.value().get(), policy.get(),
+                                  replay::ExperimentConfig{});
+    auto metrics = experiment.Run();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "replay bench run: %s\n",
+                   metrics.status().ToString().c_str());
+      std::abort();
+    }
+    figure.logical_ios = metrics.value().logical_ios;
+    figure.fingerprint = bench::MetricsFingerprint(metrics.value());
+  };
+
+  using Clock = std::chrono::steady_clock;
+  run_once();  // warm-up
+  int64_t calls = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    run_once();
+    calls++;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 2.0);
+  figure.lios_per_sec =
+      static_cast<double>(figure.logical_ios * calls) / elapsed;
+  return figure;
+}
+
+namespace {
+
 template <typename Fn>
 double MeasureEventsPerSec(int64_t events_per_call, Fn&& fn) {
   using Clock = std::chrono::steady_clock;
@@ -370,6 +546,70 @@ void WriteBenchPerfJson() {
     for (int i = 0; i < 100000; ++i) sim.ScheduleAt(i, [] {});
     benchmark::DoNotOptimize(sim.RunAll());
   });
+  // Cancellation-heavy variant: every second event is cancelled before the
+  // loop drains (the case the tombstone scheme targets).
+  double sim_cancel_rate = MeasureEventsPerSec(100000, [] {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(50000);
+    for (int i = 0; i < 100000; ++i) {
+      sim::EventId id = sim.ScheduleAt(i, [] {});
+      if (i % 2 == 0) ids.push_back(id);
+    }
+    for (sim::EventId id : ids) sim.Cancel(id);
+    benchmark::DoNotOptimize(sim.RunAll());
+  });
+
+  // Cache read/write mix, slab vs legacy map/list, equal-aggregate gated.
+  const std::vector<CacheMixOp> mix_ops = MakeCacheMixOps(1 << 18);
+  CacheMixTotals slab_totals = RunCacheMixSlab(mix_ops);
+  CacheMixTotals legacy_totals = RunCacheMixLegacy(mix_ops);
+  if (!(slab_totals == legacy_totals)) {
+    std::fprintf(stderr,
+                 "BENCH_perf: slab and legacy cache disagree on the mix "
+                 "(hits %lld/%lld misses %lld/%lld absorbed %lld/%lld "
+                 "demand blocks %lld/%lld)\n",
+                 static_cast<long long>(slab_totals.hits),
+                 static_cast<long long>(legacy_totals.hits),
+                 static_cast<long long>(slab_totals.misses),
+                 static_cast<long long>(legacy_totals.misses),
+                 static_cast<long long>(slab_totals.absorbed),
+                 static_cast<long long>(legacy_totals.absorbed),
+                 static_cast<long long>(slab_totals.demand_blocks),
+                 static_cast<long long>(legacy_totals.demand_blocks));
+    std::exit(1);
+  }
+  const auto mix_events = static_cast<int64_t>(mix_ops.size());
+  double mix_slab_rate = MeasureEventsPerSec(mix_events, [&] {
+    benchmark::DoNotOptimize(RunCacheMixSlab(mix_ops));
+  });
+  double mix_legacy_rate = MeasureEventsPerSec(mix_events, [&] {
+    benchmark::DoNotOptimize(RunCacheMixLegacy(mix_ops));
+  });
+
+  // End-to-end replay throughput, new code vs the seed build's figures.
+  // The seed numbers were measured on this machine from commit 2bf6bdc
+  // with this exact harness; the fingerprints pin the simulated outcome,
+  // so the speedup is apples-to-apples by construction.
+  constexpr double kSeedReplayEcoLiosPerSec = 1493682.0;
+  constexpr double kSeedReplayNpsLiosPerSec = 1813872.0;
+  constexpr double kSeedSimulatorEventsPerSec = 5783775.0;
+  constexpr uint64_t kSeedReplayEcoFingerprint = 0xe44f2708f6e0f001ull;
+  constexpr uint64_t kSeedReplayNpsFingerprint = 0x5da2bb45a09019c0ull;
+  ReplayFigure eco = MeasureReplayThroughput(true);
+  ReplayFigure nps = MeasureReplayThroughput(false);
+  if (eco.fingerprint != kSeedReplayEcoFingerprint ||
+      nps.fingerprint != kSeedReplayNpsFingerprint) {
+    std::fprintf(stderr,
+                 "BENCH_perf: replay outcome diverged from the seed build "
+                 "(eco fp %016llx want %016llx, nps fp %016llx want "
+                 "%016llx)\n",
+                 static_cast<unsigned long long>(eco.fingerprint),
+                 static_cast<unsigned long long>(kSeedReplayEcoFingerprint),
+                 static_cast<unsigned long long>(nps.fingerprint),
+                 static_cast<unsigned long long>(kSeedReplayNpsFingerprint));
+    std::exit(1);
+  }
 
   const char* path = std::getenv("ECOSTORE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_perf.json";
@@ -389,20 +629,90 @@ void WriteBenchPerfJson() {
   std::fprintf(out, "    \"legacy_events_per_sec\": %.0f,\n", legacy_rate);
   std::fprintf(out, "    \"speedup\": %.2f\n", streaming / legacy_rate);
   std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f\n",
+  std::fprintf(out, "  \"cache_mix\": {\n");
+  std::fprintf(out, "    \"ops\": %lld,\n",
+               static_cast<long long>(mix_events));
+  std::fprintf(out, "    \"slab_ops_per_sec\": %.0f,\n", mix_slab_rate);
+  std::fprintf(out, "    \"legacy_ops_per_sec\": %.0f,\n", mix_legacy_rate);
+  std::fprintf(out, "    \"speedup\": %.2f\n",
+               mix_slab_rate / mix_legacy_rate);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"replay_end_to_end\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
+  std::fprintf(out, "    \"logical_ios_per_run\": %lld,\n",
+               static_cast<long long>(eco.logical_ios));
+  std::fprintf(out, "    \"eco_storage_lios_per_sec\": %.0f,\n",
+               eco.lios_per_sec);
+  std::fprintf(out, "    \"eco_storage_seed_lios_per_sec\": %.0f,\n",
+               kSeedReplayEcoLiosPerSec);
+  std::fprintf(out, "    \"eco_storage_speedup\": %.2f,\n",
+               eco.lios_per_sec / kSeedReplayEcoLiosPerSec);
+  std::fprintf(out, "    \"no_power_saving_lios_per_sec\": %.0f,\n",
+               nps.lios_per_sec);
+  std::fprintf(out, "    \"no_power_saving_seed_lios_per_sec\": %.0f,\n",
+               kSeedReplayNpsLiosPerSec);
+  std::fprintf(out, "    \"no_power_saving_speedup\": %.2f\n",
+               nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f,\n",
                sim_rate);
+  std::fprintf(out, "  \"simulator_seed_schedule_events_per_sec\": %.0f,\n",
+               kSeedSimulatorEventsPerSec);
+  std::fprintf(out, "  \"simulator_cancel_heavy_events_per_sec\": %.0f\n",
+               sim_cancel_rate);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nclassification (file-server period, %lld events): "
-              "streaming %.2fM ev/s vs legacy %.2fM ev/s (%.2fx) -> %s\n",
-              static_cast<long long>(events), streaming / 1e6, legacy_rate / 1e6,
-              streaming / legacy_rate, path);
+              "streaming %.2fM ev/s vs legacy %.2fM ev/s (%.2fx)\n",
+              static_cast<long long>(events), streaming / 1e6,
+              legacy_rate / 1e6, streaming / legacy_rate);
+  std::printf("cache mix (%lld ops): slab %.2fM ops/s vs legacy %.2fM ops/s "
+              "(%.2fx)\n",
+              static_cast<long long>(mix_events), mix_slab_rate / 1e6,
+              mix_legacy_rate / 1e6, mix_slab_rate / mix_legacy_rate);
+  std::printf("replay end-to-end: eco %.2fM lios/s (seed %.2fM, %.2fx), "
+              "no_power_saving %.2fM lios/s (seed %.2fM, %.2fx)\n",
+              eco.lios_per_sec / 1e6, kSeedReplayEcoLiosPerSec / 1e6,
+              eco.lios_per_sec / kSeedReplayEcoLiosPerSec,
+              nps.lios_per_sec / 1e6, kSeedReplayNpsLiosPerSec / 1e6,
+              nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
+  std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM), "
+              "cancel-heavy %.2fM ev/s -> %s\n",
+              sim_rate / 1e6, kSeedSimulatorEventsPerSec / 1e6,
+              sim_cancel_rate / 1e6, path);
 }
 
 }  // namespace
 }  // namespace ecostore
 
 int main(int argc, char** argv) {
+  // --check / --record bypass google-benchmark entirely: they run the
+  // bit-identical replay regression gate (see bench/replay_check.h).
+  // --replay prints the end-to-end throughput figures only.
+  std::string golden_path = "bench/golden_replay.txt";
+  bool check = false, record = false, replay_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg == "--check") check = true;
+    else if (arg == "--record") record = true;
+    else if (arg == "--replay") replay_only = true;
+    else if (arg.rfind("--golden=", 0) == 0) golden_path = arg.substr(9);
+  }
+  if (check || record) {
+    return ecostore::bench::ReplayCheckMain(golden_path, record);
+  }
+  if (replay_only) {
+    ecostore::ReplayFigure eco = ecostore::MeasureReplayThroughput(true);
+    ecostore::ReplayFigure base = ecostore::MeasureReplayThroughput(false);
+    std::printf("replay end-to-end (file-server 20 min, %lld logical IOs "
+                "per run):\n  eco_storage      %.0f lios/s (fp %016llx)\n"
+                "  no_power_saving  %.0f lios/s (fp %016llx)\n",
+                static_cast<long long>(eco.logical_ios), eco.lios_per_sec,
+                static_cast<unsigned long long>(eco.fingerprint),
+                base.lios_per_sec,
+                static_cast<unsigned long long>(base.fingerprint));
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -5,7 +5,9 @@
 //   3. array width — enclosure-count scaling,
 //   4. HDD vs SSD enclosures (paper §VIII-D).
 // Each row runs the proposed method on the file-server workload against
-// its own no-power-saving reference.
+// its own no-power-saving reference. The grid itself lives in
+// bench/sweep_config.h, shared with the `bench_micro --check` replay
+// gate so the gate covers exactly what this figure reports.
 //
 // `--threads=N` runs all (row, policy) experiments on a shared thread
 // pool (N=0: all hardware threads). Every experiment owns its workload
@@ -16,8 +18,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "core/eco_storage_policy.h"
-#include "policies/basic_policies.h"
+#include "bench/sweep_config.h"
 #include "replay/suite.h"
 #include "workload/file_server_workload.h"
 
@@ -25,33 +26,12 @@ using namespace ecostore;  // NOLINT
 
 namespace {
 
-struct RowSpec {
-  std::string label;
-  workload::FileServerConfig wl;
-  replay::ExperimentConfig config;
-  core::PowerManagementConfig pm;
-};
-
-struct Section {
-  std::string title;
-  std::vector<RowSpec> rows;
-};
-
 struct SweepRow {
   std::string label;
   double saving_pct = 0;
   double response_ms = 0;
   int64_t spinups = 0;
 };
-
-replay::WorkloadFactory FileServerFactory(
-    const workload::FileServerConfig& wl) {
-  return [wl]() -> Result<std::unique_ptr<workload::Workload>> {
-    auto workload = workload::FileServerWorkload::Create(wl);
-    if (!workload.ok()) return workload.status();
-    return std::unique_ptr<workload::Workload>(std::move(workload).value());
-  };
-}
 
 void Print(const std::vector<SweepRow>& rows) {
   std::printf("%-34s %10s %12s %9s\n", "configuration", "saving[%]",
@@ -76,101 +56,8 @@ int main(int argc, char** argv) {
   workload::FileServerConfig wl;
   wl.duration = bench::MaybeShorten(90 * kMinute, 30 * kMinute);
 
-  std::vector<Section> sections;
-
-  // --- 1. preload area --------------------------------------------------
-  {
-    Section section;
-    section.title = "[sweep 1] preload-area size:";
-    for (int64_t mb : {0, 125, 250, 500, 1000}) {
-      RowSpec row;
-      row.label = "preload area " + std::to_string(mb) + " MiB";
-      row.wl = wl;
-      if (mb == 0) {
-        row.pm.enable_preload = false;
-      } else {
-        row.config.storage.cache.preload_area_bytes = mb * kMiB;
-      }
-      section.rows.push_back(std::move(row));
-    }
-    sections.push_back(std::move(section));
-  }
-
-  // --- 2. spin-down timeout --------------------------------------------
-  {
-    Section section;
-    section.title = "[sweep 2] spin-down timeout (break-even 52 s):";
-    for (int seconds : {13, 26, 52, 104, 208}) {
-      RowSpec row;
-      row.label = "spin-down timeout " + std::to_string(seconds) + " s";
-      row.wl = wl;
-      row.config.storage.enclosure.spindown_timeout = seconds * kSecond;
-      section.rows.push_back(std::move(row));
-    }
-    sections.push_back(std::move(section));
-  }
-
-  // --- 3. array width ---------------------------------------------------
-  {
-    Section section;
-    section.title = "[sweep 3] array width:";
-    for (int enclosures : {6, 12, 24}) {
-      RowSpec row;
-      row.label = std::to_string(enclosures) + " enclosures";
-      row.wl = wl;
-      row.wl.num_enclosures = enclosures;
-      // Keep total data within capacity when the array shrinks.
-      row.wl.archive_files = enclosures * 13;
-      section.rows.push_back(std::move(row));
-    }
-    sections.push_back(std::move(section));
-  }
-
-  // --- 4. HDD vs SSD (paper §VIII-D) -------------------------------------
-  {
-    Section section;
-    section.title = "[sweep 4] media type:";
-    {
-      RowSpec row;
-      row.label = "HDD enclosures (break-even 52 s)";
-      row.wl = wl;
-      row.config.storage.enclosure = storage::EnterpriseHddEnclosureConfig();
-      section.rows.push_back(std::move(row));
-    }
-    {
-      RowSpec row;
-      row.label = "SSD enclosures (break-even ~2 s)";
-      row.wl = wl;
-      row.config.storage.enclosure = storage::SsdEnclosureConfig();
-      row.pm.break_even = row.config.storage.enclosure.BreakEvenTime();
-      section.rows.push_back(std::move(row));
-    }
-    sections.push_back(std::move(section));
-  }
-
-  // Flatten into independent (workload-clone, policy) experiments: per
-  // row the no-power-saving reference followed by the proposed method.
-  std::vector<replay::ExperimentJob> jobs;
-  for (const Section& section : sections) {
-    for (const RowSpec& row : section.rows) {
-      replay::ExperimentJob base;
-      base.workload = FileServerFactory(row.wl);
-      base.policy = [] {
-        return std::make_unique<policies::NoPowerSavingPolicy>();
-      };
-      base.config = row.config;
-      jobs.push_back(std::move(base));
-
-      replay::ExperimentJob eco;
-      eco.workload = FileServerFactory(row.wl);
-      core::PowerManagementConfig pm = row.pm;
-      eco.policy = [pm] {
-        return std::make_unique<core::EcoStoragePolicy>(pm);
-      };
-      eco.config = row.config;
-      jobs.push_back(std::move(eco));
-    }
-  }
+  std::vector<bench::SweepSection> sections = bench::SweepSections(wl);
+  std::vector<replay::ExperimentJob> jobs = bench::SweepJobs(sections);
 
   auto wall_start = std::chrono::steady_clock::now();
   auto runs = replay::RunExperiments(jobs, replay::SuiteOptions{threads});
@@ -183,9 +70,9 @@ int main(int argc, char** argv) {
   }
 
   size_t next = 0;
-  for (const Section& section : sections) {
+  for (const bench::SweepSection& section : sections) {
     std::vector<SweepRow> rows;
-    for (const RowSpec& spec : section.rows) {
+    for (const bench::SweepRowSpec& spec : section.rows) {
       const replay::ExperimentMetrics& base = runs.value()[next++];
       const replay::ExperimentMetrics& eco = runs.value()[next++];
       SweepRow row;

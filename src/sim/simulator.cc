@@ -7,11 +7,18 @@ namespace ecostore::sim {
 
 EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   if (when < now_) when = now_;
-  EventId id = next_id_++;
-  queue_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(SlotState{});
+  }
+  queue_.push_back(Entry{when, next_seq_++, slot, std::move(cb)});
   std::push_heap(queue_.begin(), queue_.end(), Later);
   live_++;
-  return id;
+  return EncodeId(slot, slots_[slot].generation);
 }
 
 EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
@@ -20,11 +27,24 @@ EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  if (inserted && live_ > 0) live_--;
-  return inserted;
+  uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+  auto slot = static_cast<uint32_t>(slot_plus_one - 1);
+  SlotState& state = slots_[slot];
+  if (state.generation != static_cast<uint32_t>(id)) return false;  // stale
+  // A matching generation means the entry is still in the heap: the slot
+  // is only released (generation bumped) when its entry pops.
+  if (state.cancelled) return false;
+  state.cancelled = true;
+  live_--;
+  return true;
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  SlotState& state = slots_[slot];
+  state.generation++;
+  state.cancelled = false;
+  free_slots_.push_back(slot);
 }
 
 Simulator::Entry Simulator::PopTop() {
@@ -39,21 +59,17 @@ int64_t Simulator::RunUntil(SimTime deadline) {
   while (!queue_.empty()) {
     if (queue_.front().when > deadline) break;
     Entry entry = PopTop();
-    auto cancelled_it = cancelled_.find(entry.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
+    bool cancelled = slots_[entry.slot].cancelled;
+    ReleaseSlot(entry.slot);
+    if (cancelled) continue;
     live_--;
     now_ = entry.when;
     entry.cb();
     executed++;
   }
-  if (now_ < deadline && queue_.empty()) {
+  if (now_ < deadline) {
     // Advance to the deadline so that back-to-back RunUntil calls measure
     // idle spans correctly.
-    now_ = deadline;
-  } else if (now_ < deadline && !queue_.empty()) {
     now_ = deadline;
   }
   return executed;
@@ -63,11 +79,9 @@ int64_t Simulator::RunAll() {
   int64_t executed = 0;
   while (!queue_.empty()) {
     Entry entry = PopTop();
-    auto cancelled_it = cancelled_.find(entry.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
+    bool cancelled = slots_[entry.slot].cancelled;
+    ReleaseSlot(entry.slot);
+    if (cancelled) continue;
     live_--;
     now_ = entry.when;
     entry.cb();

@@ -3,14 +3,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "common/sim_time.h"
 
 namespace ecostore::sim {
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation. Encodes a
+/// slot index and a generation; 0 is never a valid id.
 using EventId = uint64_t;
 
 /// \brief Single-threaded discrete-event simulator.
@@ -19,6 +19,12 @@ using EventId = uint64_t;
 /// in (time, insertion-order) order, so simultaneous events run FIFO and
 /// every run is deterministic. The storage array, cache flush timers,
 /// policy periods and the trace replayer all share one Simulator.
+///
+/// Cancellation is O(1) and probe-free: every heap entry references a
+/// slot in a generation-tagged side array. Cancel() flips the slot's
+/// tombstone bit in place; the pop loop discards tombstoned entries with
+/// one indexed load instead of a hash-set lookup, so the hot pop path
+/// costs nothing when no cancellations are outstanding.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -38,7 +44,8 @@ class Simulator {
   EventId ScheduleAfter(SimDuration delay, Callback cb);
 
   /// Cancels a pending event. Returns true if the event existed and had not
-  /// fired yet. Cancelling an already-fired or unknown id is a no-op.
+  /// fired yet. Cancelling an already-fired, already-cancelled or unknown
+  /// id is a no-op returning false.
   bool Cancel(EventId id);
 
   /// Runs events until the queue drains or the next event lies beyond
@@ -60,8 +67,16 @@ class Simulator {
   struct Entry {
     SimTime when;
     uint64_t seq;
-    EventId id;
+    uint32_t slot;
     Callback cb;
+  };
+
+  /// One slot per in-heap entry. The generation distinguishes the current
+  /// entry from stale ids that referenced an earlier occupant; the
+  /// tombstone marks a cancelled-but-not-yet-popped entry.
+  struct SlotState {
+    uint32_t generation = 0;
+    bool cancelled = false;
   };
 
   /// Min-heap order on (when, seq): true when `a` fires after `b`.
@@ -70,15 +85,23 @@ class Simulator {
     return a.seq > b.seq;
   }
 
+  static EventId EncodeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(slot + 1) << 32) | generation;
+  }
+
   /// Removes and returns the earliest entry (queue must be non-empty).
   Entry PopTop();
 
+  /// Releases an entry's slot back to the free list (bumping the
+  /// generation so outstanding ids for it go stale).
+  void ReleaseSlot(uint32_t slot);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   size_t live_ = 0;
   std::vector<Entry> queue_;  ///< binary heap ordered by Later()
-  std::unordered_set<EventId> cancelled_;
+  std::vector<SlotState> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 }  // namespace ecostore::sim

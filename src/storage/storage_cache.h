@@ -1,9 +1,11 @@
 #ifndef ECOSTORE_STORAGE_STORAGE_CACHE_H_
 #define ECOSTORE_STORAGE_STORAGE_CACHE_H_
 
-#include <list>
+#include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -37,13 +39,19 @@ struct FlushDemand {
 /// The cache is a bookkeeping model: it tracks block residency and dirty
 /// state but holds no payload bytes. It never performs I/O itself; flush
 /// demands are returned to the caller.
+///
+/// The per-I/O hot path is allocation-free once warm: general-area
+/// entries live in a contiguous slab addressed by an open-addressing
+/// (item, block) → slot index, recency is an intrusive doubly linked list
+/// of slot ids threaded through the slab, write-delay residency is a flat
+/// open-addressing key set, and Read/Write append flush demands to a
+/// caller-owned scratch vector instead of allocating a fresh one per
+/// call.
 class StorageCache {
  public:
   struct ReadOutcome {
     int64_t hit_blocks = 0;
     int64_t miss_blocks = 0;
-    /// Dirty blocks pushed out by caching the missed blocks.
-    std::vector<FlushDemand> eviction_flushes;
 
     bool fully_hit() const { return miss_blocks == 0; }
   };
@@ -51,9 +59,6 @@ class StorageCache {
   struct WriteOutcome {
     /// True when the dirty blocks went to the write-delay area.
     bool write_delayed = false;
-    /// Demands triggered by crossing a dirty-rate threshold; empty most of
-    /// the time.
-    std::vector<FlushDemand> destage;
   };
 
   explicit StorageCache(const CacheConfig& config);
@@ -61,12 +66,20 @@ class StorageCache {
   const CacheConfig& config() const { return config_; }
 
   /// Serves a logical read. Missed blocks are assumed to be fetched by the
-  /// caller and are inserted into the general area.
-  ReadOutcome Read(DataItemId item, int64_t offset, int32_t size);
+  /// caller and are inserted into the general area. `eviction_flushes` is
+  /// a caller-owned scratch vector: it is cleared on entry and receives
+  /// one aggregated demand per item whose dirty blocks were pushed out by
+  /// caching the missed blocks. The caller must consume it before the
+  /// next Read/Write call reuses it.
+  ReadOutcome Read(DataItemId item, int64_t offset, int32_t size,
+                   std::vector<FlushDemand>* eviction_flushes);
 
   /// Absorbs a logical write into the write-delay area (for selected
-  /// items) or the general write-back area.
-  WriteOutcome Write(DataItemId item, int64_t offset, int32_t size);
+  /// items) or the general write-back area. `destage` is a caller-owned
+  /// scratch vector (cleared on entry) receiving eviction write-backs and
+  /// any dirty-rate-threshold destage; empty most of the time.
+  WriteOutcome Write(DataItemId item, int64_t offset, int32_t size,
+                     std::vector<FlushDemand>* destage);
 
   /// Replaces the write-delay item set (paper §V-B). Dirty write-delay
   /// blocks of items leaving the set must be destaged; they are returned.
@@ -84,14 +97,16 @@ class StorageCache {
   Status MarkPreloaded(DataItemId item);
 
   bool IsPreloadSelected(DataItemId item) const {
-    return preload_items_.count(item) > 0;
+    const ItemInfo* info = FindItem(item);
+    return info != nullptr && info->preload_selected;
   }
   bool IsPreloaded(DataItemId item) const {
-    auto it = preload_items_.find(item);
-    return it != preload_items_.end() && it->second.loaded;
+    const ItemInfo* info = FindItem(item);
+    return info != nullptr && info->preloaded;
   }
   bool IsWriteDelayed(DataItemId item) const {
-    return write_delay_items_.count(item) > 0;
+    const ItemInfo* info = FindItem(item);
+    return info != nullptr && info->write_delayed;
   }
 
   /// Flushes every dirty block in both areas (used at end of run and when
@@ -110,63 +125,126 @@ class StorageCache {
   int64_t write_delay_dirty_blocks() const { return wd_dirty_total_; }
 
  private:
-  struct BlockKey {
-    DataItemId item;
-    int64_t block;
-    bool operator==(const BlockKey& o) const {
-      return item == o.item && block == o.block;
-    }
-  };
-  struct BlockKeyHash {
-    size_t operator()(const BlockKey& k) const {
-      return std::hash<int64_t>()((static_cast<int64_t>(k.item) << 40) ^
-                                  k.block);
-    }
-  };
-  struct GeneralEntry {
-    std::list<BlockKey>::iterator lru_pos;
+  static constexpr int32_t kNilSlot = -1;
+
+  /// One general-area cache block. Free slots are marked with
+  /// item == kInvalidDataItem and chained through `lru_next`.
+  struct Slot {
+    DataItemId item = kInvalidDataItem;
+    int64_t block = 0;
+    int32_t lru_prev = kNilSlot;
+    int32_t lru_next = kNilSlot;
     bool dirty = false;
   };
-  struct PreloadEntry {
-    int64_t size_bytes = 0;
-    bool loaded = false;
+
+  /// Per-item cache state, resolved once per request (not per block):
+  /// preload pinning, write-delay membership, and the item's dirty block
+  /// count in the write-delay area.
+  struct ItemInfo {
+    bool preload_selected = false;
+    bool preloaded = false;
+    bool write_delayed = false;
+    int64_t preload_bytes = 0;
+    int64_t wd_dirty = 0;
+
+    bool empty() const {
+      return !preload_selected && !write_delayed && wd_dirty == 0;
+    }
   };
+
+  /// A write-delay area resident block; item == kInvalidDataItem marks an
+  /// empty table cell.
+  struct WdKey {
+    DataItemId item = kInvalidDataItem;
+    int64_t block = 0;
+  };
+
+  static uint64_t HashKey(DataItemId item, int64_t block) {
+    // splitmix64 finalizer over the packed key: open addressing needs
+    // dispersion that the identity hash of the old unordered_map did not.
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(item)) << 40) ^
+                 static_cast<uint64_t>(block);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
 
   int64_t FirstBlock(int64_t offset) const { return offset / config_.block_size; }
   int64_t LastBlock(int64_t offset, int32_t size) const {
     return (offset + std::max<int32_t>(size, 1) - 1) / config_.block_size;
   }
 
-  /// Inserts a clean block into the general LRU, evicting as needed;
-  /// appends eviction flush demands for dirty victims.
-  void InsertGeneral(const BlockKey& key, bool dirty,
-                     std::vector<FlushDemand>* eviction_flushes);
+  const ItemInfo* FindItem(DataItemId item) const {
+    auto it = items_.find(item);
+    return it == items_.end() ? nullptr : &it->second;
+  }
+  /// Drops the item's entry when no area holds state for it anymore.
+  void CompactItem(DataItemId item);
+
+  // --- general-area slab + index ---
+  int32_t TableFind(DataItemId item, int64_t block) const;
+  void TableInsert(int32_t slot);
+  void TableErase(DataItemId item, int64_t block);
+  void TableGrow();
+  void LruUnlink(int32_t slot);
+  void LruPushFront(int32_t slot);
+  void LruMoveToFront(int32_t slot);
+  /// Inserts an absent block, evicting the LRU victim first when full.
+  /// Eviction demands go to the active demand accumulator.
+  void InsertGeneral(DataItemId item, int64_t block, bool dirty);
+  void EvictLru();
+
+  // --- write-delay flat set ---
+  bool WdContains(DataItemId item, int64_t block) const;
+  /// Returns true when newly inserted.
+  bool WdInsert(DataItemId item, int64_t block);
+  void WdGrow();
+  void WdClear();
+  /// Drops every write-delay block of `item` (rebuilds the table).
+  void WdEraseItem(DataItemId item);
+
+  // --- demand aggregation (O(1) per append) ---
+  /// Directs subsequent AddDemand calls into `out` (which is NOT cleared).
+  void BeginDemands(std::vector<FlushDemand>* out);
+  void AddDemand(DataItemId item, int64_t blocks, int64_t bytes);
 
   /// Destages all dirty general-area blocks (they stay resident, clean).
-  std::vector<FlushDemand> DestageGeneral();
-
+  void DestageGeneralInto();
   /// Destages all write-delay blocks.
-  std::vector<FlushDemand> DestageWriteDelay();
-
-  static void AppendDemand(DataItemId item, int64_t blocks, int64_t bytes,
-                           std::vector<FlushDemand>* out);
+  void DestageWriteDelayInto();
 
   CacheConfig config_;
   int64_t general_capacity_blocks_;
   int64_t wd_capacity_blocks_;
 
-  // General area.
-  std::list<BlockKey> lru_;  // front = most recent
-  std::unordered_map<BlockKey, GeneralEntry, BlockKeyHash> general_;
+  // General area: entry slab, free list, open-addressing index and
+  // intrusive LRU (head = most recent).
+  std::vector<Slot> slots_;
+  std::vector<int32_t> free_slots_;
+  std::vector<int32_t> table_;  // slot ids; kNilSlot = empty
+  size_t table_mask_ = 0;
+  int32_t lru_head_ = kNilSlot;
+  int32_t lru_tail_ = kNilSlot;
+  int64_t general_size_ = 0;
   int64_t general_dirty_ = 0;
 
-  // Write-delay area: per-item dirty block sets.
-  std::unordered_set<DataItemId> write_delay_items_;
-  std::unordered_map<DataItemId, std::unordered_set<int64_t>> wd_dirty_;
+  // Write-delay area block set.
+  std::vector<WdKey> wd_table_;
+  size_t wd_mask_ = 0;
+  size_t wd_size_ = 0;
   int64_t wd_dirty_total_ = 0;
 
-  // Preload area.
-  std::unordered_map<DataItemId, PreloadEntry> preload_items_;
+  // Per-item state (preload + write-delay membership).
+  std::unordered_map<DataItemId, ItemInfo> items_;
+
+  // Demand accumulator: per-item epoch/position index so repeated demands
+  // for one item fold together without rescanning the output vector.
+  std::vector<std::pair<uint32_t, uint32_t>> demand_index_;
+  uint32_t demand_epoch_ = 0;
+  std::vector<FlushDemand>* demand_out_ = nullptr;
 
   int64_t hit_blocks_ = 0;
   int64_t miss_blocks_ = 0;

@@ -106,9 +106,9 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
   IoResult result;
   SimTime now = sim_->Now();
   if (rec.is_read()) {
-    StorageCache::ReadOutcome out = cache_.Read(rec.item, rec.offset,
-                                                rec.size);
-    ApplyFlushDemands(out.eviction_flushes);
+    StorageCache::ReadOutcome out =
+        cache_.Read(rec.item, rec.offset, rec.size, &flush_scratch_);
+    ApplyFlushDemands(flush_scratch_);
     result.cache_hit = out.fully_hit();
     result.latency = config_.cache.hit_latency;
     if (out.miss_blocks > 0) {
@@ -123,13 +123,12 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
       result.latency = (completion - now) + config_.cache.hit_latency;
     }
   } else {
-    StorageCache::WriteOutcome out = cache_.Write(rec.item, rec.offset,
-                                                  rec.size);
+    cache_.Write(rec.item, rec.offset, rec.size, &flush_scratch_);
     // Writes complete in the battery-backed cache (paper §II-E.2); the
     // destage happens asynchronously and does not affect the caller.
     result.cache_hit = true;
     result.latency = config_.cache.hit_latency;
-    ApplyFlushDemands(out.destage);
+    ApplyFlushDemands(flush_scratch_);
   }
   return result;
 }

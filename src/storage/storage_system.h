@@ -145,6 +145,11 @@ class StorageSystem {
   BlockVirtualization virt_;
   std::vector<bool> spin_down_allowed_;
   std::vector<StorageObserver*> observers_;
+
+  /// Reusable scratch for per-I/O flush demands: SubmitLogicalIo hands it
+  /// to StorageCache::Read/Write and consumes it before returning, so the
+  /// hot path allocates nothing once the vector's capacity has warmed up.
+  std::vector<FlushDemand> flush_scratch_;
 };
 
 }  // namespace ecostore::storage

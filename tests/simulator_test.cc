@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -96,9 +98,85 @@ TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
   Simulator sim;
   EventId id = sim.ScheduleAt(10, [] {});
   sim.RunAll();
-  // The id is technically < next id, so cancellation marks it, but the
-  // event already fired; it must not double-count pending events.
-  sim.Cancel(id);
+  // The slot's generation was bumped when the event fired, so the stale
+  // id no longer matches and must not disturb pending-event accounting.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, StaleIdNeverCancelsSlotReuse) {
+  Simulator sim;
+  EventId first = sim.ScheduleAt(100, [] {});
+  EXPECT_TRUE(sim.Cancel(first));
+  // The freed slot is reused by the next schedule; the old id must be
+  // stale even though it points at the same slot.
+  bool ran = false;
+  sim.ScheduleAt(100, [&] { ran = true; });
+  EXPECT_FALSE(sim.Cancel(first));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, DoubleCancelCountsOnce) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(100, [] {});
+  sim.ScheduleAt(200, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_EQ(sim.RunAll(), 1);
+}
+
+// Exercises the tombstone machinery the way the storage system does at
+// scale: interleaved schedule/cancel/re-schedule bursts, with FIFO order
+// among same-time survivors and exact PendingEvents() throughout.
+TEST(SimulatorTest, CancelHeavyChurnKeepsFifoAndAccounting) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  std::vector<int> expected;
+  int label = 0;
+  // Three waves: schedule a burst, cancel every other event of the wave,
+  // then re-schedule replacements at the same times (later FIFO rank).
+  for (int wave = 0; wave < 3; ++wave) {
+    ids.clear();
+    std::vector<int> survivors;
+    for (int i = 0; i < 40; ++i) {
+      SimTime when = 1000 * (wave + 1) + (i % 4);
+      int tag = label++;
+      ids.push_back(sim.ScheduleAt(when, [&order, tag] {
+        order.push_back(tag);
+      }));
+      survivors.push_back(tag);
+    }
+    size_t before = sim.PendingEvents();
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      EXPECT_TRUE(sim.Cancel(ids[i]));
+      EXPECT_FALSE(sim.Cancel(ids[i]));  // double-cancel is a no-op
+    }
+    EXPECT_EQ(sim.PendingEvents(), before - ids.size() / 2);
+    std::vector<std::pair<SimTime, int>> keep;
+    for (size_t i = 1; i < survivors.size(); i += 2) {
+      keep.push_back({1000 * (wave + 1) + (i % 4),
+                      survivors[i]});
+    }
+    // Replacements land after the survivors in same-time FIFO order.
+    for (int i = 0; i < 20; ++i) {
+      SimTime when = 1000 * (wave + 1) + (i % 4);
+      int tag = label++;
+      sim.ScheduleAt(when, [&order, tag] { order.push_back(tag); });
+      keep.push_back({when, tag});
+    }
+    std::stable_sort(keep.begin(), keep.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (const auto& [when, tag] : keep) expected.push_back(tag);
+  }
+  EXPECT_EQ(sim.PendingEvents(), 3u * 40u);
+  EXPECT_EQ(sim.RunAll(), 3 * 40);
+  EXPECT_EQ(order, expected);
   EXPECT_EQ(sim.PendingEvents(), 0u);
 }
 

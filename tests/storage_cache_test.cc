@@ -29,174 +29,192 @@ int64_t TotalBlocks(const std::vector<FlushDemand>& demands) {
                          });
 }
 
+/// Wraps a cache with the caller-owned scratch vector the hot-path API
+/// requires, mirroring how StorageSystem drives it.
+struct CacheHarness {
+  explicit CacheHarness(const CacheConfig& config) : cache(config) {}
+
+  StorageCache::ReadOutcome Read(DataItemId item, int64_t offset,
+                                 int32_t size) {
+    return cache.Read(item, offset, size, &scratch);
+  }
+  StorageCache::WriteOutcome Write(DataItemId item, int64_t offset,
+                                   int32_t size) {
+    return cache.Write(item, offset, size, &scratch);
+  }
+
+  StorageCache cache;
+  std::vector<FlushDemand> scratch;
+};
+
 TEST(StorageCacheTest, ColdReadMissesThenHits) {
-  StorageCache cache(SmallCache());
-  auto miss = cache.Read(1, 0, 4096);
+  CacheHarness h(SmallCache());
+  auto miss = h.Read(1, 0, 4096);
   EXPECT_EQ(miss.miss_blocks, 1);
   EXPECT_EQ(miss.hit_blocks, 0);
-  auto hit = cache.Read(1, 0, 4096);
+  auto hit = h.Read(1, 0, 4096);
   EXPECT_EQ(hit.miss_blocks, 0);
   EXPECT_EQ(hit.hit_blocks, 1);
   EXPECT_TRUE(hit.fully_hit());
 }
 
 TEST(StorageCacheTest, MultiBlockSpan) {
-  StorageCache cache(SmallCache());
+  CacheHarness h(SmallCache());
   // 10000 bytes starting at offset 100 touches blocks 0..2.
-  auto out = cache.Read(1, 100, 10000);
+  auto out = h.Read(1, 100, 10000);
   EXPECT_EQ(out.miss_blocks, 3);
 }
 
 TEST(StorageCacheTest, LruEvictsOldest) {
-  StorageCache cache(SmallCache());
+  CacheHarness h(SmallCache());
   // Fill the 32-block general area with reads of items 1..32.
-  for (int i = 0; i < 32; ++i) cache.Read(1, i * 4096, 4096);
+  for (int i = 0; i < 32; ++i) h.Read(1, i * 4096, 4096);
   // Touch block 0 to make it most-recent, then overflow by one.
-  cache.Read(1, 0, 4096);
-  cache.Read(2, 0, 4096);
+  h.Read(1, 0, 4096);
+  h.Read(2, 0, 4096);
   // Block 0 must still be resident; block 1 (the LRU) was evicted.
-  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
-  EXPECT_FALSE(cache.Read(1, 1 * 4096, 4096).fully_hit());
+  EXPECT_TRUE(h.Read(1, 0, 4096).fully_hit());
+  EXPECT_FALSE(h.Read(1, 1 * 4096, 4096).fully_hit());
 }
 
 TEST(StorageCacheTest, WriteIsAbsorbedAndDirty) {
-  StorageCache cache(SmallCache());
-  auto out = cache.Write(1, 0, 4096);
+  CacheHarness h(SmallCache());
+  auto out = h.Write(1, 0, 4096);
   EXPECT_FALSE(out.write_delayed);
-  EXPECT_TRUE(out.destage.empty());
-  EXPECT_EQ(cache.general_dirty_blocks(), 1);
+  EXPECT_TRUE(h.scratch.empty());
+  EXPECT_EQ(h.cache.general_dirty_blocks(), 1);
   // The dirty block is readable from cache.
-  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
+  EXPECT_TRUE(h.Read(1, 0, 4096).fully_hit());
 }
 
 TEST(StorageCacheTest, GeneralDestageAtDirtyRatio) {
-  StorageCache cache(SmallCache());
+  CacheHarness h(SmallCache());
   // Threshold: 25% of 32 = 8 dirty blocks -> the 8th write destages all.
   std::vector<FlushDemand> destaged;
   for (int i = 0; i < 8; ++i) {
-    auto out = cache.Write(1, i * 4096, 4096);
-    for (const auto& d : out.destage) destaged.push_back(d);
+    h.Write(1, i * 4096, 4096);
+    for (const auto& d : h.scratch) destaged.push_back(d);
   }
   EXPECT_EQ(TotalBlocks(destaged), 8);
-  EXPECT_EQ(cache.general_dirty_blocks(), 0);
+  EXPECT_EQ(h.cache.general_dirty_blocks(), 0);
   // Blocks remain cached (clean) after the destage.
-  EXPECT_TRUE(cache.Read(1, 0, 4096).fully_hit());
+  EXPECT_TRUE(h.Read(1, 0, 4096).fully_hit());
 }
 
 TEST(StorageCacheTest, DirtyEvictionEmitsFlush) {
   CacheConfig config = SmallCache();
   config.default_dirty_ratio = 1.0;  // never destage by ratio
-  StorageCache cache(config);
-  for (int i = 0; i < 4; ++i) cache.Write(9, i * 4096, 4096);
+  CacheHarness h(config);
+  for (int i = 0; i < 4; ++i) h.Write(9, i * 4096, 4096);
   // Flood the general area with clean reads to force dirty evictions.
   std::vector<FlushDemand> evicted;
   for (int i = 0; i < 40; ++i) {
-    auto out = cache.Read(1, i * 4096, 4096);
-    for (const auto& d : out.eviction_flushes) evicted.push_back(d);
+    h.Read(1, i * 4096, 4096);
+    for (const auto& d : h.scratch) evicted.push_back(d);
   }
   EXPECT_EQ(TotalBlocks(evicted), 4);
   for (const auto& d : evicted) EXPECT_EQ(d.item, 9);
 }
 
 TEST(StorageCacheTest, WriteDelayRoutesToDedicatedArea) {
-  StorageCache cache(SmallCache());
-  ASSERT_TRUE(cache.SetWriteDelayItems({7}).empty());
-  auto out = cache.Write(7, 0, 4096);
+  CacheHarness h(SmallCache());
+  ASSERT_TRUE(h.cache.SetWriteDelayItems({7}).empty());
+  auto out = h.Write(7, 0, 4096);
   EXPECT_TRUE(out.write_delayed);
-  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);
-  EXPECT_EQ(cache.general_dirty_blocks(), 0);
+  EXPECT_EQ(h.cache.write_delay_dirty_blocks(), 1);
+  EXPECT_EQ(h.cache.general_dirty_blocks(), 0);
   // Write-delayed blocks serve reads.
-  EXPECT_TRUE(cache.Read(7, 0, 4096).fully_hit());
+  EXPECT_TRUE(h.Read(7, 0, 4096).fully_hit());
 }
 
 TEST(StorageCacheTest, WriteDelayDestagesAtEnlargedRatio) {
-  StorageCache cache(SmallCache());
-  cache.SetWriteDelayItems({7});
+  CacheHarness h(SmallCache());
+  h.cache.SetWriteDelayItems({7});
   std::vector<FlushDemand> destaged;
   for (int i = 0; i < 8; ++i) {  // 50% of 16 blocks
-    auto out = cache.Write(7, i * 4096, 4096);
-    for (const auto& d : out.destage) destaged.push_back(d);
+    h.Write(7, i * 4096, 4096);
+    for (const auto& d : h.scratch) destaged.push_back(d);
   }
   EXPECT_EQ(TotalBlocks(destaged), 8);
-  EXPECT_EQ(cache.write_delay_dirty_blocks(), 0);
+  EXPECT_EQ(h.cache.write_delay_dirty_blocks(), 0);
 }
 
 TEST(StorageCacheTest, RewritingSameBlockDoesNotDoubleCount) {
-  StorageCache cache(SmallCache());
-  cache.SetWriteDelayItems({7});
-  cache.Write(7, 0, 4096);
-  cache.Write(7, 0, 4096);
-  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);
+  CacheHarness h(SmallCache());
+  h.cache.SetWriteDelayItems({7});
+  h.Write(7, 0, 4096);
+  h.Write(7, 0, 4096);
+  EXPECT_EQ(h.cache.write_delay_dirty_blocks(), 1);
 }
 
 TEST(StorageCacheTest, LeavingWriteDelaySetFlushes) {
-  StorageCache cache(SmallCache());
-  cache.SetWriteDelayItems({7, 8});
-  cache.Write(7, 0, 4096);
-  cache.Write(8, 0, 4096);
-  auto demands = cache.SetWriteDelayItems({8});
+  CacheHarness h(SmallCache());
+  h.cache.SetWriteDelayItems({7, 8});
+  h.Write(7, 0, 4096);
+  h.Write(8, 0, 4096);
+  auto demands = h.cache.SetWriteDelayItems({8});
   ASSERT_EQ(demands.size(), 1u);
   EXPECT_EQ(demands[0].item, 7);
   EXPECT_EQ(demands[0].blocks, 1);
-  EXPECT_EQ(cache.write_delay_dirty_blocks(), 1);  // item 8 remains
+  EXPECT_EQ(h.cache.write_delay_dirty_blocks(), 1);  // item 8 remains
 }
 
 TEST(StorageCacheTest, PreloadLifecycle) {
-  StorageCache cache(SmallCache());
-  auto to_load = cache.SetPreloadItems({{3, 8 * 4096}});
+  CacheHarness h(SmallCache());
+  auto to_load = h.cache.SetPreloadItems({{3, 8 * 4096}});
   ASSERT_TRUE(to_load.ok());
   ASSERT_EQ(to_load.value().size(), 1u);
-  EXPECT_TRUE(cache.IsPreloadSelected(3));
-  EXPECT_FALSE(cache.IsPreloaded(3));
+  EXPECT_TRUE(h.cache.IsPreloadSelected(3));
+  EXPECT_FALSE(h.cache.IsPreloaded(3));
   // Not loaded yet: reads still miss.
-  EXPECT_FALSE(cache.Read(3, 0, 4096).fully_hit());
-  ASSERT_TRUE(cache.MarkPreloaded(3).ok());
-  EXPECT_TRUE(cache.IsPreloaded(3));
-  EXPECT_TRUE(cache.Read(3, 4 * 4096, 4096).fully_hit());
+  EXPECT_FALSE(h.Read(3, 0, 4096).fully_hit());
+  ASSERT_TRUE(h.cache.MarkPreloaded(3).ok());
+  EXPECT_TRUE(h.cache.IsPreloaded(3));
+  EXPECT_TRUE(h.Read(3, 4 * 4096, 4096).fully_hit());
 }
 
 TEST(StorageCacheTest, PreloadKeepsLoadedItemsAcrossReplacement) {
-  StorageCache cache(SmallCache());
-  ASSERT_TRUE(cache.SetPreloadItems({{3, 4 * 4096}}).ok());
-  ASSERT_TRUE(cache.MarkPreloaded(3).ok());
-  auto to_load = cache.SetPreloadItems({{3, 4 * 4096}, {4, 4 * 4096}});
+  CacheHarness h(SmallCache());
+  ASSERT_TRUE(h.cache.SetPreloadItems({{3, 4 * 4096}}).ok());
+  ASSERT_TRUE(h.cache.MarkPreloaded(3).ok());
+  auto to_load = h.cache.SetPreloadItems({{3, 4 * 4096}, {4, 4 * 4096}});
   ASSERT_TRUE(to_load.ok());
   // Only the new item needs loading (paper §V-C).
   ASSERT_EQ(to_load.value().size(), 1u);
   EXPECT_EQ(to_load.value()[0], 4);
-  EXPECT_TRUE(cache.IsPreloaded(3));
+  EXPECT_TRUE(h.cache.IsPreloaded(3));
 }
 
 TEST(StorageCacheTest, PreloadRejectsOverBudget) {
-  StorageCache cache(SmallCache());
-  auto result = cache.SetPreloadItems({{3, 17 * 4096}});  // area is 16 blocks
+  CacheHarness h(SmallCache());
+  auto result = h.cache.SetPreloadItems({{3, 17 * 4096}});  // area is 16 blocks
   EXPECT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsCapacityExceeded());
 }
 
 TEST(StorageCacheTest, MarkPreloadedUnknownItemFails) {
-  StorageCache cache(SmallCache());
-  EXPECT_FALSE(cache.MarkPreloaded(99).ok());
+  CacheHarness h(SmallCache());
+  EXPECT_FALSE(h.cache.MarkPreloaded(99).ok());
 }
 
 TEST(StorageCacheTest, FlushAllDrainsEverything) {
-  StorageCache cache(SmallCache());
-  cache.SetWriteDelayItems({7});
-  cache.Write(7, 0, 4096);
-  cache.Write(1, 0, 4096);
-  auto demands = cache.FlushAll();
+  CacheHarness h(SmallCache());
+  h.cache.SetWriteDelayItems({7});
+  h.Write(7, 0, 4096);
+  h.Write(1, 0, 4096);
+  auto demands = h.cache.FlushAll();
   EXPECT_EQ(TotalBlocks(demands), 2);
-  EXPECT_EQ(cache.general_dirty_blocks(), 0);
-  EXPECT_EQ(cache.write_delay_dirty_blocks(), 0);
+  EXPECT_EQ(h.cache.general_dirty_blocks(), 0);
+  EXPECT_EQ(h.cache.write_delay_dirty_blocks(), 0);
 }
 
 TEST(StorageCacheTest, InvalidateItemDropsAndReturnsDirty) {
-  StorageCache cache(SmallCache());
-  cache.Read(5, 0, 4096);       // clean resident block
-  cache.Write(5, 4096, 4096);   // dirty block
-  auto demands = cache.InvalidateItem(5);
+  CacheHarness h(SmallCache());
+  h.Read(5, 0, 4096);       // clean resident block
+  h.Write(5, 4096, 4096);   // dirty block
+  auto demands = h.cache.InvalidateItem(5);
   EXPECT_EQ(TotalBlocks(demands), 1);
-  EXPECT_FALSE(cache.Read(5, 0, 4096).fully_hit());  // dropped
+  EXPECT_FALSE(h.Read(5, 0, 4096).fully_hit());  // dropped
 }
 
 // Property: dirty counters never go negative and never exceed area
@@ -205,30 +223,30 @@ class CachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CachePropertyTest, CountersStayConsistent) {
   Xoshiro256 rng(GetParam());
-  StorageCache cache(SmallCache());
+  CacheHarness h(SmallCache());
   std::unordered_set<DataItemId> wd = {1, 2};
-  cache.SetWriteDelayItems(wd);
+  h.cache.SetWriteDelayItems(wd);
   for (int step = 0; step < 3000; ++step) {
     DataItemId item = static_cast<DataItemId>(rng.UniformInt(1, 6));
     int64_t offset = rng.UniformInt(0, 63) * 4096;
     switch (rng.UniformInt(0, 3)) {
       case 0:
-        cache.Read(item, offset, 4096);
+        h.Read(item, offset, 4096);
         break;
       case 1:
-        cache.Write(item, offset, 4096);
+        h.Write(item, offset, 4096);
         break;
       case 2:
-        cache.InvalidateItem(item);
+        h.cache.InvalidateItem(item);
         break;
       case 3:
-        if (rng.Bernoulli(0.1)) cache.FlushAll();
+        if (rng.Bernoulli(0.1)) h.cache.FlushAll();
         break;
     }
-    EXPECT_GE(cache.general_dirty_blocks(), 0);
-    EXPECT_LE(cache.general_dirty_blocks(), 32);
-    EXPECT_GE(cache.write_delay_dirty_blocks(), 0);
-    EXPECT_LE(cache.write_delay_dirty_blocks(), 16);
+    EXPECT_GE(h.cache.general_dirty_blocks(), 0);
+    EXPECT_LE(h.cache.general_dirty_blocks(), 32);
+    EXPECT_GE(h.cache.write_delay_dirty_blocks(), 0);
+    EXPECT_LE(h.cache.write_delay_dirty_blocks(), 16);
   }
 }
 
