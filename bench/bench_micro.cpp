@@ -7,8 +7,9 @@
 // classification hot path on a real file-server monitoring period — both
 // the current streaming implementation and the pre-optimisation
 // vector-of-vectors gather (replicated below) — and writes the results to
-// BENCH_perf.json (override the path with ECOSTORE_BENCH_JSON) so the
-// perf trajectory is tracked across PRs.
+// BENCH_perf.json (override the path with --json=<path> or the
+// ECOSTORE_BENCH_JSON env var) so the perf trajectory is tracked across
+// PRs. `bench_micro --json` runs only that measurement pass.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "bench/legacy_cache.h"
+#include "bench/legacy_simulator.h"
 #include "bench/replay_check.h"
 #include "common/random.h"
 #include "core/eco_storage_policy.h"
@@ -45,6 +47,20 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+/// The PR-2 engine (bench/legacy_simulator.h): heap entries carry the
+/// std::function, so every sift moves it along with the key.
+void BM_SimulatorScheduleRunLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    legacy::LegacySimulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.ScheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunAll());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRunLegacy);
 
 void BM_CacheReadHit(benchmark::State& state) {
   storage::CacheConfig config;
@@ -315,6 +331,61 @@ struct FileServerPeriod {
   }
 };
 
+// ---------------------------------------------------------------------
+// Workload streaming: Next() one record at a time vs NextBatch() — the
+// feed half of the batched replay loop.
+// ---------------------------------------------------------------------
+
+/// The file-server generator for one monitoring period, shared by the
+/// stream benchmarks (Reset() rewinds it deterministically).
+workload::FileServerWorkload* StreamBenchWorkload() {
+  static workload::FileServerWorkload* w = [] {
+    workload::FileServerConfig config;
+    config.duration = 520 * kSecond;
+    auto workload = workload::FileServerWorkload::Create(config);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "stream bench workload: %s\n",
+                   workload.status().ToString().c_str());
+      std::abort();
+    }
+    return workload.value().release();
+  }();
+  return w;
+}
+
+void BM_FileServerStreamNext(benchmark::State& state) {
+  workload::FileServerWorkload* w = StreamBenchWorkload();
+  int64_t records = 0;
+  for (auto _ : state) {
+    w->Reset();
+    trace::LogicalIoRecord rec;
+    records = 0;
+    while (w->Next(&rec)) {
+      benchmark::DoNotOptimize(rec);
+      records++;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_FileServerStreamNext);
+
+void BM_FileServerStreamNextBatch(benchmark::State& state) {
+  workload::FileServerWorkload* w = StreamBenchWorkload();
+  std::vector<trace::LogicalIoRecord> batch;
+  batch.reserve(256);
+  int64_t records = 0;
+  for (auto _ : state) {
+    w->Reset();
+    records = 0;
+    while (w->NextBatch(&batch, 256) > 0) {
+      benchmark::DoNotOptimize(batch.data());
+      records += static_cast<int64_t>(batch.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_FileServerStreamNextBatch);
+
 void BM_ClassifyFileServerPeriod(benchmark::State& state) {
   const FileServerPeriod& period = FileServerPeriod::Get();
   core::PatternClassifier classifier(
@@ -511,7 +582,10 @@ double MeasureEventsPerSec(int64_t events_per_call, Fn&& fn) {
   return static_cast<double>(events_per_call * calls) / elapsed;
 }
 
-void WriteBenchPerfJson() {
+/// Measures every tracked figure and writes the BENCH_perf.json schema.
+/// Path precedence: `path_override` (the --json= flag) beats the
+/// ECOSTORE_BENCH_JSON env var beats "BENCH_perf.json".
+void WriteBenchPerfJson(const char* path_override) {
   const FileServerPeriod& period = FileServerPeriod::Get();
   const auto events = static_cast<int64_t>(period.buffer.size());
   core::PatternClassifier classifier(
@@ -541,8 +615,39 @@ void WriteBenchPerfJson() {
         options, period.buffer, period.catalog, 0, period.period_end));
   });
 
+  // Sanity: the POD-heap engine and the frozen PR-2 replica must execute
+  // the same schedule identically before their speeds are compared.
+  {
+    int64_t pod_fired = 0, legacy_fired = 0;
+    sim::Simulator pod;
+    legacy::LegacySimulator old_engine;
+    for (int i = 0; i < 100000; ++i) {
+      pod.ScheduleAt(i, [&] { pod_fired++; });
+      old_engine.ScheduleAt(i, [&] { legacy_fired++; });
+    }
+    int64_t pod_ran = pod.RunAll();
+    int64_t legacy_ran = old_engine.RunAll();
+    if (pod_fired != legacy_fired || pod_ran != legacy_ran ||
+        pod.Now() != old_engine.Now()) {
+      std::fprintf(stderr,
+                   "BENCH_perf: POD-heap and legacy simulator disagree "
+                   "(fired %lld/%lld ran %lld/%lld)\n",
+                   static_cast<long long>(pod_fired),
+                   static_cast<long long>(legacy_fired),
+                   static_cast<long long>(pod_ran),
+                   static_cast<long long>(legacy_ran));
+      std::exit(1);
+    }
+  }
+
   double sim_rate = MeasureEventsPerSec(100000, [] {
     sim::Simulator sim;
+    sim.Reserve(100000);
+    for (int i = 0; i < 100000; ++i) sim.ScheduleAt(i, [] {});
+    benchmark::DoNotOptimize(sim.RunAll());
+  });
+  double sim_legacy_rate = MeasureEventsPerSec(100000, [] {
+    legacy::LegacySimulator sim;
     for (int i = 0; i < 100000; ++i) sim.ScheduleAt(i, [] {});
     benchmark::DoNotOptimize(sim.RunAll());
   });
@@ -587,6 +692,60 @@ void WriteBenchPerfJson() {
     benchmark::DoNotOptimize(RunCacheMixLegacy(mix_ops));
   });
 
+  // Workload streaming: Next() vs NextBatch() on the file-server
+  // generator, gated on the two cursors producing the identical record
+  // stream (count + content fingerprint).
+  workload::FileServerWorkload* stream_wl = StreamBenchWorkload();
+  int64_t stream_records = 0;
+  {
+    bench::Fnv1a next_fp, batch_fp;
+    auto fold = [](bench::Fnv1a* fp, const trace::LogicalIoRecord& rec) {
+      fp->I64(rec.time);
+      fp->I64(rec.item);
+      fp->I64(rec.offset);
+      fp->I64(rec.size);
+      fp->I64(static_cast<int64_t>(rec.type));
+      fp->I64(rec.tag);
+    };
+    stream_wl->Reset();
+    trace::LogicalIoRecord rec;
+    while (stream_wl->Next(&rec)) {
+      fold(&next_fp, rec);
+      stream_records++;
+    }
+    stream_wl->Reset();
+    std::vector<trace::LogicalIoRecord> batch;
+    int64_t batch_records = 0;
+    while (stream_wl->NextBatch(&batch, 256) > 0) {
+      for (const trace::LogicalIoRecord& r : batch) fold(&batch_fp, r);
+      batch_records += static_cast<int64_t>(batch.size());
+    }
+    if (stream_records != batch_records ||
+        next_fp.hash() != batch_fp.hash()) {
+      std::fprintf(stderr,
+                   "BENCH_perf: Next and NextBatch streams disagree "
+                   "(%lld vs %lld records, fp %016llx vs %016llx)\n",
+                   static_cast<long long>(stream_records),
+                   static_cast<long long>(batch_records),
+                   static_cast<unsigned long long>(next_fp.hash()),
+                   static_cast<unsigned long long>(batch_fp.hash()));
+      std::exit(1);
+    }
+  }
+  double stream_next_rate = MeasureEventsPerSec(stream_records, [&] {
+    stream_wl->Reset();
+    trace::LogicalIoRecord rec;
+    while (stream_wl->Next(&rec)) benchmark::DoNotOptimize(rec);
+  });
+  std::vector<trace::LogicalIoRecord> stream_batch;
+  stream_batch.reserve(256);
+  double stream_batch_rate = MeasureEventsPerSec(stream_records, [&] {
+    stream_wl->Reset();
+    while (stream_wl->NextBatch(&stream_batch, 256) > 0) {
+      benchmark::DoNotOptimize(stream_batch.data());
+    }
+  });
+
   // End-to-end replay throughput, new code vs the seed build's figures.
   // The seed numbers were measured on this machine from commit 2bf6bdc
   // with this exact harness; the fingerprints pin the simulated outcome,
@@ -611,7 +770,8 @@ void WriteBenchPerfJson() {
     std::exit(1);
   }
 
-  const char* path = std::getenv("ECOSTORE_BENCH_JSON");
+  const char* path = path_override;
+  if (path == nullptr) path = std::getenv("ECOSTORE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_perf.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
@@ -637,6 +797,17 @@ void WriteBenchPerfJson() {
   std::fprintf(out, "    \"speedup\": %.2f\n",
                mix_slab_rate / mix_legacy_rate);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"workload_stream\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_period_520s\",\n");
+  std::fprintf(out, "    \"records\": %lld,\n",
+               static_cast<long long>(stream_records));
+  std::fprintf(out, "    \"next_records_per_sec\": %.0f,\n",
+               stream_next_rate);
+  std::fprintf(out, "    \"next_batch_records_per_sec\": %.0f,\n",
+               stream_batch_rate);
+  std::fprintf(out, "    \"batch_speedup\": %.2f\n",
+               stream_batch_rate / stream_next_rate);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"replay_end_to_end\": {\n");
   std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
   std::fprintf(out, "    \"logical_ios_per_run\": %lld,\n",
@@ -658,6 +829,10 @@ void WriteBenchPerfJson() {
                sim_rate);
   std::fprintf(out, "  \"simulator_seed_schedule_events_per_sec\": %.0f,\n",
                kSeedSimulatorEventsPerSec);
+  std::fprintf(out, "  \"simulator_legacy_schedule_events_per_sec\": %.0f,\n",
+               sim_legacy_rate);
+  std::fprintf(out, "  \"simulator_schedule_speedup_vs_legacy\": %.2f,\n",
+               sim_rate / sim_legacy_rate);
   std::fprintf(out, "  \"simulator_cancel_heavy_events_per_sec\": %.0f\n",
                sim_cancel_rate);
   std::fprintf(out, "}\n");
@@ -670,15 +845,21 @@ void WriteBenchPerfJson() {
               "(%.2fx)\n",
               static_cast<long long>(mix_events), mix_slab_rate / 1e6,
               mix_legacy_rate / 1e6, mix_slab_rate / mix_legacy_rate);
+  std::printf("workload stream (file-server 520 s, %lld records): "
+              "NextBatch %.2fM rec/s vs Next %.2fM rec/s (%.2fx)\n",
+              static_cast<long long>(stream_records),
+              stream_batch_rate / 1e6, stream_next_rate / 1e6,
+              stream_batch_rate / stream_next_rate);
   std::printf("replay end-to-end: eco %.2fM lios/s (seed %.2fM, %.2fx), "
               "no_power_saving %.2fM lios/s (seed %.2fM, %.2fx)\n",
               eco.lios_per_sec / 1e6, kSeedReplayEcoLiosPerSec / 1e6,
               eco.lios_per_sec / kSeedReplayEcoLiosPerSec,
               nps.lios_per_sec / 1e6, kSeedReplayNpsLiosPerSec / 1e6,
               nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
-  std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM), "
-              "cancel-heavy %.2fM ev/s -> %s\n",
+  std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM, legacy "
+              "%.2fM, %.2fx), cancel-heavy %.2fM ev/s -> %s\n",
               sim_rate / 1e6, kSeedSimulatorEventsPerSec / 1e6,
+              sim_legacy_rate / 1e6, sim_rate / sim_legacy_rate,
               sim_cancel_rate / 1e6, path);
 }
 
@@ -689,17 +870,31 @@ int main(int argc, char** argv) {
   // --check / --record bypass google-benchmark entirely: they run the
   // bit-identical replay regression gate (see bench/replay_check.h).
   // --replay prints the end-to-end throughput figures only.
+  // --json[=path] also skips google-benchmark and machine-writes the
+  // BENCH_perf.json schema (the sanctioned way to regenerate the file).
   std::string golden_path = "bench/golden_replay.txt";
-  bool check = false, record = false, replay_only = false;
+  std::string json_path;
+  bool check = false, record = false, replay_only = false, json_only = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg == "--check") check = true;
     else if (arg == "--record") record = true;
     else if (arg == "--replay") replay_only = true;
-    else if (arg.rfind("--golden=", 0) == 0) golden_path = arg.substr(9);
+    else if (arg == "--json") json_only = true;
+    else if (arg.rfind("--json=", 0) == 0) {
+      json_only = true;
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--golden=", 0) == 0) {
+      golden_path = arg.substr(9);
+    }
   }
   if (check || record) {
     return ecostore::bench::ReplayCheckMain(golden_path, record);
+  }
+  if (json_only) {
+    ecostore::WriteBenchPerfJson(json_path.empty() ? nullptr
+                                                   : json_path.c_str());
+    return 0;
   }
   if (replay_only) {
     ecostore::ReplayFigure eco = ecostore::MeasureReplayThroughput(true);
@@ -717,6 +912,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  ecostore::WriteBenchPerfJson();
+  ecostore::WriteBenchPerfJson(nullptr);
   return 0;
 }

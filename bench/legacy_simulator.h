@@ -1,0 +1,151 @@
+#ifndef ECOSTORE_BENCH_LEGACY_SIMULATOR_H_
+#define ECOSTORE_BENCH_LEGACY_SIMULATOR_H_
+
+// The pre-rewrite discrete-event engine, kept verbatim (header-inlined)
+// as the regression reference for the simulator microbenchmarks — the
+// same pattern as bench/legacy_cache.h. Its heap entries carry the
+// std::function callback directly, so every push_heap/pop_heap sift
+// moves 48+ bytes including a std::function; the rewritten engine keeps
+// callbacks parked in the slot slab and sifts 24-byte POD keys instead.
+//
+// Do NOT evolve this copy: it exists so BENCH_perf.json can compare the
+// current engine against the exact seed behaviour on the same machine.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ecostore::legacy {
+
+using EventId = uint64_t;
+
+/// The PR-2 simulator: move-only heap entries holding the callback,
+/// generation-tagged slots for O(1) cancellation.
+class LegacySimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  EventId ScheduleAt(SimTime when, Callback cb) {
+    if (when < now_) when = now_;
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(SlotState{});
+    }
+    queue_.push_back(Entry{when, next_seq_++, slot, std::move(cb)});
+    std::push_heap(queue_.begin(), queue_.end(), Later);
+    live_++;
+    return EncodeId(slot, slots_[slot].generation);
+  }
+
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    if (delay < 0) delay = 0;
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  bool Cancel(EventId id) {
+    uint64_t slot_plus_one = id >> 32;
+    if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
+    auto slot = static_cast<uint32_t>(slot_plus_one - 1);
+    SlotState& state = slots_[slot];
+    if (state.generation != static_cast<uint32_t>(id)) return false;
+    if (state.cancelled) return false;
+    state.cancelled = true;
+    live_--;
+    return true;
+  }
+
+  int64_t RunUntil(SimTime deadline) {
+    int64_t executed = 0;
+    while (!queue_.empty()) {
+      if (queue_.front().when > deadline) break;
+      Entry entry = PopTop();
+      bool cancelled = slots_[entry.slot].cancelled;
+      ReleaseSlot(entry.slot);
+      if (cancelled) continue;
+      live_--;
+      now_ = entry.when;
+      entry.cb();
+      executed++;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+  int64_t RunAll() {
+    int64_t executed = 0;
+    while (!queue_.empty()) {
+      Entry entry = PopTop();
+      bool cancelled = slots_[entry.slot].cancelled;
+      ReleaseSlot(entry.slot);
+      if (cancelled) continue;
+      live_--;
+      now_ = entry.when;
+      entry.cb();
+      executed++;
+    }
+    return executed;
+  }
+
+  size_t PendingEvents() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    uint32_t slot;
+    Callback cb;
+  };
+
+  struct SlotState {
+    uint32_t generation = 0;
+    bool cancelled = false;
+  };
+
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  static EventId EncodeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(slot + 1) << 32) | generation;
+  }
+
+  Entry PopTop() {
+    std::pop_heap(queue_.begin(), queue_.end(), Later);
+    Entry entry = std::move(queue_.back());
+    queue_.pop_back();
+    return entry;
+  }
+
+  void ReleaseSlot(uint32_t slot) {
+    SlotState& state = slots_[slot];
+    state.generation++;
+    state.cancelled = false;
+    free_slots_.push_back(slot);
+  }
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+  std::vector<Entry> queue_;
+  std::vector<SlotState> slots_;
+  std::vector<uint32_t> free_slots_;
+};
+
+}  // namespace ecostore::legacy
+
+#endif  // ECOSTORE_BENCH_LEGACY_SIMULATOR_H_

@@ -105,21 +105,27 @@ inline uint64_t MetricsFingerprint(const replay::ExperimentMetrics& m) {
   fnv.I64(m.block_migrations);
   fnv.I64(m.placement_determinations);
   fnv.I64(m.spinups);
-  for (const auto& [tag, sum] : m.tag_read_response_us_sum) {
+  // Four passes over the merged per-tag map, emitting the exact byte
+  // stream of the four separate maps it replaced (goldens predate the
+  // merge). Tags without reads had no entry in the old sum/count maps,
+  // hence the reads>0 filter on the first two passes.
+  for (const auto& [tag, stats] : m.tag_stats) {
+    if (stats.reads == 0) continue;
     fnv.I64(tag);
-    fnv.F64(sum);
+    fnv.F64(stats.read_response_us_sum);
   }
-  for (const auto& [tag, n] : m.tag_reads) {
+  for (const auto& [tag, stats] : m.tag_stats) {
+    if (stats.reads == 0) continue;
     fnv.I64(tag);
-    fnv.I64(n);
+    fnv.I64(stats.reads);
   }
-  for (const auto& [tag, t] : m.tag_first_issue) {
+  for (const auto& [tag, stats] : m.tag_stats) {
     fnv.I64(tag);
-    fnv.I64(t);
+    fnv.I64(stats.first_issue);
   }
-  for (const auto& [tag, t] : m.tag_last_completion) {
+  for (const auto& [tag, stats] : m.tag_stats) {
     fnv.I64(tag);
-    fnv.I64(t);
+    fnv.I64(stats.last_completion);
   }
   std::vector<SimDuration> gaps = m.idle_gaps;
   std::sort(gaps.begin(), gaps.end());

@@ -94,6 +94,11 @@ class Experiment : public storage::StorageObserver,
   sim::EventId period_event_ = 0;
   bool in_period_end_ = false;
   bool trigger_pending_ = false;
+
+  /// Records pulled per Workload::NextBatch call in Run()'s hot loop.
+  static constexpr size_t kReplayBatch = 256;
+  /// Reused batch scratch; no allocation per batch in steady state.
+  std::vector<trace::LogicalIoRecord> batch_;
 };
 
 }  // namespace ecostore::replay

@@ -47,15 +47,17 @@ std::map<int32_t, double> ScaledQueryResponses(
     const ExperimentMetrics& baseline, const ExperimentMetrics& run) {
   std::map<int32_t, double> result;
   for (const auto& [tag, q_orig] : baseline_wall_seconds) {
-    auto base_it = baseline.tag_read_response_us_sum.find(tag);
-    auto run_it = run.tag_read_response_us_sum.find(tag);
-    if (base_it == baseline.tag_read_response_us_sum.end() ||
-        run_it == run.tag_read_response_us_sum.end() ||
-        base_it->second <= 0) {
+    auto base_it = baseline.tag_stats.find(tag);
+    auto run_it = run.tag_stats.find(tag);
+    if (base_it == baseline.tag_stats.end() ||
+        base_it->second.reads == 0 || run_it == run.tag_stats.end() ||
+        run_it->second.reads == 0 ||
+        base_it->second.read_response_us_sum <= 0) {
       result[tag] = q_orig;
       continue;
     }
-    result[tag] = q_orig * (run_it->second / base_it->second);
+    result[tag] = q_orig * (run_it->second.read_response_us_sum /
+                            base_it->second.read_response_us_sum);
   }
   return result;
 }
@@ -63,10 +65,8 @@ std::map<int32_t, double> ScaledQueryResponses(
 std::map<int32_t, double> MeasuredQueryWallSeconds(
     const ExperimentMetrics& run) {
   std::map<int32_t, double> result;
-  for (const auto& [tag, first] : run.tag_first_issue) {
-    auto last_it = run.tag_last_completion.find(tag);
-    if (last_it == run.tag_last_completion.end()) continue;
-    result[tag] = ToSeconds(last_it->second - first);
+  for (const auto& [tag, stats] : run.tag_stats) {
+    result[tag] = ToSeconds(stats.last_completion - stats.first_issue);
   }
   return result;
 }

@@ -57,13 +57,21 @@ struct ExperimentMetrics {
   // --- Power-state activity ---
   int64_t spinups = 0;
 
-  // --- Per-tag read response sums (TPC-H query-response model) ---
-  std::map<int32_t, double> tag_read_response_us_sum;
-  std::map<int32_t, int64_t> tag_reads;
-  /// First I/O issue and last I/O completion per tag: the measured query
-  /// wall time (start-to-last-I/O) under each policy.
-  std::map<int32_t, SimTime> tag_first_issue;
-  std::map<int32_t, SimTime> tag_last_completion;
+  // --- Per-tag accounting (TPC-H query-response model) ---
+  /// Everything measured for one tag. `first_issue` / `last_completion`
+  /// bracket the measured query wall time (start-to-last-I/O) under each
+  /// policy; the read-response sum feeds the §VII-A.5 scaling model.
+  /// `reads == 0` means the tag never issued a read (the sum is then
+  /// meaningless and the scaling model falls back to the baseline).
+  struct TagStats {
+    double read_response_us_sum = 0.0;
+    int64_t reads = 0;
+    SimTime first_issue = 0;
+    SimTime last_completion = 0;
+  };
+  /// One entry per tag seen; filled by the replay hot loop with a single
+  /// map probe per tagged record.
+  std::map<int32_t, TagStats> tag_stats;
 
   // --- Enclosure idle intervals (>= the configured notify floor) ---
   std::vector<SimDuration> idle_gaps;

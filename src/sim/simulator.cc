@@ -13,9 +13,10 @@ EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<uint32_t>(slots_.size());
-    slots_.push_back(SlotState{});
+    slots_.emplace_back();
   }
-  queue_.push_back(Entry{when, next_seq_++, slot, std::move(cb)});
+  slots_[slot].cb = std::move(cb);
+  queue_.push_back(HeapEntry{when, next_seq_++, slot});
   std::push_heap(queue_.begin(), queue_.end(), Later);
   live_++;
   return EncodeId(slot, slots_[slot].generation);
@@ -30,7 +31,7 @@ bool Simulator::Cancel(EventId id) {
   uint64_t slot_plus_one = id >> 32;
   if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return false;
   auto slot = static_cast<uint32_t>(slot_plus_one - 1);
-  SlotState& state = slots_[slot];
+  Slot& state = slots_[slot];
   if (state.generation != static_cast<uint32_t>(id)) return false;  // stale
   // A matching generation means the entry is still in the heap: the slot
   // is only released (generation bumped) when its entry pops.
@@ -40,16 +41,23 @@ bool Simulator::Cancel(EventId id) {
   return true;
 }
 
+void Simulator::Reserve(size_t events) {
+  queue_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 void Simulator::ReleaseSlot(uint32_t slot) {
-  SlotState& state = slots_[slot];
+  Slot& state = slots_[slot];
+  state.cb = nullptr;
   state.generation++;
   state.cancelled = false;
   free_slots_.push_back(slot);
 }
 
-Simulator::Entry Simulator::PopTop() {
+Simulator::HeapEntry Simulator::PopTop() {
   std::pop_heap(queue_.begin(), queue_.end(), Later);
-  Entry entry = std::move(queue_.back());
+  HeapEntry entry = queue_.back();
   queue_.pop_back();
   return entry;
 }
@@ -58,13 +66,19 @@ int64_t Simulator::RunUntil(SimTime deadline) {
   int64_t executed = 0;
   while (!queue_.empty()) {
     if (queue_.front().when > deadline) break;
-    Entry entry = PopTop();
-    bool cancelled = slots_[entry.slot].cancelled;
+    HeapEntry entry = PopTop();
+    Slot& state = slots_[entry.slot];
+    if (state.cancelled) {
+      ReleaseSlot(entry.slot);
+      continue;
+    }
+    // Move the callback out before releasing: the callback may schedule
+    // new events that immediately reuse this slot.
+    Callback cb = std::move(state.cb);
     ReleaseSlot(entry.slot);
-    if (cancelled) continue;
     live_--;
     now_ = entry.when;
-    entry.cb();
+    cb();
     executed++;
   }
   if (now_ < deadline) {
@@ -78,13 +92,17 @@ int64_t Simulator::RunUntil(SimTime deadline) {
 int64_t Simulator::RunAll() {
   int64_t executed = 0;
   while (!queue_.empty()) {
-    Entry entry = PopTop();
-    bool cancelled = slots_[entry.slot].cancelled;
+    HeapEntry entry = PopTop();
+    Slot& state = slots_[entry.slot];
+    if (state.cancelled) {
+      ReleaseSlot(entry.slot);
+      continue;
+    }
+    Callback cb = std::move(state.cb);
     ReleaseSlot(entry.slot);
-    if (cancelled) continue;
     live_--;
     now_ = entry.when;
-    entry.cb();
+    cb();
     executed++;
   }
   return executed;

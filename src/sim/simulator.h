@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -13,6 +15,9 @@ namespace ecostore::sim {
 /// slot index and a generation; 0 is never a valid id.
 using EventId = uint64_t;
 
+/// Sentinel returned by NextEventTime() when the queue is empty.
+inline constexpr SimTime kNoPendingEvent = std::numeric_limits<SimTime>::max();
+
 /// \brief Single-threaded discrete-event simulator.
 ///
 /// Events are callbacks scheduled at absolute simulated times and executed
@@ -20,11 +25,17 @@ using EventId = uint64_t;
 /// every run is deterministic. The storage array, cache flush timers,
 /// policy periods and the trace replayer all share one Simulator.
 ///
+/// The binary heap holds 24-byte POD entries — the (when, seq) ordering
+/// key plus a slot index — so every push_heap/pop_heap sift moves three
+/// words instead of a 48+-byte entry carrying a std::function. Callbacks
+/// are parked once in the generation-tagged slot slab at schedule time
+/// and stay there until their entry pops; sifts never touch them.
+///
 /// Cancellation is O(1) and probe-free: every heap entry references a
-/// slot in a generation-tagged side array. Cancel() flips the slot's
-/// tombstone bit in place; the pop loop discards tombstoned entries with
-/// one indexed load instead of a hash-set lookup, so the hot pop path
-/// costs nothing when no cancellations are outstanding.
+/// slot in the slab. Cancel() flips the slot's tombstone bit in place;
+/// the pop loop discards tombstoned entries with one indexed load
+/// instead of a hash-set lookup, so the hot pop path costs nothing when
+/// no cancellations are outstanding.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -57,30 +68,53 @@ class Simulator {
   /// Runs all pending events to quiescence.
   int64_t RunAll();
 
+  /// Timestamp of the earliest entry still in the heap, or kNoPendingEvent
+  /// when the heap is empty. The entry may be a cancelled-but-unpopped
+  /// tombstone, so this is a *lower bound* on the next live event's time:
+  /// if NextEventTime() > t, RunUntil(t) is guaranteed to execute nothing,
+  /// which is exactly the test the batched replay loop needs.
+  SimTime NextEventTime() const {
+    return queue_.empty() ? kNoPendingEvent : queue_.front().when;
+  }
+
+  /// Advances the clock to `t` without running anything (no-op when `t`
+  /// is in the past). The caller asserts NextEventTime() > t; pairing
+  /// this with NextEventTime() replaces a RunUntil() call on the replay
+  /// hot path when no event is due.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Pre-sizes the heap and the slot slab for `events` concurrently
+  /// pending events, so steady-state scheduling never reallocates.
+  void Reserve(size_t events);
+
   /// Number of events currently pending (cancelled events excluded).
   size_t PendingEvents() const { return live_; }
 
  private:
-  // Move-only: the callback lives directly in the heap entry, so
-  // scheduling an event performs no allocation beyond the callback's own
-  // state (small captures fit std::function's inline storage).
-  struct Entry {
+  /// Trivially copyable heap entry: the 16-byte (when, seq) ordering key
+  /// plus the slot holding the callback. Sifts copy these 24 bytes; the
+  /// callback itself never moves after ScheduleAt parks it in the slab.
+  struct HeapEntry {
     SimTime when;
     uint64_t seq;
     uint32_t slot;
-    Callback cb;
   };
+  static_assert(std::is_trivially_copyable_v<HeapEntry>);
 
-  /// One slot per in-heap entry. The generation distinguishes the current
-  /// entry from stale ids that referenced an earlier occupant; the
-  /// tombstone marks a cancelled-but-not-yet-popped entry.
-  struct SlotState {
+  /// One slab slot per in-heap entry, owning the parked callback. The
+  /// generation distinguishes the current entry from stale ids that
+  /// referenced an earlier occupant; the tombstone marks a
+  /// cancelled-but-not-yet-popped entry.
+  struct Slot {
+    Callback cb;
     uint32_t generation = 0;
     bool cancelled = false;
   };
 
   /// Min-heap order on (when, seq): true when `a` fires after `b`.
-  static bool Later(const Entry& a, const Entry& b) {
+  static bool Later(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when > b.when;
     return a.seq > b.seq;
   }
@@ -90,17 +124,18 @@ class Simulator {
   }
 
   /// Removes and returns the earliest entry (queue must be non-empty).
-  Entry PopTop();
+  HeapEntry PopTop();
 
-  /// Releases an entry's slot back to the free list (bumping the
-  /// generation so outstanding ids for it go stale).
+  /// Releases an entry's slot back to the free list, destroying the
+  /// parked callback and bumping the generation so outstanding ids for
+  /// it go stale.
   void ReleaseSlot(uint32_t slot);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
-  std::vector<Entry> queue_;  ///< binary heap ordered by Later()
-  std::vector<SlotState> slots_;
+  std::vector<HeapEntry> queue_;  ///< binary heap ordered by Later()
+  std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
 };
 

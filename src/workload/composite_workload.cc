@@ -1,6 +1,7 @@
 #include "workload/composite_workload.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace ecostore::workload {
 
@@ -49,6 +50,11 @@ Result<std::unique_ptr<CompositeWorkload>> CompositeWorkload::Create(
   return composite;
 }
 
+/// Records buffered per child between merge steps. Small enough that the
+/// k-way merge lookahead stays cache-resident, large enough to amortize
+/// the per-child virtual NextBatch call.
+static constexpr size_t kChildBatch = 64;
+
 void CompositeWorkload::Reset() {
   pending_.assign(children_.size(), Pending{});
   for (size_t k = 0; k < children_.size(); ++k) {
@@ -57,30 +63,68 @@ void CompositeWorkload::Reset() {
   }
 }
 
-void CompositeWorkload::Refill(size_t k) {
-  trace::LogicalIoRecord rec;
-  if (children_[k]->Next(&rec)) {
-    rec.item += item_offsets_[k];
-    pending_[k].rec = rec;
-    pending_[k].valid = true;
-  } else {
-    pending_[k].valid = false;
-  }
+bool CompositeWorkload::Refill(size_t k) {
+  Pending& p = pending_[k];
+  if (!p.empty()) return true;
+  if (children_[k]->NextBatch(&p.buf, kChildBatch) == 0) return false;
+  p.pos = 0;
+  DataItemId offset = item_offsets_[k];
+  for (trace::LogicalIoRecord& rec : p.buf) rec.item += offset;
+  return true;
 }
 
-bool CompositeWorkload::Next(trace::LogicalIoRecord* rec) {
+int CompositeWorkload::EarliestChild() {
   int best = -1;
   for (size_t k = 0; k < pending_.size(); ++k) {
-    if (!pending_[k].valid) continue;
+    if (pending_[k].empty() && !Refill(k)) continue;
     if (best < 0 ||
-        pending_[k].rec.time < pending_[static_cast<size_t>(best)].rec.time) {
+        pending_[k].front().time <
+            pending_[static_cast<size_t>(best)].front().time) {
       best = static_cast<int>(k);
     }
   }
+  return best;
+}
+
+bool CompositeWorkload::Next(trace::LogicalIoRecord* rec) {
+  int best = EarliestChild();
   if (best < 0) return false;
-  *rec = pending_[static_cast<size_t>(best)].rec;
-  Refill(static_cast<size_t>(best));
+  Pending& p = pending_[static_cast<size_t>(best)];
+  *rec = p.front();
+  p.pos++;
   return true;
+}
+
+size_t CompositeWorkload::NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                                    size_t max_records) {
+  out->clear();
+  while (out->size() < max_records) {
+    int best = EarliestChild();
+    if (best < 0) break;
+    Pending& p = pending_[static_cast<size_t>(best)];
+    // Runner-up head time (and the lowest child index holding it): while
+    // best's head stays below it — or equal, if best still wins the
+    // lowest-index tie-break — best cannot be overtaken, so its buffer
+    // drains without re-scanning the other children. Their heads are
+    // static here: only best's buffer is consumed.
+    SimTime limit = std::numeric_limits<SimTime>::max();
+    int limit_idx = -1;
+    for (size_t k = 0; k < pending_.size(); ++k) {
+      if (static_cast<int>(k) == best || pending_[k].empty()) continue;
+      if (pending_[k].front().time < limit) {
+        limit = pending_[k].front().time;
+        limit_idx = static_cast<int>(k);
+      }
+    }
+    const bool wins_ties = limit_idx < 0 || best < limit_idx;
+    do {
+      out->push_back(p.front());
+      p.pos++;
+    } while (out->size() < max_records && !p.empty() &&
+             (p.front().time < limit ||
+              (wins_ties && p.front().time == limit)));
+  }
+  return out->size();
 }
 
 }  // namespace ecostore::workload

@@ -31,6 +31,8 @@ class CompositeWorkload : public Workload {
     return catalog_;
   }
   bool Next(trace::LogicalIoRecord* rec) override;
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override;
   void Reset() override;
 
   /// Array enclosure that child `k`'s enclosure 0 maps to.
@@ -50,13 +52,25 @@ class CompositeWorkload : public Workload {
   std::vector<EnclosureId> enclosure_offsets_;
   std::vector<DataItemId> item_offsets_;
 
-  // Merge state: one lookahead record per child.
+  // Merge state: a buffered lookahead batch per child (records already
+  // re-based into composite item ids). Next() and NextBatch() both pop
+  // from these buffers, so the two APIs share one stream cursor.
   struct Pending {
-    bool valid = false;
-    trace::LogicalIoRecord rec;
+    std::vector<trace::LogicalIoRecord> buf;
+    size_t pos = 0;
+
+    bool empty() const { return pos >= buf.size(); }
+    const trace::LogicalIoRecord& front() const { return buf[pos]; }
   };
   std::vector<Pending> pending_;
-  void Refill(size_t k);
+
+  /// Pulls the next child batch into pending_[k] (no-op while records
+  /// remain buffered). Returns false when child k is exhausted.
+  bool Refill(size_t k);
+
+  /// Index of the child holding the earliest pending record (ties break
+  /// toward the lowest child index), or -1 when all are exhausted.
+  int EarliestChild();
 };
 
 }  // namespace ecostore::workload

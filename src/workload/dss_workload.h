@@ -54,6 +54,10 @@ class DssWorkload : public Workload {
   bool Next(trace::LogicalIoRecord* rec) override {
     return mixer_.Next(rec);
   }
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override {
+    return mixer_.NextBatch(out, max_records);
+  }
   void Reset() override;
 
   /// Per-query wall times of the no-power-saving reference (seconds),

@@ -110,6 +110,10 @@ class FileServerWorkload : public Workload {
   bool Next(trace::LogicalIoRecord* rec) override {
     return mixer_.Next(rec);
   }
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override {
+    return mixer_.NextBatch(out, max_records);
+  }
   void Reset() override;
 
  private:

@@ -38,6 +38,26 @@ bool SourceMixer::Next(trace::LogicalIoRecord* rec) {
   return false;
 }
 
+size_t SourceMixer::NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                              size_t max_records) {
+  out->clear();
+  while (out->size() < max_records && !heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    IoSource& src = *sources_[top.index];
+    SimTime t = src.next_time();
+    if (t != top.time) {
+      // Stale entry (source advanced past it); reinsert at its real time.
+      if (t != kNoMoreIo) heap_.push(HeapEntry{t, top.index});
+      continue;
+    }
+    out->push_back(src.Emit());
+    t = src.next_time();
+    if (t != kNoMoreIo) heap_.push(HeapEntry{t, top.index});
+  }
+  return out->size();
+}
+
 void SourceMixer::Clear() {
   sources_.clear();
   while (!heap_.empty()) heap_.pop();

@@ -39,6 +39,11 @@ class SourceMixer {
   /// Pops the earliest pending record; false when all sources are done.
   bool Next(trace::LogicalIoRecord* rec);
 
+  /// Pops up to `max_records` earliest records into `out` (cleared
+  /// first); returns the number popped. Same stream as repeated Next().
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records);
+
   void Clear();
   size_t source_count() const { return sources_.size(); }
 

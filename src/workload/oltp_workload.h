@@ -51,6 +51,10 @@ class OltpWorkload : public Workload {
   bool Next(trace::LogicalIoRecord* rec) override {
     return mixer_.Next(rec);
   }
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override {
+    return mixer_.NextBatch(out, max_records);
+  }
   void Reset() override;
 
   /// Transaction throughput measured for the paper's scaling model

@@ -99,4 +99,25 @@ bool RecordedWorkload::Next(trace::LogicalIoRecord* rec) {
   return false;
 }
 
+size_t RecordedWorkload::NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                                   size_t max_records) {
+  out->clear();
+  size_t want = std::min(max_records, records_.size() - cursor_);
+  // Records are time-ordered, so if the last record of the window is
+  // inside the duration the whole window is: one contiguous copy.
+  if (want > 0 && records_[cursor_ + want - 1].time < info_.duration) {
+    auto begin = records_.begin() + static_cast<ptrdiff_t>(cursor_);
+    out->insert(out->end(), begin, begin + static_cast<ptrdiff_t>(want));
+    cursor_ += want;
+    return out->size();
+  }
+  // Tail of the stream (or a truncating duration): per-record filter.
+  while (out->size() < max_records && cursor_ < records_.size()) {
+    const trace::LogicalIoRecord& r = records_[cursor_++];
+    if (r.time >= info_.duration) continue;
+    out->push_back(r);
+  }
+  return out->size();
+}
+
 }  // namespace ecostore::workload

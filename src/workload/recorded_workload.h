@@ -42,6 +42,8 @@ class RecordedWorkload : public Workload {
     return catalog_;
   }
   bool Next(trace::LogicalIoRecord* rec) override;
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override;
   void Reset() override { cursor_ = 0; }
 
   const std::vector<trace::LogicalIoRecord>& records() const {

@@ -2,6 +2,7 @@
 #define ECOSTORE_WORKLOAD_WORKLOAD_H_
 
 #include <string>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "storage/data_item.h"
@@ -36,6 +37,23 @@ class Workload {
   /// Produces the next record. Returns false at end of trace (record
   /// untouched). Records with time >= info().duration are suppressed.
   virtual bool Next(trace::LogicalIoRecord* rec) = 0;
+
+  /// Fills `out` with the next up-to-`max_records` records of the stream
+  /// (clearing it first) and returns the number appended; 0 means end of
+  /// trace. The concatenation of NextBatch() batches is bit-identical to
+  /// the Next() stream for any sequence of batch sizes, and both draw
+  /// from the same cursor, so they may be interleaved freely.
+  ///
+  /// The base implementation loops Next(); generators override it with a
+  /// real batch fill so the replay hot loop pays one virtual call per
+  /// batch instead of one per logical I/O.
+  virtual size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                           size_t max_records) {
+    out->clear();
+    trace::LogicalIoRecord rec;
+    while (out->size() < max_records && Next(&rec)) out->push_back(rec);
+    return out->size();
+  }
 
   /// Rewinds the stream to time zero with the original seed.
   virtual void Reset() = 0;

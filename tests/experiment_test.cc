@@ -115,19 +115,24 @@ TEST(MetricsTest, ThroughputScalesInverselyWithReadResponse) {
 
 TEST(MetricsTest, QueryResponseScalesWithSums) {
   ExperimentMetrics base, run;
-  base.tag_read_response_us_sum[7] = 1000.0;
-  run.tag_read_response_us_sum[7] = 3000.0;
+  base.tag_stats[7] = {1000.0, 10, 0, 0};
+  run.tag_stats[7] = {3000.0, 10, 0, 0};
   auto scaled = ScaledQueryResponses({{7, 100.0}}, base, run);
   EXPECT_DOUBLE_EQ(scaled[7], 300.0);
   // Missing tags keep the baseline value.
   auto missing = ScaledQueryResponses({{9, 50.0}}, base, run);
   EXPECT_DOUBLE_EQ(missing[9], 50.0);
+  // A tag whose runs never issued a read also falls back.
+  base.tag_stats[11] = {0.0, 0, 0, 0};
+  run.tag_stats[11] = {0.0, 0, 0, 0};
+  auto writes_only = ScaledQueryResponses({{11, 40.0}}, base, run);
+  EXPECT_DOUBLE_EQ(writes_only[11], 40.0);
 }
 
 TEST(MetricsTest, MeasuredQueryWall) {
   ExperimentMetrics run;
-  run.tag_first_issue[3] = 10 * kSecond;
-  run.tag_last_completion[3] = 70 * kSecond;
+  run.tag_stats[3].first_issue = 10 * kSecond;
+  run.tag_stats[3].last_completion = 70 * kSecond;
   auto wall = MeasuredQueryWallSeconds(run);
   EXPECT_DOUBLE_EQ(wall[3], 60.0);
 }

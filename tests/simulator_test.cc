@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "sim/simulator.h"
 
 namespace ecostore::sim {
@@ -177,6 +178,125 @@ TEST(SimulatorTest, CancelHeavyChurnKeepsFifoAndAccounting) {
   EXPECT_EQ(sim.PendingEvents(), 3u * 40u);
   EXPECT_EQ(sim.RunAll(), 3 * 40);
   EXPECT_EQ(order, expected);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, NextEventTimeTracksHeapTop) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), kNoPendingEvent);
+  sim.ScheduleAt(200, [] {});
+  EventId early = sim.ScheduleAt(100, [] {});
+  EXPECT_EQ(sim.NextEventTime(), 100);
+  // Cancellation tombstones the entry in place, so NextEventTime() is a
+  // lower bound: it may still report the cancelled top, but must never
+  // be later than the earliest live event.
+  sim.Cancel(early);
+  EXPECT_LE(sim.NextEventTime(), 200);
+  EXPECT_EQ(sim.RunAll(), 1);
+  EXPECT_EQ(sim.NextEventTime(), kNoPendingEvent);
+}
+
+TEST(SimulatorTest, AdvanceToMovesClockForwardOnly) {
+  Simulator sim;
+  sim.AdvanceTo(500);
+  EXPECT_EQ(sim.Now(), 500);
+  sim.AdvanceTo(100);  // backwards is a no-op
+  EXPECT_EQ(sim.Now(), 500);
+  // Schedules behind the advanced clock clamp to it, like any past time.
+  SimTime fired_at = -1;
+  sim.ScheduleAt(100, [&] { fired_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 500);
+}
+
+TEST(SimulatorTest, ReservePreservesOrderAndAccounting) {
+  Simulator sim;
+  sim.Reserve(2048);
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) {
+    sim.ScheduleAt(1000 - i, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(sim.PendingEvents(), 1000u);
+  EXPECT_EQ(sim.RunAll(), 1000);
+  // Descending schedule times mean the labels come back reversed.
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], 999 - i);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+// Randomized differential test: interleaved ScheduleAt / Cancel /
+// AdvanceTo / RunUntil against a brutally simple reference model (a flat
+// vector kept in schedule order), under enough churn that slots recycle
+// constantly. Catches any divergence in FIFO order, tombstone handling
+// or pending-event accounting.
+TEST(SimulatorTest, RandomizedChurnMatchesReferenceModel) {
+  Simulator sim;
+  Xoshiro256 rng(99);
+  struct ModelEvent {
+    SimTime when;
+    int tag;
+    EventId id;
+  };
+  std::vector<ModelEvent> pending;  // schedule (= seq) order
+  std::vector<EventId> stale;
+  std::vector<int> fired, expected;
+  SimTime model_now = 0;
+  int label = 0;
+  for (int round = 0; round < 2000; ++round) {
+    int op = static_cast<int>(rng.UniformInt(0, 9));
+    if (op < 5) {
+      SimTime when = model_now + rng.UniformInt(0, 50);
+      int tag = label++;
+      EventId id = sim.ScheduleAt(when, [&fired, tag] {
+        fired.push_back(tag);
+      });
+      pending.push_back(ModelEvent{when, tag, id});
+    } else if (op < 7) {
+      if (!pending.empty() && rng.Bernoulli(0.7)) {
+        auto k = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(pending.size()) - 1));
+        ASSERT_TRUE(sim.Cancel(pending[k].id));
+        stale.push_back(pending[k].id);
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(k));
+      } else if (!stale.empty()) {
+        auto k = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(stale.size()) - 1));
+        ASSERT_FALSE(sim.Cancel(stale[k]));
+      }
+    } else if (op == 7) {
+      model_now += rng.UniformInt(0, 20);
+      sim.AdvanceTo(model_now);
+      ASSERT_EQ(sim.Now(), model_now);
+    } else {
+      SimTime deadline = model_now + rng.UniformInt(0, 40);
+      // Eligible events fire in (when, seq) order; a stable sort of the
+      // schedule-ordered model by time is exactly that.
+      std::vector<ModelEvent> due;
+      std::vector<ModelEvent> rest;
+      for (const ModelEvent& e : pending) {
+        (e.when <= deadline ? due : rest).push_back(e);
+      }
+      std::stable_sort(due.begin(), due.end(),
+                       [](const ModelEvent& a, const ModelEvent& b) {
+                         return a.when < b.when;
+                       });
+      ASSERT_EQ(sim.RunUntil(deadline),
+                static_cast<int64_t>(due.size()));
+      for (const ModelEvent& e : due) expected.push_back(e.tag);
+      pending = std::move(rest);
+      model_now = deadline;
+      ASSERT_EQ(sim.Now(), model_now);
+      ASSERT_EQ(fired, expected);
+    }
+    ASSERT_EQ(sim.PendingEvents(), pending.size());
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const ModelEvent& a, const ModelEvent& b) {
+                     return a.when < b.when;
+                   });
+  ASSERT_EQ(sim.RunAll(), static_cast<int64_t>(pending.size()));
+  for (const ModelEvent& e : pending) expected.push_back(e.tag);
+  EXPECT_EQ(fired, expected);
   EXPECT_EQ(sim.PendingEvents(), 0u);
 }
 

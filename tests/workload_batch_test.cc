@@ -1,0 +1,223 @@
+// Tests that Workload::NextBatch() is a batched view of the exact same
+// stream as Next() for every workload implementation: identical records
+// in identical order under arbitrary batch sizes, a cursor shared with
+// Next(), and Reset() rewinding both.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/composite_workload.h"
+#include "workload/dss_workload.h"
+#include "workload/file_server_workload.h"
+#include "workload/oltp_workload.h"
+#include "workload/recorded_workload.h"
+
+namespace ecostore::workload {
+namespace {
+
+std::vector<trace::LogicalIoRecord> DrainNext(Workload* w) {
+  w->Reset();
+  std::vector<trace::LogicalIoRecord> out;
+  trace::LogicalIoRecord rec;
+  while (w->Next(&rec)) out.push_back(rec);
+  return out;
+}
+
+void ExpectSameStream(const std::vector<trace::LogicalIoRecord>& got,
+                      const std::vector<trace::LogicalIoRecord>& want,
+                      const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const trace::LogicalIoRecord& g = got[i];
+    const trace::LogicalIoRecord& w = want[i];
+    ASSERT_TRUE(g.time == w.time && g.item == w.item &&
+                g.offset == w.offset && g.size == w.size &&
+                g.type == w.type && g.sequential == w.sequential &&
+                g.tag == w.tag)
+        << label << ": record " << i << " differs (time " << g.time
+        << " vs " << w.time << ", item " << g.item << " vs " << w.item
+        << ")";
+  }
+}
+
+/// The full equivalence work-out for one workload: reference stream via
+/// Next(), then the same stream re-read through NextBatch() under
+/// randomized batch sizes, max_records=1, a mid-stream Reset(), and
+/// Next()/NextBatch() interleaving.
+void CheckBatchEquivalence(Workload* w, uint64_t seed) {
+  const std::vector<trace::LogicalIoRecord> want = DrainNext(w);
+  ASSERT_GT(want.size(), 200u) << "test workload too small to exercise "
+                                  "batch boundaries";
+  Xoshiro256 rng(seed);
+  std::vector<trace::LogicalIoRecord> got;
+  std::vector<trace::LogicalIoRecord> batch;
+
+  // Randomized batch sizes, including sizes far beyond what remains.
+  w->Reset();
+  got.clear();
+  while (true) {
+    auto max = static_cast<size_t>(rng.UniformInt(1, 300));
+    if (w->NextBatch(&batch, max) == 0) break;
+    ASSERT_LE(batch.size(), max);
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  ExpectSameStream(got, want, "random batch sizes");
+
+  // max_records = 1 degenerates to Next().
+  w->Reset();
+  got.clear();
+  while (w->NextBatch(&batch, 1) > 0) {
+    ASSERT_EQ(batch.size(), 1u);
+    got.push_back(batch[0]);
+  }
+  ExpectSameStream(got, want, "max_records=1");
+
+  // max_records = 0 returns nothing and does not advance the cursor.
+  w->Reset();
+  EXPECT_EQ(w->NextBatch(&batch, 0), 0u);
+  got.clear();
+  while (w->NextBatch(&batch, 256) > 0) {
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  ExpectSameStream(got, want, "after max_records=0 probe");
+
+  // Reset() mid-stream rewinds the batch cursor to the beginning.
+  w->Reset();
+  size_t consumed = 0;
+  while (consumed < want.size() / 3 && w->NextBatch(&batch, 64) > 0) {
+    consumed += batch.size();
+  }
+  ASSERT_GT(consumed, 0u);
+  w->Reset();
+  got.clear();
+  while (w->NextBatch(&batch, 256) > 0) {
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  ExpectSameStream(got, want, "mid-stream Reset");
+
+  // Next() and NextBatch() share one cursor and can interleave freely.
+  w->Reset();
+  got.clear();
+  trace::LogicalIoRecord rec;
+  bool more = true;
+  while (more) {
+    if (rng.Bernoulli(0.5)) {
+      more = w->Next(&rec);
+      if (more) got.push_back(rec);
+    } else {
+      auto max = static_cast<size_t>(rng.UniformInt(1, 100));
+      more = w->NextBatch(&batch, max) > 0;
+      got.insert(got.end(), batch.begin(), batch.end());
+    }
+  }
+  ExpectSameStream(got, want, "Next/NextBatch interleaving");
+}
+
+TEST(WorkloadBatchTest, FileServerMatchesNext) {
+  FileServerConfig config;
+  config.duration = 2 * kMinute;
+  auto workload = FileServerWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  CheckBatchEquivalence(workload.value().get(), 11);
+}
+
+TEST(WorkloadBatchTest, OltpMatchesNext) {
+  OltpConfig config;
+  config.duration = 1 * kMinute;
+  config.total_db_iops = 500;
+  auto workload = OltpWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  CheckBatchEquivalence(workload.value().get(), 12);
+}
+
+TEST(WorkloadBatchTest, DssMatchesNext) {
+  DssConfig config;
+  config.duration = 20 * kMinute;
+  config.scale = 0.01;
+  auto workload = DssWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  CheckBatchEquivalence(workload.value().get(), 13);
+}
+
+TEST(WorkloadBatchTest, CompositeMatchesNext) {
+  FileServerConfig fs;
+  fs.duration = 2 * kMinute;
+  auto file_server = FileServerWorkload::Create(fs);
+  ASSERT_TRUE(file_server.ok());
+  OltpConfig oltp;
+  oltp.duration = 1 * kMinute;
+  oltp.total_db_iops = 500;
+  auto oltp_wl = OltpWorkload::Create(oltp);
+  ASSERT_TRUE(oltp_wl.ok());
+  std::vector<std::unique_ptr<Workload>> children;
+  children.push_back(std::move(file_server).value());
+  children.push_back(std::move(oltp_wl).value());
+  auto composite =
+      CompositeWorkload::Create("batch_mix", std::move(children));
+  ASSERT_TRUE(composite.ok());
+  CheckBatchEquivalence(composite.value().get(), 14);
+}
+
+TEST(WorkloadBatchTest, RecordedMatchesNext) {
+  FileServerConfig config;
+  config.duration = 2 * kMinute;
+  auto source = FileServerWorkload::Create(config);
+  ASSERT_TRUE(source.ok());
+  auto recorded = RecordedWorkload::Capture(source.value().get());
+  ASSERT_TRUE(recorded.ok());
+  CheckBatchEquivalence(recorded.value().get(), 15);
+}
+
+/// Wraps a workload without overriding NextBatch(), so the base-class
+/// default (a bounded Next() loop) is what gets exercised.
+class DefaultBatchWorkload : public Workload {
+ public:
+  explicit DefaultBatchWorkload(std::unique_ptr<Workload> inner)
+      : inner_(std::move(inner)) {}
+  const WorkloadInfo& info() const override { return inner_->info(); }
+  const storage::DataItemCatalog& catalog() const override {
+    return inner_->catalog();
+  }
+  bool Next(trace::LogicalIoRecord* rec) override {
+    return inner_->Next(rec);
+  }
+  void Reset() override { inner_->Reset(); }
+
+ private:
+  std::unique_ptr<Workload> inner_;
+};
+
+TEST(WorkloadBatchTest, BaseClassDefaultMatchesNext) {
+  FileServerConfig config;
+  config.duration = 2 * kMinute;
+  auto source = FileServerWorkload::Create(config);
+  ASSERT_TRUE(source.ok());
+  DefaultBatchWorkload wrapped(std::move(source).value());
+  CheckBatchEquivalence(&wrapped, 17);
+}
+
+// The recorded fast path copies a contiguous run only while records stay
+// below the trace's duration; a shortened duration must still clip the
+// batch stream exactly where Next() clips it.
+TEST(WorkloadBatchTest, RecordedDurationClipsBatches) {
+  FileServerConfig config;
+  config.duration = 2 * kMinute;
+  auto source = FileServerWorkload::Create(config);
+  ASSERT_TRUE(source.ok());
+  auto captured = RecordedWorkload::Capture(source.value().get());
+  ASSERT_TRUE(captured.ok());
+  // Rebuild the trace with a duration that cuts it mid-stream.
+  auto clipped = RecordedWorkload::FromRecords(
+      "clipped", captured.value()->catalog(),
+      captured.value()->records(), 1 * kMinute);
+  ASSERT_TRUE(clipped.ok());
+  CheckBatchEquivalence(clipped.value().get(), 16);
+}
+
+}  // namespace
+}  // namespace ecostore::workload
