@@ -11,14 +11,16 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "bench/telemetry_capture.h"
 #include "replay/report.h"
 #include "replay/suite.h"
 #include "workload/file_server_workload.h"
 
 using namespace ecostore;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   bench::InitBenchLogging();
+  const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   bench::PrintHeader(
       "Figs. 8-10, 17 — File Server",
       "proposed -25.8% power, best response, 23.1 GB migrated");
@@ -66,6 +68,21 @@ int main() {
     replay::PrintPowerTimeline(std::cout, *proposed);
     std::cout << "\nper-enclosure breakdown (proposed):\n";
     replay::PrintEnclosureTable(std::cout, *proposed);
+  }
+
+  if (!telemetry_base.empty()) {
+    // One extra instrumented run of the proposed method (PaperPolicySet
+    // index 1), after the figures so the capture shares nothing with them.
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::FileServerWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    return bench::CaptureTelemetry(telemetry_base, std::move(job));
   }
   return 0;
 }

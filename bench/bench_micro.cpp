@@ -30,6 +30,7 @@
 #include "sim/simulator.h"
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
+#include "telemetry/recorder.h"
 #include "trace/trace_stats.h"
 #include "workload/file_server_workload.h"
 
@@ -518,7 +519,8 @@ struct ReplayFigure {
   uint64_t fingerprint = 0;
 };
 
-ReplayFigure MeasureReplayThroughput(bool eco) {
+ReplayFigure MeasureReplayThroughput(bool eco,
+                                     telemetry::Recorder* recorder = nullptr) {
   workload::FileServerConfig wl;
   wl.duration = 20 * kMinute;
   auto workload = workload::FileServerWorkload::Create(wl);
@@ -537,8 +539,10 @@ ReplayFigure MeasureReplayThroughput(bool eco) {
     } else {
       policy = std::make_unique<policies::NoPowerSavingPolicy>();
     }
+    replay::ExperimentConfig config;
+    config.telemetry = recorder;
     replay::Experiment experiment(workload.value().get(), policy.get(),
-                                  replay::ExperimentConfig{});
+                                  config);
     auto metrics = experiment.Run();
     if (!metrics.ok()) {
       std::fprintf(stderr, "replay bench run: %s\n",
@@ -770,6 +774,53 @@ void WriteBenchPerfJson(const char* path_override) {
     std::exit(1);
   }
 
+  // Telemetry overhead: the identical eco replay with a recorder attached
+  // (default class mask, the --telemetry configuration) vs without. The
+  // instrumented run must stay bit-identical AND within 2% throughput.
+  // Wall-clock pairs are noisy at the ~1% scale, so the gate retries a
+  // few back-to-back pairs and takes the smallest observed overhead — a
+  // real regression shows up in every pair, scheduler noise does not.
+  constexpr double kTelemetryGatePct = 2.0;
+  double telemetry_off_rate = 0.0;
+  double telemetry_on_rate = 0.0;
+  double telemetry_overhead_pct = 0.0;
+  uint64_t telemetry_recorded = 0;
+  {
+    double best_overhead = 1e9;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      telemetry::Recorder recorder;  // fresh rings per pair
+      ReplayFigure off = MeasureReplayThroughput(true);
+      ReplayFigure on = MeasureReplayThroughput(true, &recorder);
+      if (on.fingerprint != kSeedReplayEcoFingerprint) {
+        std::fprintf(stderr,
+                     "BENCH_perf: telemetry-on replay diverged from the "
+                     "seed outcome (fp %016llx want %016llx)\n",
+                     static_cast<unsigned long long>(on.fingerprint),
+                     static_cast<unsigned long long>(
+                         kSeedReplayEcoFingerprint));
+        std::exit(1);
+      }
+      double overhead =
+          (off.lios_per_sec - on.lios_per_sec) / off.lios_per_sec * 100.0;
+      if (overhead < best_overhead) {
+        best_overhead = overhead;
+        telemetry_off_rate = off.lios_per_sec;
+        telemetry_on_rate = on.lios_per_sec;
+        telemetry_recorded = recorder.recorded();
+      }
+      if (best_overhead < kTelemetryGatePct) break;
+    }
+    telemetry_overhead_pct = best_overhead;
+    if (telemetry_overhead_pct >= kTelemetryGatePct) {
+      std::fprintf(stderr,
+                   "BENCH_perf: telemetry overhead %.2f%% exceeds the "
+                   "%.1f%% budget (on %.0f vs off %.0f lios/s)\n",
+                   telemetry_overhead_pct, kTelemetryGatePct,
+                   telemetry_on_rate, telemetry_off_rate);
+      std::exit(1);
+    }
+  }
+
   const char* path = path_override;
   if (path == nullptr) path = std::getenv("ECOSTORE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_perf.json";
@@ -825,6 +876,18 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"no_power_saving_speedup\": %.2f\n",
                nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"telemetry_overhead\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
+  std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
+  std::fprintf(out, "    \"enabled\": %s,\n",
+               telemetry::Recorder::kEnabled ? "true" : "false");
+  std::fprintf(out, "    \"events_recorded\": %llu,\n",
+               static_cast<unsigned long long>(telemetry_recorded));
+  std::fprintf(out, "    \"off_lios_per_sec\": %.0f,\n", telemetry_off_rate);
+  std::fprintf(out, "    \"on_lios_per_sec\": %.0f,\n", telemetry_on_rate);
+  std::fprintf(out, "    \"overhead_pct\": %.2f,\n", telemetry_overhead_pct);
+  std::fprintf(out, "    \"gate_pct\": %.1f\n", kTelemetryGatePct);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f,\n",
                sim_rate);
   std::fprintf(out, "  \"simulator_seed_schedule_events_per_sec\": %.0f,\n",
@@ -856,6 +919,11 @@ void WriteBenchPerfJson(const char* path_override) {
               eco.lios_per_sec / kSeedReplayEcoLiosPerSec,
               nps.lios_per_sec / 1e6, kSeedReplayNpsLiosPerSec / 1e6,
               nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
+  std::printf("telemetry overhead (eco replay, %llu events/pair): "
+              "on %.2fM vs off %.2fM lios/s = %.2f%% (budget %.1f%%)\n",
+              static_cast<unsigned long long>(telemetry_recorded),
+              telemetry_on_rate / 1e6, telemetry_off_rate / 1e6,
+              telemetry_overhead_pct, kTelemetryGatePct);
   std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM, legacy "
               "%.2fM, %.2fx), cancel-heavy %.2fM ev/s -> %s\n",
               sim_rate / 1e6, kSeedSimulatorEventsPerSec / 1e6,

@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/sweep_config.h"
+#include "bench/telemetry_capture.h"
 #include "replay/suite.h"
 #include "workload/file_server_workload.h"
 
@@ -31,15 +32,18 @@ struct SweepRow {
   double saving_pct = 0;
   double response_ms = 0;
   int64_t spinups = 0;
+  double base_wall_s = 0;  ///< host wall time of the reference run
+  double eco_wall_s = 0;   ///< host wall time of the proposed-method run
 };
 
 void Print(const std::vector<SweepRow>& rows) {
-  std::printf("%-34s %10s %12s %9s\n", "configuration", "saving[%]",
-              "response[ms]", "spin-ups");
+  std::printf("%-34s %10s %12s %9s %9s %9s\n", "configuration", "saving[%]",
+              "response[ms]", "spin-ups", "base[s]", "eco[s]");
   for (const SweepRow& row : rows) {
-    std::printf("%-34s %10.1f %12.2f %9lld\n", row.label.c_str(),
+    std::printf("%-34s %10.1f %12.2f %9lld %9.2f %9.2f\n", row.label.c_str(),
                 row.saving_pct, row.response_ms,
-                static_cast<long long>(row.spinups));
+                static_cast<long long>(row.spinups), row.base_wall_s,
+                row.eco_wall_s);
   }
   std::printf("\n");
 }
@@ -49,6 +53,7 @@ void Print(const std::vector<SweepRow>& rows) {
 int main(int argc, char** argv) {
   bench::InitBenchLogging();
   const int threads = bench::ParseThreadsFlag(argc, argv);
+  const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   bench::PrintHeader("Sensitivity sweeps — proposed method",
                      "configuration study (paper \xC2\xA7IX future work); "
                      "no paper figure");
@@ -80,6 +85,8 @@ int main(int argc, char** argv) {
       row.saving_pct = eco.EnclosurePowerSavingVs(base);
       row.response_ms = eco.avg_response_ms;
       row.spinups = eco.spinups;
+      row.base_wall_s = base.wall_seconds;
+      row.eco_wall_s = eco.wall_seconds;
       rows.push_back(std::move(row));
     }
     std::cout << section.title << "\n";
@@ -88,5 +95,11 @@ int main(int argc, char** argv) {
 
   std::printf("ran %zu experiments on %d thread(s) in %.1f s wall\n",
               jobs.size(), threads, wall);
+
+  if (!telemetry_base.empty()) {
+    // Captures the first row's proposed-method job (jobs come in
+    // base/eco pairs, so index 1 is the eco run of row 1 of section 1).
+    return bench::CaptureTelemetry(telemetry_base, jobs[1]);
+  }
   return 0;
 }

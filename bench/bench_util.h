@@ -32,6 +32,18 @@ inline int ParseThreadsFlag(int argc, char** argv) {
   return threads;
 }
 
+/// Parses a `--telemetry=<base>` argument; empty when absent. The base
+/// names the export set written by telemetry::ExportAll
+/// (`<base>.jsonl`, `<base>.power.csv`, `<base>.trace.json`).
+inline std::string ParseTelemetryFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    const std::string prefix = "--telemetry=";
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
 /// True when ECOSTORE_QUICK=1: benchmarks run shortened workloads (for CI
 /// and smoke runs); otherwise the paper's full durations are used.
 inline bool QuickMode() {

@@ -29,12 +29,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/sweep_config.h"
 #include "replay/metrics.h"
 #include "replay/suite.h"
+#include "telemetry/recorder.h"
 
 namespace ecostore::bench {
 
@@ -199,6 +201,21 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite() {
   std::vector<SweepSection> sections = SweepSections(wl);
   std::vector<replay::ExperimentJob> jobs = SweepJobs(sections);
   std::vector<std::string> labels = SweepJobLabels(sections);
+
+  // Every gate job runs with a telemetry recorder attached (full class
+  // mask), so passing the gate proves an instrumented replay stays
+  // bit-identical to the goldens — the goldens themselves were recorded
+  // the same way, and observation must never change the outcome. In an
+  // ECOSTORE_TELEMETRY=OFF build the recorders are empty stubs and the
+  // same fingerprints must still come out.
+  std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
+  recorders.reserve(jobs.size());
+  for (replay::ExperimentJob& job : jobs) {
+    telemetry::Recorder::Options options;
+    options.mask = telemetry::kClassAll;
+    recorders.push_back(std::make_unique<telemetry::Recorder>(options));
+    job.config.telemetry = recorders.back().get();
+  }
 
   // Serial on purpose: the gate compares bit-exact fingerprints, so it
   // must not depend on the thread pool (PR 1 proved parallel == serial,

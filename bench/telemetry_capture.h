@@ -1,0 +1,71 @@
+#ifndef ECOSTORE_BENCH_TELEMETRY_CAPTURE_H_
+#define ECOSTORE_BENCH_TELEMETRY_CAPTURE_H_
+
+// The bench binaries' --telemetry=<base> implementation: one extra,
+// fully instrumented run executed after the figure suite, so attaching
+// the recorder cannot interleave with (or be blamed for perturbing) the
+// numbers the figures report. The replay outcome itself is bit-identical
+// with or without a recorder — `bench_micro --check` proves that by
+// running every gate job with one attached.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "replay/experiment.h"
+#include "replay/suite.h"
+#include "telemetry/export.h"
+#include "telemetry/recorder.h"
+
+namespace ecostore::bench {
+
+/// Runs `job` once with a telemetry recorder attached and writes
+/// `<base>.jsonl`, `<base>.power.csv` and `<base>.trace.json`. Returns a
+/// process exit code (0 on success) so bench mains can propagate it.
+inline int CaptureTelemetry(const std::string& base,
+                            replay::ExperimentJob job) {
+  telemetry::Recorder recorder;
+  job.config.telemetry = &recorder;
+  auto workload = job.workload();
+  if (!workload.ok()) {
+    std::fprintf(stderr, "telemetry capture workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  auto policy = job.policy();
+  replay::Experiment experiment(workload.value().get(), policy.get(),
+                                job.config);
+  auto metrics = experiment.Run();
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "telemetry capture run: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+
+  telemetry::ExportMeta meta;
+  meta.workload = metrics.value().workload;
+  meta.policy = metrics.value().policy;
+  meta.num_enclosures = experiment.system()->num_enclosures();
+  meta.duration = metrics.value().duration;
+  std::vector<telemetry::Event> events = recorder.Drain();
+  Status st = telemetry::ExportAll(base, meta, events);
+  if (!st.ok()) {
+    std::fprintf(stderr, "telemetry export: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntelemetry: %zu events (%llu dropped) -> "
+              "%s{.jsonl,.power.csv,.trace.json}\n",
+              events.size(),
+              static_cast<unsigned long long>(recorder.dropped()),
+              base.c_str());
+  if (!telemetry::Recorder::kEnabled) {
+    std::printf("telemetry: NOTE — recorder compiled out "
+                "(ECOSTORE_TELEMETRY=OFF); exports are empty\n");
+  }
+  return 0;
+}
+
+}  // namespace ecostore::bench
+
+#endif  // ECOSTORE_BENCH_TELEMETRY_CAPTURE_H_

@@ -5,9 +5,16 @@
 
 namespace ecostore {
 
-LogLevel Logger::threshold = LogLevel::kWarn;
+std::atomic<LogLevel> Logger::threshold{LogLevel::kWarn};
 
 namespace {
+
+/// Thread-local logging context. Each experiment worker binds its own
+/// recorder and simulator, so the fast path needs no locks and threads
+/// never observe another worker's sink.
+thread_local LogSink* t_sink = nullptr;
+thread_local Logger::SimTimeFn t_clock_fn = nullptr;
+thread_local const void* t_clock_ctx = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,18 +39,35 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-Logger::Logger(LogLevel level, const char* file, int line)
-    : enabled_(level >= threshold && level != LogLevel::kOff) {
-  if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
-  }
+LogSink* Logger::SetThreadSink(LogSink* sink) {
+  LogSink* previous = t_sink;
+  t_sink = sink;
+  return previous;
 }
 
+void Logger::SetThreadSimClock(SimTimeFn fn, const void* ctx) {
+  t_clock_fn = fn;
+  t_clock_ctx = ctx;
+}
+
+Logger::Logger(LogLevel level, const char* file, int line)
+    : enabled_(level >= threshold.load(std::memory_order_relaxed) &&
+               level != LogLevel::kOff),
+      file_(file),
+      line_(line),
+      level_(level) {}
+
 Logger::~Logger() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  if (t_sink != nullptr) {
+    SimTime sim_time =
+        t_clock_fn != nullptr ? t_clock_fn(t_clock_ctx) : SimTime{-1};
+    t_sink->WriteLog(level_, sim_time, Basename(file_), line_,
+                     stream_.str());
+    return;
   }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), Basename(file_),
+               line_, stream_.str().c_str());
 }
 
 }  // namespace ecostore

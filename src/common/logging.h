@@ -1,22 +1,60 @@
 #ifndef ECOSTORE_COMMON_LOGGING_H_
 #define ECOSTORE_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "common/sim_time.h"
 
 namespace ecostore {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// \brief Minimal stream-style logger writing to stderr.
+/// \brief Destination for finished log lines. The default (no sink) is
+/// stderr; the telemetry recorder installs itself per thread so library
+/// log lines are captured with *simulated* timestamps next to the event
+/// stream instead of interleaving on stderr.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// `sim_time` is the simulated clock at emission, or -1 when no
+  /// simulated clock is bound to the logging thread.
+  virtual void WriteLog(LogLevel level, SimTime sim_time, const char* file,
+                        int line, const std::string& message) = 0;
+};
+
+/// \brief Minimal stream-style logger writing to stderr (or the thread's
+/// LogSink when one is installed).
 ///
 /// The library logs sparingly (policy decisions, migrations, state
 /// transitions at kDebug). Benchmarks and tests raise the threshold to
 /// kWarn/kOff to keep output clean.
+///
+/// Thread safety: `threshold` is atomic (relaxed — a stale read merely
+/// drops or admits a borderline line) so concurrent experiment workers
+/// can log while a driver adjusts verbosity. The sink and the simulated
+/// clock are thread-local by construction: each worker thread binds its
+/// own experiment's recorder/simulator, so no cross-thread
+/// synchronisation is needed on the logging fast path.
 class Logger {
  public:
   /// Global severity threshold; messages below it are dropped.
-  static LogLevel threshold;
+  static std::atomic<LogLevel> threshold;
+
+  /// Function-pointer clock: common/ cannot depend on sim/, so whoever
+  /// owns a simulator registers `fn(ctx) -> SimTime` for its thread.
+  using SimTimeFn = SimTime (*)(const void* ctx);
+
+  /// Installs `sink` as this thread's log destination (nullptr restores
+  /// stderr). Returns the previous sink.
+  static LogSink* SetThreadSink(LogSink* sink);
+
+  /// Binds a simulated clock to this thread's log lines (fn == nullptr
+  /// unbinds). Returns nothing; pair with SetThreadSink via
+  /// telemetry::ScopedLoggerBridge.
+  static void SetThreadSimClock(SimTimeFn fn, const void* ctx);
 
   Logger(LogLevel level, const char* file, int line);
   ~Logger();
@@ -29,6 +67,9 @@ class Logger {
 
  private:
   bool enabled_;
+  const char* file_;
+  int line_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -1,8 +1,10 @@
 #include "core/eco_storage_policy.h"
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "telemetry/recorder.h"
 
 namespace ecostore::core {
 
@@ -80,6 +82,55 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   for (size_t e = 0; e < last_plan_.spin_down_allowed.size(); ++e) {
     actuator->SetSpinDownAllowed(static_cast<EnclosureId>(e),
                                  last_plan_.spin_down_allowed[e]);
+  }
+
+  // Decision audit: one event per active item with the classification
+  // *reason* (long intervals, read ratio, I/O sequences) and the actions
+  // the enacted plan took, plus the partition and period adaptation.
+  telemetry::Recorder* recorder = actuator->telemetry();
+  if (telemetry::Wants(recorder, telemetry::kClassDecision)) {
+    std::unordered_map<DataItemId, EnclosureId> migration_target;
+    for (const Migration& mig : last_plan_.migrations) {
+      migration_target.emplace(mig.item, mig.to);
+    }
+    std::unordered_set<DataItemId> preload_ids;
+    for (const auto& [item, size] : preload) preload_ids.insert(item);
+    SimTime now = actuator->Now();
+    for (const ItemClassification& cls : last_plan_.classification.items) {
+      telemetry::DecisionPayload d;
+      d.item = cls.item;
+      d.pattern = static_cast<uint8_t>(cls.pattern);
+      auto mig = migration_target.find(cls.item);
+      if (mig != migration_target.end()) d.actions |= telemetry::kActionMigrate;
+      if (wd.count(cls.item) != 0) d.actions |= telemetry::kActionWriteDelay;
+      if (preload_ids.count(cls.item) != 0) {
+        d.actions |= telemetry::kActionPreload;
+      }
+      if (cls.total_ios() == 0 && d.actions == 0) continue;  // untouched
+      d.enclosure = static_cast<int16_t>(
+          mig != migration_target.end()
+              ? mig->second
+              : system.virtualization().EnclosureOf(cls.item));
+      d.long_intervals = static_cast<int32_t>(cls.long_intervals.size());
+      d.io_sequences = static_cast<int32_t>(cls.io_sequences);
+      d.read_permille = cls.total_ios() > 0
+                            ? static_cast<int32_t>(cls.reads * 1000 /
+                                                   cls.total_ios())
+                            : 0;
+      d.total_ios = cls.total_ios();
+      recorder->Record(telemetry::MakeDecisionEvent(now, d));
+    }
+    uint64_t hot_mask = 0;
+    const auto& hot = last_plan_.partition.is_hot;
+    for (size_t e = 0; e < hot.size() && e < 64; ++e) {
+      if (hot[e]) hot_mask |= uint64_t{1} << e;
+    }
+    recorder->Record(telemetry::MakeHotColdEvent(
+        now, hot_mask, last_plan_.partition.n_hot,
+        static_cast<int32_t>(hot.size())));
+    recorder->Record(telemetry::MakeAdaptEvent(
+        now, current_period_, last_plan_.next_period,
+        last_plan_.classification.mean_long_interval));
   }
 
   is_hot_ = last_plan_.partition.is_hot;

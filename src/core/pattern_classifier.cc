@@ -24,7 +24,7 @@ ClassificationResult PatternClassifier::Classify(
   // Sequence totals because every I/O belongs to some sequence, so no
   // per-item copy of the trace is ever materialised.
   Scratch& s = scratch_;
-  s.state.assign(n_items, ItemState{period_start, 0, 0, 0, 0});
+  s.state.assign(n_items, ItemState{period_start, 0, 0, 0, 0, 0});
   for (const trace::LogicalIoRecord& rec : buffer.records()) {
     if (rec.item < 0 || static_cast<size_t>(rec.item) >= n_items) {
       continue;  // unknown item: not classifiable
@@ -35,6 +35,11 @@ ClassificationResult PatternClassifier::Classify(
     SimDuration gap = rec.time - st.last_time;
     if (gap > options_.break_even) {
       result.items[idx].long_intervals.push_back(gap);
+    }
+    // A new I/O Sequence starts at the item's first I/O and after every
+    // Long Interval (the two coincide when the leading gap is long).
+    if (st.reads + st.writes == 0 || gap > options_.break_even) {
+      st.sequences++;
     }
     if (rec.is_read()) {
       st.reads++;
@@ -61,6 +66,7 @@ ClassificationResult PatternClassifier::Classify(
     cls.writes = st.writes;
     cls.read_bytes = st.read_bytes;
     cls.write_bytes = st.write_bytes;
+    cls.io_sequences = st.sequences;
 
     if (cls.total_ios() == 0) {
       // An untouched item has the single full-period Long Interval.

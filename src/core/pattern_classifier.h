@@ -27,6 +27,11 @@ struct ItemClassification {
   int64_t read_bytes = 0;
   int64_t write_bytes = 0;
 
+  /// Number of I/O Sequences (paper §IV-B): one starts at the item's
+  /// first I/O of the period and after every Long Interval. 0 for an
+  /// untouched item.
+  int64_t io_sequences = 0;
+
   /// Mean IOPS of the item over the full period.
   double avg_iops = 0.0;
 
@@ -95,13 +100,14 @@ class PatternClassifier {
                                 SimTime period_end) const;
 
  private:
-  /// Per-item running state of the streaming pass. Kept compact (32
+  /// Per-item running state of the streaming pass. Kept compact (40
   /// bytes) so the whole per-item working set stays cache-resident while
   /// the pass scatters into it.
   struct ItemState {
     SimTime last_time = 0;  ///< previous I/O time (period start initially)
     int32_t reads = 0;
     int32_t writes = 0;
+    int32_t sequences = 0;  ///< I/O Sequences started so far
     int64_t read_bytes = 0;
     int64_t write_bytes = 0;
   };

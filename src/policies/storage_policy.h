@@ -12,6 +12,10 @@
 #include "storage/storage_system.h"
 #include "trace/io_record.h"
 
+namespace ecostore::telemetry {
+class Recorder;
+}  // namespace ecostore::telemetry
+
 namespace ecostore::policies {
 
 /// \brief Actions a power-management policy can request. Implemented by
@@ -47,6 +51,11 @@ class PolicyActuator {
   /// Ends the current monitoring period immediately (the pattern-change
   /// reaction of paper §V-D).
   virtual void TriggerImmediatePeriodEnd() = 0;
+
+  /// Event recorder for the run, or nullptr when telemetry is off.
+  /// Policies gate recording with telemetry::Wants(actuator->telemetry(),
+  /// class) so an uninstrumented run pays one null test.
+  virtual telemetry::Recorder* telemetry() const { return nullptr; }
 };
 
 /// \brief Interface shared by the proposed method and all baselines.

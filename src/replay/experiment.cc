@@ -1,6 +1,7 @@
 #include "replay/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -16,6 +17,7 @@ Experiment::Experiment(workload::Workload* workload,
 Experiment::~Experiment() = default;
 
 Result<ExperimentMetrics> Experiment::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
   horizon_ = config_.duration > 0 ? config_.duration
                                   : workload_->info().duration;
   if (horizon_ <= 0) {
@@ -32,6 +34,14 @@ Result<ExperimentMetrics> Experiment::Run() {
       system_->num_enclosures());
   system_->AddObserver(storage_monitor_.get());
   system_->AddObserver(this);
+  system_->SetTelemetry(config_.telemetry);
+  // Library log lines produced during the run land in the recorder with
+  // the simulated timestamp (the clock is a captureless function pointer
+  // because common/ cannot see sim/).
+  telemetry::ScopedLoggerBridge logger_bridge(
+      config_.telemetry,
+      [](const void* s) { return static_cast<const sim::Simulator*>(s)->Now(); },
+      &sim_);
 
   metrics_ = ExperimentMetrics{};
   metrics_.workload = workload_->info().name;
@@ -39,6 +49,7 @@ Result<ExperimentMetrics> Experiment::Run() {
   metrics_.duration = horizon_;
 
   workload_->Reset();
+  period_index_ = 0;
   app_monitor_.ResetPeriod(0);
   storage_monitor_->ResetPeriod(0);
   policy_->Start(*system_, this);
@@ -140,6 +151,16 @@ Result<ExperimentMetrics> Experiment::Run() {
     meter->Stop();
     metrics_.power_samples = meter->samples();
   }
+  sim::Simulator::Stats sim_stats = sim_.stats();
+  metrics_.monitoring_periods = period_index_;
+  metrics_.sim_events_executed = sim_stats.executed;
+  metrics_.sim_events_cancelled = sim_stats.cancelled;
+  metrics_.sim_peak_heap_depth =
+      static_cast<int64_t>(sim_stats.peak_heap_depth);
+  metrics_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return metrics_;
 }
 
@@ -157,6 +178,18 @@ void Experiment::DoPeriodEnd() {
   snapshot.application = &app_monitor_;
   snapshot.storage = storage_monitor_.get();
   SimDuration next = policy_->OnPeriodEnd(snapshot, *system_, this);
+  if (telemetry::Wants(config_.telemetry, telemetry::kClassPeriod)) {
+    config_.telemetry->Record(telemetry::MakePeriodEvent(
+        sim_.Now(), period_index_, snapshot.period_start, next));
+  }
+  if (telemetry::Wants(config_.telemetry, telemetry::kClassSim)) {
+    sim::Simulator::Stats s = sim_.stats();
+    config_.telemetry->Record(telemetry::MakeSimStatsEvent(
+        sim_.Now(), static_cast<int64_t>(s.peak_heap_depth),
+        static_cast<int64_t>(s.live_events),
+        static_cast<int64_t>(s.tombstones), s.cancelled));
+  }
+  period_index_++;
   app_monitor_.ResetPeriod(sim_.Now());
   storage_monitor_->ResetPeriod(sim_.Now());
   in_period_end_ = false;

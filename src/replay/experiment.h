@@ -29,6 +29,11 @@ struct ExperimentConfig {
 
   /// Sampling interval for the wall power meter; 0 disables sampling.
   SimDuration power_sample_interval = 0;
+
+  /// Event recorder for the run (not owned; may be nullptr). When set,
+  /// the run binds it to the storage system, bridges library logging into
+  /// it with simulated timestamps, and emits period/sim events.
+  telemetry::Recorder* telemetry = nullptr;
 };
 
 /// \brief The trace-replay harness (paper §VII-A.2 / Fig. 7): streams a
@@ -71,6 +76,9 @@ class Experiment : public storage::StorageObserver,
       const std::vector<std::pair<DataItemId, int64_t>>& items) override;
   void SetSpinDownAllowed(EnclosureId enclosure, bool allowed) override;
   void TriggerImmediatePeriodEnd() override;
+  telemetry::Recorder* telemetry() const override {
+    return config_.telemetry;
+  }
 
   /// The storage system under test (valid during and after Run()).
   storage::StorageSystem* system() { return system_.get(); }
@@ -92,6 +100,7 @@ class Experiment : public storage::StorageObserver,
   ExperimentMetrics metrics_;
   SimDuration horizon_ = 0;
   sim::EventId period_event_ = 0;
+  int32_t period_index_ = 0;
   bool in_period_end_ = false;
   bool trigger_pending_ = false;
 

@@ -57,6 +57,14 @@ struct ExperimentMetrics {
   // --- Power-state activity ---
   int64_t spinups = 0;
 
+  // --- Host-side execution cost (excluded from the replay fingerprint:
+  // wall time is nondeterministic, simulator counters are diagnostics) ---
+  double wall_seconds = 0.0;  ///< host wall-clock of Experiment::Run()
+  int64_t monitoring_periods = 0;
+  int64_t sim_events_executed = 0;
+  int64_t sim_events_cancelled = 0;
+  int64_t sim_peak_heap_depth = 0;
+
   // --- Per-tag accounting (TPC-H query-response model) ---
   /// Everything measured for one tag. `first_issue` / `last_completion`
   /// bracket the measured query wall time (start-to-last-I/O) under each

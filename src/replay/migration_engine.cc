@@ -26,6 +26,12 @@ void MigrationEngine::RequestItemMove(DataItemId item, EnclosureId target) {
 void MigrationEngine::RequestBlockMove(EnclosureId from, EnclosureId to,
                                        int64_t bytes) {
   if (bytes <= 0 || from == to) return;
+  telemetry::Recorder* recorder = system_->telemetry();
+  if (telemetry::Wants(recorder, telemetry::kClassMigration)) {
+    recorder->Record(telemetry::MakeMigrationEvent(
+        sim_->Now(), telemetry::EventKind::kBlockMove, kInvalidDataItem,
+        from, to, bytes));
+  }
   int64_t n_ios =
       std::max<int64_t>(1, bytes / options_.block_size);
   system_->SubmitPhysicalBulk(from, n_ios, bytes, IoType::kRead,
@@ -46,6 +52,12 @@ void MigrationEngine::FillJobSlots() {
     job.remaining_bytes =
         system_->virtualization().catalog().item(job.item).size_bytes;
     active_jobs_++;
+    telemetry::Recorder* recorder = system_->telemetry();
+    if (telemetry::Wants(recorder, telemetry::kClassMigration)) {
+      recorder->Record(telemetry::MakeMigrationEvent(
+          sim_->Now(), telemetry::EventKind::kMigrationBegin, job.item,
+          job.source, job.target, job.remaining_bytes));
+    }
     RunChunk(std::make_shared<Job>(job));
   }
 }
@@ -57,6 +69,12 @@ void MigrationEngine::RunChunk(std::shared_ptr<Job> job) {
   SimTime src_busy = system_->enclosure(job->source).busy_until();
   SimTime dst_busy = system_->enclosure(job->target).busy_until();
   if (std::max(src_busy, dst_busy) > now + options_.busy_backoff_threshold) {
+    telemetry::Recorder* recorder = system_->telemetry();
+    if (telemetry::Wants(recorder, telemetry::kClassMigration)) {
+      recorder->Record(telemetry::MakeMigrationEvent(
+          now, telemetry::EventKind::kMigrationThrottle, job->item,
+          job->source, job->target, job->remaining_bytes));
+    }
     sim_->ScheduleAfter(options_.busy_backoff_delay,
                         [this, job] { RunChunk(job); });
     return;
@@ -85,6 +103,15 @@ void MigrationEngine::RunChunk(std::shared_ptr<Job> job) {
       ECOSTORE_LOG(kDebug) << "migration commit failed: " << st.ToString();
     } else {
       completed_item_moves_++;
+    }
+    telemetry::Recorder* recorder = system_->telemetry();
+    if (telemetry::Wants(recorder, telemetry::kClassMigration)) {
+      // bytes < 0 reports a failed commit (paper §V-A re-plan case).
+      int64_t size =
+          system_->virtualization().catalog().item(job->item).size_bytes;
+      recorder->Record(telemetry::MakeMigrationEvent(
+          sim_->Now(), telemetry::EventKind::kMigrationEnd, job->item,
+          job->source, job->target, st.ok() ? size : -1));
     }
     active_jobs_--;
     FillJobSlots();

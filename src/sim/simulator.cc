@@ -19,6 +19,8 @@ EventId Simulator::ScheduleAt(SimTime when, Callback cb) {
   queue_.push_back(HeapEntry{when, next_seq_++, slot});
   std::push_heap(queue_.begin(), queue_.end(), Later);
   live_++;
+  scheduled_++;
+  if (queue_.size() > peak_heap_depth_) peak_heap_depth_ = queue_.size();
   return EncodeId(slot, slots_[slot].generation);
 }
 
@@ -38,6 +40,7 @@ bool Simulator::Cancel(EventId id) {
   if (state.cancelled) return false;
   state.cancelled = true;
   live_--;
+  cancelled_++;
   return true;
 }
 
@@ -80,6 +83,7 @@ int64_t Simulator::RunUntil(SimTime deadline) {
     now_ = entry.when;
     cb();
     executed++;
+    executed_++;
   }
   if (now_ < deadline) {
     // Advance to the deadline so that back-to-back RunUntil calls measure
@@ -104,6 +108,7 @@ int64_t Simulator::RunAll() {
     now_ = entry.when;
     cb();
     executed++;
+    executed_++;
   }
   return executed;
 }

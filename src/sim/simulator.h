@@ -92,6 +92,30 @@ class Simulator {
   /// Number of events currently pending (cancelled events excluded).
   size_t PendingEvents() const { return live_; }
 
+  /// Lifetime counters and current queue health, cheap enough to sample
+  /// at every period boundary (all fields are plain loads).
+  struct Stats {
+    size_t live_events = 0;      ///< pending, not cancelled
+    size_t heap_entries = 0;     ///< in-heap entries incl. tombstones
+    size_t tombstones = 0;       ///< cancelled-but-unpopped entries
+    size_t peak_heap_depth = 0;  ///< max heap_entries ever observed
+    int64_t scheduled = 0;       ///< total ScheduleAt/ScheduleAfter calls
+    int64_t cancelled = 0;       ///< successful Cancel() calls
+    int64_t executed = 0;        ///< callbacks actually run
+  };
+
+  Stats stats() const {
+    Stats s;
+    s.live_events = live_;
+    s.heap_entries = queue_.size();
+    s.tombstones = queue_.size() - live_;
+    s.peak_heap_depth = peak_heap_depth_;
+    s.scheduled = scheduled_;
+    s.cancelled = cancelled_;
+    s.executed = executed_;
+    return s;
+  }
+
  private:
   /// Trivially copyable heap entry: the 16-byte (when, seq) ordering key
   /// plus the slot holding the callback. Sifts copy these 24 bytes; the
@@ -134,6 +158,10 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_ = 0;
+  size_t peak_heap_depth_ = 0;
+  int64_t scheduled_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t executed_ = 0;
   std::vector<HeapEntry> queue_;  ///< binary heap ordered by Later()
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;

@@ -57,6 +57,11 @@ void StorageSystem::ArmSpinDownTimer(EnclosureId enclosure) {
     if (spin_down_allowed_[static_cast<size_t>(enclosure)] &&
         e.EligibleForSpinDown(sim_->Now())) {
       if (e.PowerOff(sim_->Now())) {
+        if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+          telemetry_->Record(telemetry::MakePowerEvent(
+              sim_->Now(), enclosure,
+              static_cast<uint8_t>(PowerState::kOff), 0));
+        }
         NotifyPowerState(enclosure, sim_->Now(), PowerState::kOff);
       }
     }
@@ -72,9 +77,18 @@ SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
   DiskEnclosure::IoGrant grant = enc.SubmitIo(now, n_ios, bytes, type,
                                               sequential);
   if (grant.powered_on) {
+    if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+      telemetry_->Record(telemetry::MakePowerEvent(
+          now, enclosure, static_cast<uint8_t>(PowerState::kSpinningUp),
+          config_.enclosure.spinup_time));
+    }
     NotifyPowerState(enclosure, now, PowerState::kSpinningUp);
   }
   if (grant.idle_gap_before >= config_.idle_gap_notify_floor) {
+    if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+      telemetry_->Record(
+          telemetry::MakeIdleGapEvent(now, enclosure, grant.idle_gap_before));
+    }
     NotifyIdleGap(enclosure, now, grant.idle_gap_before);
   }
   trace::PhysicalIoRecord rec;
@@ -85,6 +99,11 @@ SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
       bytes, std::numeric_limits<int32_t>::max()));
   rec.type = type;
   rec.sequential = sequential;
+  if (telemetry::Wants(telemetry_, telemetry::kClassIoDetail)) {
+    telemetry_->Record(telemetry::MakeCacheEvent(
+        now, telemetry::EventKind::kPhysicalIo, kInvalidDataItem, enclosure,
+        n_ios, bytes));
+  }
   NotifyPhysicalIo(rec);
   if (spin_down_allowed_[static_cast<size_t>(enclosure)]) {
     ArmSpinDownTimer(enclosure);
@@ -95,6 +114,11 @@ SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
 void StorageSystem::ApplyFlushDemands(const std::vector<FlushDemand>& demands) {
   for (const FlushDemand& d : demands) {
     EnclosureId enc = virt_.EnclosureOf(d.item);
+    if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
+      telemetry_->Record(telemetry::MakeCacheEvent(
+          sim_->Now(), telemetry::EventKind::kCacheFlush, d.item, enc,
+          d.blocks, d.bytes));
+    }
     SubmitPhysicalBulk(enc, std::max<int64_t>(1, d.blocks), d.bytes,
                        IoType::kWrite, /*sequential=*/true,
                        virt_.BaseBlock(d.item));
@@ -113,6 +137,11 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
     result.latency = config_.cache.hit_latency;
     if (out.miss_blocks > 0) {
       EnclosureId enc = virt_.EnclosureOf(rec.item);
+      if (telemetry::Wants(telemetry_, telemetry::kClassIoDetail)) {
+        telemetry_->Record(telemetry::MakeCacheEvent(
+            now, telemetry::EventKind::kCacheAdmit, rec.item, enc,
+            out.miss_blocks, static_cast<int64_t>(rec.size)));
+      }
       // Small random reads issue one device I/O per logical request; large
       // (multi-block) transfers cost one device I/O per cache block.
       int64_t n_ios = std::max<int64_t>(1, out.miss_blocks);
@@ -142,6 +171,14 @@ void StorageSystem::SetSpinDownAllowed(EnclosureId enclosure, bool allowed) {
 Status StorageSystem::SetWriteDelayItems(
     const std::unordered_set<DataItemId>& items) {
   std::vector<FlushDemand> demands = cache_.SetWriteDelayItems(items);
+  if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
+    int64_t displaced_bytes = 0;
+    for (const FlushDemand& d : demands) displaced_bytes += d.bytes;
+    telemetry_->Record(telemetry::MakeCacheEvent(
+        sim_->Now(), telemetry::EventKind::kWriteDelaySet, kInvalidDataItem,
+        kInvalidEnclosure, static_cast<int64_t>(items.size()),
+        displaced_bytes));
+  }
   ApplyFlushDemands(demands);
   return Status::OK();
 }
@@ -155,11 +192,23 @@ Status StorageSystem::SetPreloadItems(
     EnclosureId enc = virt_.EnclosureOf(item);
     int64_t blocks = std::max<int64_t>(
         1, meta.size_bytes / config_.cache.block_size);
+    if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
+      telemetry_->Record(telemetry::MakeCacheEvent(
+          sim_->Now(), telemetry::EventKind::kPreloadBegin, item, enc,
+          blocks, meta.size_bytes));
+    }
     SimTime completion =
         SubmitPhysicalBulk(enc, blocks, meta.size_bytes, IoType::kRead,
                            /*sequential=*/true, virt_.BaseBlock(item));
-    sim_->ScheduleAt(completion, [this, item] {
+    int64_t size_bytes = meta.size_bytes;
+    sim_->ScheduleAt(completion, [this, item, enc, blocks, size_bytes] {
       Status st = cache_.MarkPreloaded(item);
+      if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
+        // bytes < 0 marks a stale preload (the set changed in flight).
+        telemetry_->Record(telemetry::MakeCacheEvent(
+            sim_->Now(), telemetry::EventKind::kPreloadDone, item, enc,
+            blocks, st.ok() ? size_bytes : -1));
+      }
       if (!st.ok()) {
         // The preload set changed while the load was in flight; the read
         // was wasted but harmless.

@@ -15,6 +15,7 @@
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
 #include "storage/storage_config.h"
+#include "telemetry/recorder.h"
 #include "trace/io_record.h"
 
 namespace ecostore::storage {
@@ -75,6 +76,11 @@ class StorageSystem {
   void AddObserver(StorageObserver* observer) {
     observers_.push_back(observer);
   }
+
+  /// Attaches (or detaches, with nullptr) the run's event recorder. The
+  /// system does not own it; the caller keeps it alive across the run.
+  void SetTelemetry(telemetry::Recorder* recorder) { telemetry_ = recorder; }
+  telemetry::Recorder* telemetry() const { return telemetry_; }
 
   /// Serves one application logical I/O through cache and enclosures.
   IoResult SubmitLogicalIo(const trace::LogicalIoRecord& rec);
@@ -145,6 +151,7 @@ class StorageSystem {
   BlockVirtualization virt_;
   std::vector<bool> spin_down_allowed_;
   std::vector<StorageObserver*> observers_;
+  telemetry::Recorder* telemetry_ = nullptr;
 
   /// Reusable scratch for per-I/O flush demands: SubmitLogicalIo hands it
   /// to StorageCache::Read/Write and consumes it before returning, so the

@@ -1,0 +1,476 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+namespace ecostore::telemetry {
+
+namespace {
+
+constexpr EventKind kAllKinds[] = {
+    EventKind::kPowerState,      EventKind::kIdleGap,
+    EventKind::kCacheFlush,      EventKind::kCacheAdmit,
+    EventKind::kWriteDelaySet,   EventKind::kPreloadBegin,
+    EventKind::kPreloadDone,     EventKind::kPhysicalIo,
+    EventKind::kMigrationBegin,  EventKind::kMigrationThrottle,
+    EventKind::kMigrationEnd,    EventKind::kBlockMove,
+    EventKind::kDecision,        EventKind::kHotCold,
+    EventKind::kPeriodAdapt,     EventKind::kPeriodBoundary,
+    EventKind::kSimStats,
+};
+
+EventKind KindFromName(const std::string& name) {
+  for (EventKind kind : kAllKinds) {
+    if (name == EventKindName(kind)) return kind;
+  }
+  return EventKind::kNone;
+}
+
+/// Minimal reader for the flat one-line JSON objects this module writes:
+/// string values contain no escapes and there is no nesting, so a linear
+/// scan for "key": value pairs suffices (and keeps eco_report free of
+/// external JSON dependencies).
+class FlatJson {
+ public:
+  explicit FlatJson(const std::string& line) {
+    const char* p = line.c_str();
+    while ((p = std::strchr(p, '"')) != nullptr) {
+      const char* key_end = std::strchr(p + 1, '"');
+      if (key_end == nullptr) break;
+      std::string key(p + 1, key_end);
+      const char* colon = key_end + 1;
+      while (*colon == ' ') colon++;
+      if (*colon != ':') {
+        p = key_end + 1;
+        continue;
+      }
+      const char* value = colon + 1;
+      while (*value == ' ') value++;
+      if (*value == '"') {
+        const char* value_end = std::strchr(value + 1, '"');
+        if (value_end == nullptr) break;
+        keys_.emplace_back(std::move(key), std::string(value + 1, value_end));
+        p = value_end + 1;
+      } else {
+        const char* value_end = value;
+        while (*value_end != '\0' && *value_end != ',' && *value_end != '}') {
+          value_end++;
+        }
+        keys_.emplace_back(std::move(key), std::string(value, value_end));
+        p = value_end;
+      }
+    }
+  }
+
+  bool Has(const char* key) const { return Find(key) != nullptr; }
+
+  std::string Str(const char* key, const std::string& fallback = "") const {
+    const std::string* v = Find(key);
+    return v != nullptr ? *v : fallback;
+  }
+
+  int64_t Int(const char* key, int64_t fallback = 0) const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  uint64_t U64(const char* key, uint64_t fallback = 0) const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+ private:
+  const std::string* Find(const char* key) const {
+    for (const auto& [k, v] : keys_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> keys_;
+};
+
+void AppendKV(std::string* out, const char* key, int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+void AppendKVU(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+void AppendEventJson(std::string* out, const Event& e) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"type\":\"event\",\"t\":%lld,\"kind\":\"%s\"",
+                static_cast<long long>(e.time), EventKindName(e.kind));
+  *out += buf;
+  switch (e.kind) {
+    case EventKind::kPowerState:
+      AppendKV(out, "enclosure", e.power.enclosure);
+      AppendKV(out, "state", e.power.state);
+      AppendKV(out, "spinup_us", e.power.spinup_us);
+      break;
+    case EventKind::kIdleGap:
+      AppendKV(out, "enclosure", e.idle.enclosure);
+      AppendKV(out, "gap_us", e.idle.gap);
+      break;
+    case EventKind::kCacheFlush:
+    case EventKind::kCacheAdmit:
+    case EventKind::kWriteDelaySet:
+    case EventKind::kPreloadBegin:
+    case EventKind::kPreloadDone:
+    case EventKind::kPhysicalIo:
+      AppendKV(out, "item", e.cache.item);
+      AppendKV(out, "enclosure", e.cache.enclosure);
+      AppendKV(out, "blocks", e.cache.blocks);
+      AppendKV(out, "bytes", e.cache.bytes);
+      break;
+    case EventKind::kMigrationBegin:
+    case EventKind::kMigrationThrottle:
+    case EventKind::kMigrationEnd:
+    case EventKind::kBlockMove:
+      AppendKV(out, "item", e.migration.item);
+      AppendKV(out, "from", e.migration.from);
+      AppendKV(out, "to", e.migration.to);
+      AppendKV(out, "bytes", e.migration.bytes);
+      break;
+    case EventKind::kDecision:
+      AppendKV(out, "item", e.decision.item);
+      AppendKV(out, "pattern", e.decision.pattern);
+      AppendKV(out, "actions", e.decision.actions);
+      AppendKV(out, "enclosure", e.decision.enclosure);
+      AppendKV(out, "long_intervals", e.decision.long_intervals);
+      AppendKV(out, "io_sequences", e.decision.io_sequences);
+      AppendKV(out, "read_permille", e.decision.read_permille);
+      AppendKV(out, "total_ios", e.decision.total_ios);
+      break;
+    case EventKind::kHotCold:
+      AppendKVU(out, "hot_mask", e.hot_cold.hot_mask);
+      AppendKV(out, "n_hot", e.hot_cold.n_hot);
+      AppendKV(out, "n_enclosures", e.hot_cold.n_enclosures);
+      break;
+    case EventKind::kPeriodAdapt:
+      AppendKV(out, "prev_period_us", e.adapt.prev_period);
+      AppendKV(out, "next_period_us", e.adapt.next_period);
+      AppendKV(out, "mean_long_interval_us", e.adapt.mean_long_interval);
+      break;
+    case EventKind::kPeriodBoundary:
+      AppendKV(out, "index", e.period.index);
+      AppendKV(out, "period_start_us", e.period.period_start);
+      AppendKV(out, "next_period_us", e.period.next_period);
+      break;
+    case EventKind::kSimStats:
+      AppendKV(out, "peak_heap", e.sim_stats.peak_heap_depth);
+      AppendKV(out, "live", e.sim_stats.live_events);
+      AppendKV(out, "tombstones", e.sim_stats.tombstones);
+      AppendKV(out, "cancelled", e.sim_stats.cancelled);
+      break;
+    case EventKind::kNone:
+      break;
+  }
+  *out += "}\n";
+}
+
+Event EventFromJson(const FlatJson& json, EventKind kind) {
+  Event e = MakeEvent(json.Int("t"), kind);
+  switch (kind) {
+    case EventKind::kPowerState:
+      e.power.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
+      e.power.state = static_cast<uint8_t>(json.Int("state"));
+      e.power.spinup_us = json.Int("spinup_us");
+      break;
+    case EventKind::kIdleGap:
+      e.idle.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
+      e.idle.gap = json.Int("gap_us");
+      break;
+    case EventKind::kCacheFlush:
+    case EventKind::kCacheAdmit:
+    case EventKind::kWriteDelaySet:
+    case EventKind::kPreloadBegin:
+    case EventKind::kPreloadDone:
+    case EventKind::kPhysicalIo:
+      e.cache.item = static_cast<DataItemId>(json.Int("item"));
+      e.cache.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
+      e.cache.blocks = json.Int("blocks");
+      e.cache.bytes = json.Int("bytes");
+      break;
+    case EventKind::kMigrationBegin:
+    case EventKind::kMigrationThrottle:
+    case EventKind::kMigrationEnd:
+    case EventKind::kBlockMove:
+      e.migration.item = static_cast<DataItemId>(json.Int("item"));
+      e.migration.from = static_cast<EnclosureId>(json.Int("from"));
+      e.migration.to = static_cast<EnclosureId>(json.Int("to"));
+      e.migration.bytes = json.Int("bytes");
+      break;
+    case EventKind::kDecision:
+      e.decision.item = static_cast<DataItemId>(json.Int("item"));
+      e.decision.pattern = static_cast<uint8_t>(json.Int("pattern"));
+      e.decision.actions = static_cast<uint8_t>(json.Int("actions"));
+      e.decision.enclosure = static_cast<int16_t>(json.Int("enclosure"));
+      e.decision.long_intervals =
+          static_cast<int32_t>(json.Int("long_intervals"));
+      e.decision.io_sequences =
+          static_cast<int32_t>(json.Int("io_sequences"));
+      e.decision.read_permille =
+          static_cast<int32_t>(json.Int("read_permille"));
+      e.decision.total_ios = json.Int("total_ios");
+      break;
+    case EventKind::kHotCold:
+      e.hot_cold.hot_mask = json.U64("hot_mask");
+      e.hot_cold.n_hot = static_cast<int32_t>(json.Int("n_hot"));
+      e.hot_cold.n_enclosures =
+          static_cast<int32_t>(json.Int("n_enclosures"));
+      break;
+    case EventKind::kPeriodAdapt:
+      e.adapt.prev_period = json.Int("prev_period_us");
+      e.adapt.next_period = json.Int("next_period_us");
+      e.adapt.mean_long_interval = json.Int("mean_long_interval_us");
+      break;
+    case EventKind::kPeriodBoundary:
+      e.period.index = static_cast<int32_t>(json.Int("index"));
+      e.period.period_start = json.Int("period_start_us");
+      e.period.next_period = json.Int("next_period_us");
+      break;
+    case EventKind::kSimStats:
+      e.sim_stats.peak_heap_depth = json.Int("peak_heap");
+      e.sim_stats.live_events = json.Int("live");
+      e.sim_stats.tombstones = json.Int("tombstones");
+      e.sim_stats.cancelled = json.Int("cancelled");
+      break;
+    case EventKind::kNone:
+      break;
+  }
+  return e;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+const char* PowerSegmentStateName(uint8_t state) {
+  switch (state) {
+    case 0:
+      return "off";
+    case 1:
+      return "spinning_up";
+    case 2:
+      return "on";
+  }
+  return "?";
+}
+
+Status WriteJsonl(const std::string& path, const ExportMeta& meta,
+                  const std::vector<Event>& events) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::fprintf(f.get(),
+               "{\"type\":\"meta\",\"workload\":\"%s\",\"policy\":\"%s\","
+               "\"num_enclosures\":%d,\"duration_us\":%lld,"
+               "\"events\":%zu}\n",
+               meta.workload.c_str(), meta.policy.c_str(),
+               meta.num_enclosures, static_cast<long long>(meta.duration),
+               events.size());
+  std::string line;
+  for (const Event& e : events) {
+    line.clear();
+    AppendEventJson(&line, e);
+    std::fwrite(line.data(), 1, line.size(), f.get());
+  }
+  return Status::OK();
+}
+
+Status ParseJsonl(const std::string& path, ExportMeta* meta,
+                  std::vector<Event>* events) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::IoError("cannot read " + path);
+  if (meta != nullptr) *meta = ExportMeta{};
+  events->clear();
+  char buf[1024];
+  while (std::fgets(buf, sizeof(buf), f.get()) != nullptr) {
+    FlatJson json{std::string(buf)};
+    std::string type = json.Str("type");
+    if (type == "meta") {
+      if (meta != nullptr) {
+        meta->workload = json.Str("workload");
+        meta->policy = json.Str("policy");
+        meta->num_enclosures = static_cast<int>(json.Int("num_enclosures"));
+        meta->duration = json.Int("duration_us");
+      }
+      continue;
+    }
+    if (type != "event") continue;
+    EventKind kind = KindFromName(json.Str("kind"));
+    if (kind == EventKind::kNone) continue;
+    events->push_back(EventFromJson(json, kind));
+  }
+  return Status::OK();
+}
+
+std::vector<PowerSegment> BuildPowerTimeline(
+    const ExportMeta& meta, const std::vector<Event>& events) {
+  int n = meta.num_enclosures;
+  if (n <= 0) {
+    for (const Event& e : events) {
+      if (e.kind == EventKind::kPowerState && e.power.enclosure >= n) {
+        n = e.power.enclosure + 1;
+      }
+    }
+  }
+  std::vector<PowerSegment> segments;
+  // Every enclosure starts On at t = 0 (the array boots powered up).
+  std::vector<SimTime> seg_start(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> state(static_cast<size_t>(n), 2);
+  auto close = [&](size_t enc, SimTime at, uint8_t next_state) {
+    if (at > seg_start[enc]) {
+      segments.push_back(PowerSegment{static_cast<EnclosureId>(enc),
+                                      seg_start[enc], at, state[enc]});
+    }
+    seg_start[enc] = at;
+    state[enc] = next_state;
+  };
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kPowerState) continue;
+    if (e.power.enclosure < 0 || e.power.enclosure >= n) continue;
+    auto enc = static_cast<size_t>(e.power.enclosure);
+    if (e.power.state == 1) {
+      // Spin-up initiation; the On edge follows after the configured
+      // spin-up latency carried in the payload.
+      close(enc, e.time, 1);
+      close(enc, e.time + e.power.spinup_us, 2);
+    } else {
+      close(enc, e.time, e.power.state);
+    }
+  }
+  for (size_t enc = 0; enc < static_cast<size_t>(n); ++enc) {
+    SimTime end = std::max(meta.duration, seg_start[enc]);
+    if (end > seg_start[enc]) {
+      segments.push_back(PowerSegment{static_cast<EnclosureId>(enc),
+                                      seg_start[enc], end, state[enc]});
+    }
+  }
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const PowerSegment& a, const PowerSegment& b) {
+                     if (a.enclosure != b.enclosure) {
+                       return a.enclosure < b.enclosure;
+                     }
+                     return a.start < b.start;
+                   });
+  return segments;
+}
+
+Status WritePowerTimelineCsv(const std::string& path, const ExportMeta& meta,
+                             const std::vector<Event>& events) {
+  std::vector<PowerSegment> segments = BuildPowerTimeline(meta, events);
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::fprintf(f.get(), "enclosure,state,start_us,end_us,duration_s\n");
+  for (const PowerSegment& s : segments) {
+    std::fprintf(f.get(), "%d,%s,%lld,%lld,%.3f\n", s.enclosure,
+                 PowerSegmentStateName(s.state),
+                 static_cast<long long>(s.start),
+                 static_cast<long long>(s.end), ToSeconds(s.end - s.start));
+  }
+  return Status::OK();
+}
+
+Status WriteChromeTrace(const std::string& path, const ExportMeta& meta,
+                        const std::vector<Event>& events) {
+  // One trace entry per line; entries are sorted by ts so viewers (and
+  // the round-trip test) see a monotone stream. pid 0 = power states,
+  // pid 1 = policy decisions/migrations, pid 2 = simulator counters.
+  struct Entry {
+    SimTime ts;
+    std::string json;
+  };
+  std::vector<Entry> entries;
+  char buf[256];
+
+  for (const PowerSegment& s : BuildPowerTimeline(meta, events)) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"power\",\"ph\":\"X\","
+                  "\"ts\":%lld,\"dur\":%lld,\"pid\":0,\"tid\":%d}",
+                  PowerSegmentStateName(s.state),
+                  static_cast<long long>(s.start),
+                  static_cast<long long>(s.end - s.start), s.enclosure);
+    entries.push_back(Entry{s.start, buf});
+  }
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kDecision:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"item %d P%u\",\"cat\":\"decision\","
+                      "\"ph\":\"i\",\"ts\":%lld,\"pid\":1,\"tid\":0,"
+                      "\"s\":\"p\"}",
+                      e.decision.item, e.decision.pattern,
+                      static_cast<long long>(e.time));
+        entries.push_back(Entry{e.time, buf});
+        break;
+      case EventKind::kMigrationBegin:
+      case EventKind::kMigrationThrottle:
+      case EventKind::kMigrationEnd:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s item %d\",\"cat\":\"migration\","
+                      "\"ph\":\"i\",\"ts\":%lld,\"pid\":1,\"tid\":1,"
+                      "\"s\":\"p\"}",
+                      EventKindName(e.kind), e.migration.item,
+                      static_cast<long long>(e.time));
+        entries.push_back(Entry{e.time, buf});
+        break;
+      case EventKind::kSimStats:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"sim heap\",\"ph\":\"C\",\"ts\":%lld,"
+                      "\"pid\":2,\"args\":{\"live\":%lld,"
+                      "\"tombstones\":%lld}}",
+                      static_cast<long long>(e.time),
+                      static_cast<long long>(e.sim_stats.live_events),
+                      static_cast<long long>(e.sim_stats.tombstones));
+        entries.push_back(Entry{e.time, buf});
+        break;
+      default:
+        break;
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::IoError("cannot write " + path);
+  std::fprintf(f.get(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(f.get(), "%s%s\n", entries[i].json.c_str(),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f.get(), "]}\n");
+  return Status::OK();
+}
+
+Status ExportAll(const std::string& base, const ExportMeta& meta,
+                 const std::vector<Event>& events) {
+  std::string stem = base;
+  const std::string suffix = ".jsonl";
+  if (stem.size() > suffix.size() &&
+      stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    stem.resize(stem.size() - suffix.size());
+  }
+  ECOSTORE_RETURN_NOT_OK(WriteJsonl(stem + ".jsonl", meta, events));
+  ECOSTORE_RETURN_NOT_OK(WritePowerTimelineCsv(stem + ".power.csv", meta,
+                                               events));
+  return WriteChromeTrace(stem + ".trace.json", meta, events);
+}
+
+}  // namespace ecostore::telemetry

@@ -1,0 +1,72 @@
+#ifndef ECOSTORE_TELEMETRY_EXPORT_H_
+#define ECOSTORE_TELEMETRY_EXPORT_H_
+
+// Exporters for a drained telemetry stream:
+//  - JSONL: one self-describing JSON object per line (line 1 is run
+//    metadata), the interchange format `tools/eco_report` and the
+//    round-trip tests read back;
+//  - per-enclosure power-state timeline CSV, derived from the
+//    kPowerState events (the SpinningUp -> On edge is reconstructed from
+//    the spin-up latency carried in the event payload);
+//  - Chrome trace_event JSON for chrome://tracing / Perfetto: power
+//    states as complete ("X") spans per enclosure, decisions and
+//    migration milestones as instants, simulator stats as counters.
+//
+// The exporters are compiled unconditionally (they operate on plain
+// vectors of events); a disabled-telemetry build simply has nothing to
+// export.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/event.h"
+
+namespace ecostore::telemetry {
+
+/// Run identification written into every export.
+struct ExportMeta {
+  std::string workload;
+  std::string policy;
+  int num_enclosures = 0;
+  SimDuration duration = 0;
+};
+
+Status WriteJsonl(const std::string& path, const ExportMeta& meta,
+                  const std::vector<Event>& events);
+
+/// Parses a WriteJsonl file back (the eco_report / round-trip-test
+/// reader). Unknown lines and fields are skipped, so the format can grow.
+Status ParseJsonl(const std::string& path, ExportMeta* meta,
+                  std::vector<Event>* events);
+
+/// One dwell interval of an enclosure's power FSM.
+struct PowerSegment {
+  EnclosureId enclosure = kInvalidEnclosure;
+  SimTime start = 0;
+  SimTime end = 0;
+  uint8_t state = 2;  ///< storage::PowerState numeric value (2 == On)
+};
+
+const char* PowerSegmentStateName(uint8_t state);
+
+/// Reconstructs every enclosure's Off / SpinningUp / On dwell timeline
+/// from the kPowerState events (all enclosures start On at t = 0).
+std::vector<PowerSegment> BuildPowerTimeline(const ExportMeta& meta,
+                                             const std::vector<Event>& events);
+
+Status WritePowerTimelineCsv(const std::string& path, const ExportMeta& meta,
+                             const std::vector<Event>& events);
+
+Status WriteChromeTrace(const std::string& path, const ExportMeta& meta,
+                        const std::vector<Event>& events);
+
+/// Writes all three exports: `<base>.jsonl`, `<base>.power.csv` and
+/// `<base>.trace.json` (a trailing ".jsonl" on `base` is stripped first,
+/// so `--telemetry=run.jsonl` and `--telemetry=run` are equivalent).
+Status ExportAll(const std::string& base, const ExportMeta& meta,
+                 const std::vector<Event>& events);
+
+}  // namespace ecostore::telemetry
+
+#endif  // ECOSTORE_TELEMETRY_EXPORT_H_

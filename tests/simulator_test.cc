@@ -325,5 +325,33 @@ TEST(SimulatorTest, RunUntilWithRecurringEventStaysBounded) {
   EXPECT_EQ(sim.Now(), 1000);
 }
 
+TEST(SimulatorTest, StatsTrackHeapDepthTombstonesAndCounts) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(sim.ScheduleAt(i, [] {}));
+  Simulator::Stats s = sim.stats();
+  EXPECT_EQ(s.scheduled, 10);
+  EXPECT_EQ(s.live_events, 10u);
+  EXPECT_EQ(s.heap_entries, 10u);
+  EXPECT_EQ(s.peak_heap_depth, 10u);
+  EXPECT_EQ(s.tombstones, 0u);
+  EXPECT_EQ(s.cancelled, 0);
+
+  EXPECT_TRUE(sim.Cancel(ids[3]));
+  EXPECT_TRUE(sim.Cancel(ids[7]));
+  s = sim.stats();
+  EXPECT_EQ(s.cancelled, 2);
+  EXPECT_EQ(s.live_events, 8u);
+  EXPECT_EQ(s.heap_entries, 10u);  // tombstones still parked in the heap
+  EXPECT_EQ(s.tombstones, 2u);
+
+  EXPECT_EQ(sim.RunAll(), 8);
+  s = sim.stats();
+  EXPECT_EQ(s.executed, 8);
+  EXPECT_EQ(s.live_events, 0u);
+  EXPECT_EQ(s.heap_entries, 0u);
+  EXPECT_EQ(s.peak_heap_depth, 10u);  // the high-water mark survives
+}
+
 }  // namespace
 }  // namespace ecostore::sim

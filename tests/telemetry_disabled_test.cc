@@ -1,0 +1,56 @@
+// Compile-out verification: built with ECOSTORE_TELEMETRY_DISABLED and
+// deliberately linked WITHOUT the ecostore libraries — the disabled
+// recorder must be a self-contained, header-only stub (if anything in it
+// referenced a library symbol, this target would fail to link).
+
+#ifndef ECOSTORE_TELEMETRY_DISABLED
+#error "this test must be compiled with ECOSTORE_TELEMETRY_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "telemetry/recorder.h"
+
+namespace ecostore::telemetry {
+namespace {
+
+// The zero-overhead contract, checked at compile time: the stub recorder
+// is an empty class (no vtable, no state) and the site guard is constant
+// false, so every `if (Wants(...)) Record(...)` folds away entirely.
+static_assert(sizeof(Recorder) == 1,
+              "disabled Recorder must stay an empty stub");
+static_assert(!Recorder::kEnabled);
+
+TEST(TelemetryDisabledTest, WantsIsConstantFalse) {
+  Recorder recorder;
+  EXPECT_FALSE(Wants(nullptr, kClassAll));
+  EXPECT_FALSE(Wants(&recorder, kClassAll));
+  EXPECT_FALSE(Wants(&recorder, kClassPower));
+}
+
+TEST(TelemetryDisabledTest, AllOperationsAreNoOps) {
+  Recorder recorder;
+  recorder.Record(MakeIdleGapEvent(10, 0, 5));
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.Drain().empty());
+  EXPECT_TRUE(recorder.DrainLogs().empty());
+
+  recorder.counter("c")->Increment();
+  EXPECT_EQ(recorder.counter("c")->value(), 0);
+  recorder.gauge("g")->Set(7);
+  EXPECT_EQ(recorder.gauge("g")->value(), 0);
+  EXPECT_TRUE(recorder.CounterValues().empty());
+  EXPECT_TRUE(recorder.GaugeValues().empty());
+}
+
+TEST(TelemetryDisabledTest, EventsStayPodSized) {
+  // The event type itself is still compiled (exporters use it), and its
+  // layout contract is identical in both modes.
+  static_assert(sizeof(Event) == 48);
+  Event e = MakePowerEvent(5, 1, 2, 0);
+  EXPECT_EQ(e.power.enclosure, 1);
+}
+
+}  // namespace
+}  // namespace ecostore::telemetry

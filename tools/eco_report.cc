@@ -1,0 +1,302 @@
+// eco_report: renders a --telemetry JSONL capture for humans.
+//
+//   eco_report audit <run.jsonl>        per-period decision audit log
+//   eco_report timeline <run.jsonl>     per-enclosure power-state timeline
+//   eco_report diff <a.jsonl> <b.jsonl> compare two captures
+//
+// The input is the JSONL stream written by telemetry::WriteJsonl (the
+// bench binaries' --telemetry=<base> flag produces it as <base>.jsonl).
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+
+namespace ecostore::telemetry {
+namespace {
+
+const char* PatternName(uint8_t pattern) {
+  switch (pattern) {
+    case 0:
+      return "P0";
+    case 1:
+      return "P1";
+    case 2:
+      return "P2";
+    case 3:
+      return "P3";
+  }
+  return "P?";
+}
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fs", ToSeconds(t));
+  return buf;
+}
+
+std::string DescribeActions(const DecisionPayload& d) {
+  std::vector<std::string> parts;
+  char buf[64];
+  if ((d.actions & kActionMigrate) != 0) {
+    std::snprintf(buf, sizeof(buf), "migrate to enclosure %d", d.enclosure);
+    parts.push_back(buf);
+  }
+  if ((d.actions & kActionWriteDelay) != 0) parts.push_back("write-delay");
+  if ((d.actions & kActionPreload) != 0) {
+    std::snprintf(buf, sizeof(buf), "preload on enclosure %d", d.enclosure);
+    parts.push_back(buf);
+  }
+  if (parts.empty()) return "no action";
+  std::string out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) out += " + " + parts[i];
+  return out;
+}
+
+int LoadOrDie(const std::string& path, ExportMeta* meta,
+              std::vector<Event>* events) {
+  Status st = ParseJsonl(path, meta, events);
+  if (!st.ok()) {
+    std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void PrintHeader(const ExportMeta& meta, size_t n_events) {
+  std::printf("workload=%s policy=%s enclosures=%d duration=%s events=%zu\n",
+              meta.workload.c_str(), meta.policy.c_str(),
+              meta.num_enclosures, FormatSimTime(meta.duration).c_str(),
+              n_events);
+}
+
+// --- audit ----------------------------------------------------------------
+
+int RunAudit(const std::string& path) {
+  ExportMeta meta;
+  std::vector<Event> events;
+  if (LoadOrDie(path, &meta, &events) != 0) return 1;
+  PrintHeader(meta, events.size());
+
+  // Events are ordered by simulated time; decisions of period k precede
+  // the kPeriodBoundary event that closed it, so a linear walk buffers
+  // decisions until each boundary flushes them.
+  std::vector<const Event*> pending;
+  const Event* hot_cold = nullptr;
+  const Event* adapt = nullptr;
+  auto flush = [&](const Event* boundary) {
+    if (boundary != nullptr) {
+      const PeriodPayload& p = boundary->period;
+      std::printf("\nperiod %d  [%s .. %s]  next=%s\n", p.index,
+                  FormatSimTime(p.period_start).c_str(),
+                  FormatSimTime(boundary->time).c_str(),
+                  FormatSimTime(p.next_period).c_str());
+    } else if (!pending.empty() || hot_cold != nullptr) {
+      std::printf("\n(unterminated period)\n");
+    }
+    if (hot_cold != nullptr) {
+      const HotColdPayload& h = hot_cold->hot_cold;
+      std::printf("  partition: %d/%d hot [", h.n_hot, h.n_enclosures);
+      for (int32_t e = 0; e < h.n_enclosures && e < 64; ++e) {
+        std::printf("%c", (h.hot_mask >> e) & 1 ? 'H' : 'c');
+      }
+      std::printf("]\n");
+    }
+    if (adapt != nullptr) {
+      const AdaptPayload& a = adapt->adapt;
+      std::printf("  period adaptation: %s -> %s (mean long interval %s)\n",
+                  FormatSimTime(a.prev_period).c_str(),
+                  FormatSimTime(a.next_period).c_str(),
+                  FormatSimTime(a.mean_long_interval).c_str());
+    }
+    for (const Event* e : pending) {
+      const DecisionPayload& d = e->decision;
+      std::printf(
+          "  item %d: %s, %d long intervals, %d%% reads, %d sequences, "
+          "%" PRId64 " ios -> %s\n",
+          d.item, PatternName(d.pattern), d.long_intervals,
+          (d.read_permille + 5) / 10, d.io_sequences, d.total_ios,
+          DescribeActions(d).c_str());
+    }
+    pending.clear();
+    hot_cold = nullptr;
+    adapt = nullptr;
+  };
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kDecision:
+        pending.push_back(&e);
+        break;
+      case EventKind::kHotCold:
+        hot_cold = &e;
+        break;
+      case EventKind::kPeriodAdapt:
+        adapt = &e;
+        break;
+      case EventKind::kPeriodBoundary:
+        flush(&e);
+        break;
+      default:
+        break;
+    }
+  }
+  flush(nullptr);
+  return 0;
+}
+
+// --- timeline -------------------------------------------------------------
+
+int RunTimeline(const std::string& path) {
+  ExportMeta meta;
+  std::vector<Event> events;
+  if (LoadOrDie(path, &meta, &events) != 0) return 1;
+  PrintHeader(meta, events.size());
+
+  std::vector<PowerSegment> segments = BuildPowerTimeline(meta, events);
+  EnclosureId current = kInvalidEnclosure;
+  // Dwell seconds per enclosure and state (Off, SpinningUp, On).
+  std::map<EnclosureId, std::array<double, 3>> dwell;
+  for (const PowerSegment& s : segments) {
+    if (s.enclosure != current) {
+      current = s.enclosure;
+      std::printf("\nenclosure %d\n", s.enclosure);
+    }
+    std::printf("  %10s .. %10s  %-11s  %.1fs\n",
+                FormatSimTime(s.start).c_str(), FormatSimTime(s.end).c_str(),
+                PowerSegmentStateName(s.state), ToSeconds(s.end - s.start));
+    if (s.state < 3) {
+      dwell[s.enclosure][s.state] += ToSeconds(s.end - s.start);
+    }
+  }
+  std::printf("\ndwell summary (seconds)\n");
+  std::printf("  %-10s %10s %12s %10s\n", "enclosure", "off", "spinning_up",
+              "on");
+  for (const auto& [enc, by_state] : dwell) {
+    std::printf("  %-10d %10.1f %12.1f %10.1f\n", enc, by_state[0],
+                by_state[1], by_state[2]);
+  }
+  return 0;
+}
+
+// --- diff -----------------------------------------------------------------
+
+struct RunSummary {
+  ExportMeta meta;
+  std::map<std::string, int64_t> kind_counts;
+  int64_t spinups = 0;
+  int64_t spindowns = 0;
+  int64_t migrated_bytes = 0;
+  int64_t failed_migrations = 0;
+  double off_seconds = 0.0;
+  int64_t periods = 0;
+};
+
+RunSummary Summarize(const ExportMeta& meta, const std::vector<Event>& events) {
+  RunSummary s;
+  s.meta = meta;
+  for (const Event& e : events) {
+    s.kind_counts[EventKindName(e.kind)]++;
+    switch (e.kind) {
+      case EventKind::kPowerState:
+        if (e.power.state == 1) s.spinups++;
+        if (e.power.state == 0) s.spindowns++;
+        break;
+      case EventKind::kMigrationEnd:
+        if (e.migration.bytes >= 0) {
+          s.migrated_bytes += e.migration.bytes;
+        } else {
+          s.failed_migrations++;
+        }
+        break;
+      case EventKind::kBlockMove:
+        s.migrated_bytes += e.migration.bytes;
+        break;
+      case EventKind::kPeriodBoundary:
+        s.periods++;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const PowerSegment& seg : BuildPowerTimeline(meta, events)) {
+    if (seg.state == 0) s.off_seconds += ToSeconds(seg.end - seg.start);
+  }
+  return s;
+}
+
+void DiffRow(const char* label, double a, double b, const char* fmt) {
+  char va[32], vb[32];
+  std::snprintf(va, sizeof(va), fmt, a);
+  std::snprintf(vb, sizeof(vb), fmt, b);
+  std::printf("  %-22s %14s %14s  %+12.1f\n", label, va, vb, b - a);
+}
+
+int RunDiff(const std::string& path_a, const std::string& path_b) {
+  ExportMeta meta_a, meta_b;
+  std::vector<Event> events_a, events_b;
+  if (LoadOrDie(path_a, &meta_a, &events_a) != 0) return 1;
+  if (LoadOrDie(path_b, &meta_b, &events_b) != 0) return 1;
+  RunSummary a = Summarize(meta_a, events_a);
+  RunSummary b = Summarize(meta_b, events_b);
+
+  std::printf("  %-22s %14s %14s  %12s\n", "", "A", "B", "delta");
+  std::printf("  %-22s %14s %14s\n", "policy", a.meta.policy.c_str(),
+              b.meta.policy.c_str());
+  DiffRow("periods", static_cast<double>(a.periods),
+          static_cast<double>(b.periods), "%.0f");
+  DiffRow("spin-ups", static_cast<double>(a.spinups),
+          static_cast<double>(b.spinups), "%.0f");
+  DiffRow("spin-downs", static_cast<double>(a.spindowns),
+          static_cast<double>(b.spindowns), "%.0f");
+  DiffRow("enclosure-off seconds", a.off_seconds, b.off_seconds, "%.1f");
+  DiffRow("migrated MiB",
+          static_cast<double>(a.migrated_bytes) / (1024.0 * 1024.0),
+          static_cast<double>(b.migrated_bytes) / (1024.0 * 1024.0), "%.1f");
+  DiffRow("failed migrations", static_cast<double>(a.failed_migrations),
+          static_cast<double>(b.failed_migrations), "%.0f");
+
+  std::printf("\n  event counts by kind\n");
+  std::map<std::string, std::pair<int64_t, int64_t>> merged;
+  for (const auto& [kind, count] : a.kind_counts) merged[kind].first = count;
+  for (const auto& [kind, count] : b.kind_counts) merged[kind].second = count;
+  for (const auto& [kind, counts] : merged) {
+    std::printf("  %-22s %14" PRId64 " %14" PRId64 "  %+12" PRId64 "\n",
+                kind.c_str(), counts.first, counts.second,
+                counts.second - counts.first);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: eco_report audit <run.jsonl>\n"
+               "       eco_report timeline <run.jsonl>\n"
+               "       eco_report diff <a.jsonl> <b.jsonl>\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  if (command == "audit") return RunAudit(argv[2]);
+  if (command == "timeline") return RunTimeline(argv[2]);
+  if (command == "diff") {
+    if (argc < 4) return Usage();
+    return RunDiff(argv[2], argv[3]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ecostore::telemetry
+
+int main(int argc, char** argv) {
+  return ecostore::telemetry::Main(argc, argv);
+}
