@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "bench/telemetry_capture.h"
 #include "core/eco_storage_policy.h"
 #include "policies/basic_policies.h"
 #include "replay/report.h"
@@ -40,6 +41,9 @@ replay::PolicyFactory Variant(core::PowerManagementConfig pm,
 int main(int argc, char** argv) {
   bench::InitBenchLogging();
   const int threads = bench::ParseThreadsFlag(argc, argv);
+  const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
+  const std::string summary_path =
+      bench::ParseTelemetrySummaryFlag(argc, argv);
   bench::PrintHeader("Ablation — proposed method feature contributions",
                      "design-choice study (DESIGN.md); no paper analogue");
 
@@ -110,5 +114,21 @@ int main(int argc, char** argv) {
   replay::PrintResponseTable(std::cout, runs.value());
   std::cout << "\nmovement:\n";
   replay::PrintMigrationTable(std::cout, runs.value());
+
+  if (!telemetry_base.empty()) {
+    // One extra instrumented run of the full proposed variant, after the
+    // ablation tables so the capture shares nothing with them.
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::FileServerWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = Variant(full, "proposed_full");
+    job.config = replay::ExperimentConfig{};
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path);
+  }
   return 0;
 }

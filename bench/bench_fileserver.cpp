@@ -21,21 +21,42 @@ using namespace ecostore;  // NOLINT
 int main(int argc, char** argv) {
   bench::InitBenchLogging();
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
+  const std::string summary_path =
+      bench::ParseTelemetrySummaryFlag(argc, argv);
+  // --capture-only skips the four-policy figure suite and runs just the
+  // instrumented capture: what the CI regression gate wants.
+  const bool capture_only =
+      bench::HasFlag(argc, argv, "--capture-only") && !telemetry_base.empty();
   bench::PrintHeader(
       "Figs. 8-10, 17 — File Server",
       "proposed -25.8% power, best response, 23.1 GB migrated");
 
   workload::FileServerConfig wl_config;
   wl_config.duration = bench::MaybeShorten(6 * kHour, 45 * kMinute);
+  replay::ExperimentConfig config;
+  config.power_sample_interval = 60 * kSecond;  // wall-meter sampling
+  core::PowerManagementConfig pm;  // Table II defaults
+
+  if (capture_only) {
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::FileServerWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path);
+  }
+
   auto workload = workload::FileServerWorkload::Create(wl_config);
   if (!workload.ok()) {
     std::cerr << workload.status().ToString() << "\n";
     return 1;
   }
 
-  replay::ExperimentConfig config;
-  config.power_sample_interval = 60 * kSecond;  // wall-meter sampling
-  core::PowerManagementConfig pm;  // Table II defaults
   auto runs = replay::RunSuite(workload.value().get(),
                                replay::PaperPolicySet(pm), config);
   if (!runs.ok()) {
@@ -82,7 +103,8 @@ int main(int argc, char** argv) {
     };
     job.policy = replay::PaperPolicySet(pm)[1];
     job.config = config;
-    return bench::CaptureTelemetry(telemetry_base, std::move(job));
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path);
   }
   return 0;
 }

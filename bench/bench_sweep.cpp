@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
   bench::InitBenchLogging();
   const int threads = bench::ParseThreadsFlag(argc, argv);
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
+  const std::string summary_path =
+      bench::ParseTelemetrySummaryFlag(argc, argv);
   bench::PrintHeader("Sensitivity sweeps — proposed method",
                      "configuration study (paper \xC2\xA7IX future work); "
                      "no paper figure");
@@ -99,7 +101,7 @@ int main(int argc, char** argv) {
   if (!telemetry_base.empty()) {
     // Captures the first row's proposed-method job (jobs come in
     // base/eco pairs, so index 1 is the eco run of row 1 of section 1).
-    return bench::CaptureTelemetry(telemetry_base, jobs[1]);
+    return bench::CaptureTelemetry(telemetry_base, jobs[1], summary_path);
   }
   return 0;
 }

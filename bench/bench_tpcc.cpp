@@ -11,14 +11,18 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/telemetry_capture.h"
 #include "replay/report.h"
 #include "replay/suite.h"
 #include "workload/oltp_workload.h"
 
 using namespace ecostore;  // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
   bench::InitBenchLogging();
+  const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
+  const std::string summary_path =
+      bench::ParseTelemetrySummaryFlag(argc, argv);
   bench::PrintHeader("Figs. 11-13, 18 — TPC-C (OLTP)",
                      "proposed -15.7% power at -8.5% tpmC; DDR saves "
                      "nothing");
@@ -66,5 +70,21 @@ int main() {
   replay::PrintIntervalCdf(
       std::cout, runs.value(),
       {10 * kSecond, 30 * kSecond, 52 * kSecond, 2 * kMinute, 5 * kMinute});
+
+  if (!telemetry_base.empty()) {
+    // One extra instrumented run of the proposed method, after the
+    // figures so the capture shares nothing with them.
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::OltpWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path);
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/telemetry_capture.h"
 #include "replay/report.h"
 #include "replay/suite.h"
 #include "workload/dss_workload.h"
@@ -20,6 +21,9 @@ using namespace ecostore;  // NOLINT
 int main(int argc, char** argv) {
   bench::InitBenchLogging();
   const int threads = bench::ParseThreadsFlag(argc, argv);
+  const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
+  const std::string summary_path =
+      bench::ParseTelemetrySummaryFlag(argc, argv);
   bench::PrintHeader("Figs. 14-16, 19 — TPC-H (DSS)",
                      "all methods save >50%; proposed & DDR ~70%, PDC "
                      "~56%; DDR's responses worst");
@@ -98,5 +102,21 @@ int main(int argc, char** argv) {
       std::cout, runs.value(),
       {10 * kSecond, 52 * kSecond, 2 * kMinute, 10 * kMinute,
        30 * kMinute});
+
+  if (!telemetry_base.empty()) {
+    // One extra instrumented run of the proposed method, after the
+    // figures so the capture shares nothing with them.
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::DssWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path);
+  }
   return 0;
 }

@@ -32,16 +32,37 @@ inline int ParseThreadsFlag(int argc, char** argv) {
   return threads;
 }
 
+/// Returns the value of a `--flag=value` argument; empty when absent.
+/// `prefix` includes the '=' (e.g. "--telemetry=").
+inline std::string ParseFlagValue(int argc, char** argv,
+                                  const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+/// True when `--flag` (exact) is present.
+inline bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// Parses a `--telemetry=<base>` argument; empty when absent. The base
 /// names the export set written by telemetry::ExportAll
 /// (`<base>.jsonl`, `<base>.power.csv`, `<base>.trace.json`).
 inline std::string ParseTelemetryFlag(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg(argv[i]);
-    const std::string prefix = "--telemetry=";
-    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
-  }
-  return "";
+  return ParseFlagValue(argc, argv, "--telemetry=");
+}
+
+/// Parses a `--telemetry-summary=<path>` argument; empty when absent.
+/// Names the machine-readable summary JSON written from the capture run
+/// (requires --telemetry as the event source).
+inline std::string ParseTelemetrySummaryFlag(int argc, char** argv) {
+  return ParseFlagValue(argc, argv, "--telemetry-summary=");
 }
 
 /// True when ECOSTORE_QUICK=1: benchmarks run shortened workloads (for CI

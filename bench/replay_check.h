@@ -36,6 +36,7 @@
 #include "bench/sweep_config.h"
 #include "replay/metrics.h"
 #include "replay/suite.h"
+#include "telemetry/analysis/latency_histogram.h"
 #include "telemetry/recorder.h"
 
 namespace ecostore::bench {
@@ -203,18 +204,23 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite() {
   std::vector<std::string> labels = SweepJobLabels(sections);
 
   // Every gate job runs with a telemetry recorder attached (full class
-  // mask), so passing the gate proves an instrumented replay stays
-  // bit-identical to the goldens — the goldens themselves were recorded
+  // mask) AND a latency book, so passing the gate proves an instrumented
+  // replay — including the analyzer's spun-down state probes — stays
+  // bit-identical to the goldens; the goldens themselves were recorded
   // the same way, and observation must never change the outcome. In an
   // ECOSTORE_TELEMETRY=OFF build the recorders are empty stubs and the
   // same fingerprints must still come out.
   std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
+  std::vector<std::unique_ptr<telemetry::analysis::LatencyBook>> books;
   recorders.reserve(jobs.size());
+  books.reserve(jobs.size());
   for (replay::ExperimentJob& job : jobs) {
     telemetry::Recorder::Options options;
     options.mask = telemetry::kClassAll;
     recorders.push_back(std::make_unique<telemetry::Recorder>(options));
+    books.push_back(std::make_unique<telemetry::analysis::LatencyBook>());
     job.config.telemetry = recorders.back().get();
+    job.config.latency_book = books.back().get();
   }
 
   // Serial on purpose: the gate compares bit-exact fingerprints, so it

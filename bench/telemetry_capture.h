@@ -7,6 +7,13 @@
 // numbers the figures report. The replay outcome itself is bit-identical
 // with or without a recorder — `bench_micro --check` proves that by
 // running every gate job with one attached.
+//
+// The capture is self-describing: the meta line carries the power model,
+// cache sizes and the run's final measured energies, and the latency
+// book recorded during the run is embedded as per-(pattern, outcome)
+// histogram lines — `eco_report score <capture>.jsonl` reproduces the
+// exact summary offline. `--telemetry-summary=<path>` additionally
+// writes that summary JSON directly.
 
 #include <cstdio>
 #include <string>
@@ -15,18 +22,75 @@
 
 #include "replay/experiment.h"
 #include "replay/suite.h"
+#include "telemetry/analysis/summary.h"
 #include "telemetry/export.h"
 #include "telemetry/recorder.h"
 
 namespace ecostore::bench {
 
-/// Runs `job` once with a telemetry recorder attached and writes
-/// `<base>.jsonl`, `<base>.power.csv` and `<base>.trace.json`. Returns a
-/// process exit code (0 on success) so bench mains can propagate it.
-inline int CaptureTelemetry(const std::string& base,
-                            replay::ExperimentJob job) {
-  telemetry::Recorder recorder;
+/// Fills the self-describing capture meta from a finished run: identity,
+/// the power/cache model the analyzer prices decisions with, the final
+/// measured energies it reconciles against, and the latency book.
+inline telemetry::ExportMeta BuildCaptureMeta(
+    const replay::ExperimentMetrics& metrics,
+    const storage::StorageSystem& system,
+    const telemetry::analysis::LatencyBook* book) {
+  telemetry::ExportMeta meta;
+  meta.workload = metrics.workload;
+  meta.policy = metrics.policy;
+  meta.num_enclosures = system.num_enclosures();
+  meta.duration = metrics.duration;
+  const storage::StorageConfig& cfg = system.config();
+  meta.has_power_model = true;
+  meta.idle_power_w = cfg.enclosure.idle_power;
+  meta.active_power_w = cfg.enclosure.active_power;
+  meta.off_power_w = cfg.enclosure.off_power;
+  meta.spinup_power_w = cfg.enclosure.spinup_power;
+  meta.controller_power_w = cfg.controller.base_power;
+  meta.spinup_time_us = cfg.enclosure.spinup_time;
+  meta.break_even_us = cfg.enclosure.BreakEvenTime();
+  meta.spindown_timeout_us = cfg.enclosure.spindown_timeout;
+  meta.cache_total_bytes = cfg.cache.total_bytes;
+  meta.preload_area_bytes = cfg.cache.preload_area_bytes;
+  meta.write_delay_area_bytes = cfg.cache.write_delay_area_bytes;
+  meta.enclosure_energy_j = metrics.enclosure_energy;
+  meta.controller_energy_j = metrics.controller_energy;
+  if (book != nullptr) {
+    for (int p = 0; p < telemetry::analysis::kNumPatternSlots; ++p) {
+      for (int o = 0; o < telemetry::analysis::kNumOutcomes; ++o) {
+        const telemetry::analysis::LatencyHistogram& h =
+            book->cell(static_cast<uint8_t>(p), static_cast<uint8_t>(o));
+        if (h.count() == 0) continue;
+        telemetry::LatencySlot slot;
+        slot.pattern = static_cast<uint8_t>(p);
+        slot.outcome = static_cast<uint8_t>(o);
+        slot.hist = h;
+        meta.latency.push_back(slot);
+      }
+    }
+  }
+  return meta;
+}
+
+/// Runs `job` once with a telemetry recorder and latency book attached
+/// and writes `<base>.jsonl`, `<base>.power.csv` and `<base>.trace.json`.
+/// When `summary_path` is non-empty, also writes the analyzer's summary
+/// JSON there. Returns a process exit code (0 on success) so bench mains
+/// can propagate it.
+inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
+                            const std::string& summary_path = "") {
+  // Record every class including per-I/O detail: the ledger uses the
+  // kPhysicalIo events to tie a mispredicted spin-down to the item whose
+  // demand I/O forced the wake-up. The detail classes multiply event
+  // volume, so the capture ring is larger than the default; a wrapped
+  // ring would silently lose the oldest off-windows from the ledger.
+  telemetry::Recorder::Options options;
+  options.thread_buffer_capacity = 1u << 21;
+  options.mask = telemetry::kClassAll;
+  telemetry::Recorder recorder(options);
+  telemetry::analysis::LatencyBook book;
   job.config.telemetry = &recorder;
+  job.config.latency_book = &book;
   auto workload = job.workload();
   if (!workload.ok()) {
     std::fprintf(stderr, "telemetry capture workload: %s\n",
@@ -43,11 +107,8 @@ inline int CaptureTelemetry(const std::string& base,
     return 1;
   }
 
-  telemetry::ExportMeta meta;
-  meta.workload = metrics.value().workload;
-  meta.policy = metrics.value().policy;
-  meta.num_enclosures = experiment.system()->num_enclosures();
-  meta.duration = metrics.value().duration;
+  telemetry::ExportMeta meta =
+      BuildCaptureMeta(metrics.value(), *experiment.system(), &book);
   std::vector<telemetry::Event> events = recorder.Drain();
   Status st = telemetry::ExportAll(base, meta, events);
   if (!st.ok()) {
@@ -59,6 +120,23 @@ inline int CaptureTelemetry(const std::string& base,
               events.size(),
               static_cast<unsigned long long>(recorder.dropped()),
               base.c_str());
+  if (recorder.dropped() > 0) {
+    std::fprintf(stderr,
+                 "telemetry: WARNING — %llu events dropped (ring wrapped); "
+                 "the energy ledger will miss the oldest windows\n",
+                 static_cast<unsigned long long>(recorder.dropped()));
+  }
+  if (!summary_path.empty()) {
+    telemetry::analysis::Summary summary =
+        telemetry::analysis::BuildSummary(meta, events);
+    st = telemetry::analysis::WriteSummaryJson(summary_path, summary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry summary: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: summary -> %s (reconcile_rel_err=%.3g)\n",
+                summary_path.c_str(), summary.reconcile_rel_err);
+  }
   if (!telemetry::Recorder::kEnabled) {
     std::printf("telemetry: NOTE — recorder compiled out "
                 "(ECOSTORE_TELEMETRY=OFF); exports are empty\n");

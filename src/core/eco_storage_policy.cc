@@ -32,6 +32,26 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   placement_determinations_++;
   pattern_history_.push_back(last_plan_.classification.pattern_counts);
 
+  // Publish the plan epoch — 1-based, so epoch 0 means "no plan yet" —
+  // and the per-item pattern table *before* enacting anything, so every
+  // action the plan triggers (flushes, preloads, spin-downs and the I/O
+  // they cause) is tagged with the plan that decided it.
+  const int32_t plan_id = static_cast<int32_t>(placement_determinations_);
+  {
+    const auto& items = last_plan_.classification.items;
+    pattern_scratch_.clear();
+    for (const ItemClassification& cls : items) {
+      if (cls.item < 0) continue;
+      if (static_cast<size_t>(cls.item) >= pattern_scratch_.size()) {
+        pattern_scratch_.resize(static_cast<size_t>(cls.item) + 1,
+                                telemetry::analysis::kPatternUnclassified);
+      }
+      pattern_scratch_[static_cast<size_t>(cls.item)] =
+          static_cast<uint8_t>(cls.pattern);
+    }
+    actuator->PublishPlan(plan_id, pattern_scratch_);
+  }
+
   // Enact the plan. Migrations first request P0/P1/P2 evictions, then P3
   // consolidations (the planner already ordered them; paper §V-A).
   for (const Migration& mig : last_plan_.migrations) {
@@ -117,6 +137,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
                             ? static_cast<int32_t>(cls.reads * 1000 /
                                                    cls.total_ios())
                             : 0;
+      d.plan = plan_id;
       d.total_ios = cls.total_ios();
       recorder->Record(telemetry::MakeDecisionEvent(now, d));
     }

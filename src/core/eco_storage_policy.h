@@ -75,6 +75,10 @@ class EcoStoragePolicy : public policies::StoragePolicy {
   ManagementPlan last_plan_;
   int64_t placement_determinations_ = 0;
   std::vector<std::array<int64_t, kNumIoPatterns>> pattern_history_;
+
+  /// Reusable per-item pattern table handed to PublishPlan each period;
+  /// member so steady-state periods allocate nothing.
+  std::vector<uint8_t> pattern_scratch_;
 };
 
 }  // namespace ecostore::core

@@ -52,6 +52,18 @@ class PolicyActuator {
   /// reaction of paper §V-D).
   virtual void TriggerImmediatePeriodEnd() = 0;
 
+  /// Announces a new power-management plan before its actions are
+  /// enacted. `plan_id` is 1-based (0 = no plan yet); `item_patterns` is
+  /// indexed by DataItemId and holds each item's classified pattern
+  /// (values >= telemetry::analysis::kNumPatternSlots = unclassified).
+  /// The runtime uses it to tag telemetry events and split the latency
+  /// book per plan epoch; the default ignores it.
+  virtual void PublishPlan(int32_t plan_id,
+                           const std::vector<uint8_t>& item_patterns) {
+    (void)plan_id;
+    (void)item_patterns;
+  }
+
   /// Event recorder for the run, or nullptr when telemetry is off.
   /// Policies gate recording with telemetry::Wants(actuator->telemetry(),
   /// class) so an uninstrumented run pays one null test.

@@ -35,6 +35,7 @@ Result<ExperimentMetrics> Experiment::Run() {
   system_->AddObserver(storage_monitor_.get());
   system_->AddObserver(this);
   system_->SetTelemetry(config_.telemetry);
+  system_->SetLatencyBook(config_.latency_book);
   // Library log lines produced during the run land in the recorder with
   // the simulated timestamp (the clock is a captureless function pointer
   // because common/ cannot see sim/).
@@ -241,6 +242,11 @@ void Experiment::SetPreloadItems(
 
 void Experiment::SetSpinDownAllowed(EnclosureId enclosure, bool allowed) {
   system_->SetSpinDownAllowed(enclosure, allowed);
+}
+
+void Experiment::PublishPlan(int32_t plan_id,
+                             const std::vector<uint8_t>& item_patterns) {
+  system_->BeginPlanEpoch(plan_id, item_patterns);
 }
 
 void Experiment::TriggerImmediatePeriodEnd() {

@@ -34,6 +34,11 @@ struct ExperimentConfig {
   /// the run binds it to the storage system, bridges library logging into
   /// it with simulated timestamps, and emits period/sim events.
   telemetry::Recorder* telemetry = nullptr;
+
+  /// Latency book the storage system records per-I/O service times into
+  /// (not owned; may be nullptr). Independent of the event recorder so a
+  /// run can collect latency histograms without paying for event capture.
+  telemetry::analysis::LatencyBook* latency_book = nullptr;
 };
 
 /// \brief The trace-replay harness (paper §VII-A.2 / Fig. 7): streams a
@@ -76,6 +81,8 @@ class Experiment : public storage::StorageObserver,
       const std::vector<std::pair<DataItemId, int64_t>>& items) override;
   void SetSpinDownAllowed(EnclosureId enclosure, bool allowed) override;
   void TriggerImmediatePeriodEnd() override;
+  void PublishPlan(int32_t plan_id,
+                   const std::vector<uint8_t>& item_patterns) override;
   telemetry::Recorder* telemetry() const override {
     return config_.telemetry;
   }

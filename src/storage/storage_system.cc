@@ -58,9 +58,13 @@ void StorageSystem::ArmSpinDownTimer(EnclosureId enclosure) {
         e.EligibleForSpinDown(sim_->Now())) {
       if (e.PowerOff(sim_->Now())) {
         if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+          // PowerOff already caught the energy integrator up to now, so
+          // this Energy() read is a pure counter load — the probe cannot
+          // perturb the replay's floating-point stream.
           telemetry_->Record(telemetry::MakePowerEvent(
               sim_->Now(), enclosure,
-              static_cast<uint8_t>(PowerState::kOff), 0));
+              static_cast<uint8_t>(PowerState::kOff), 0,
+              e.Energy(sim_->Now()), plan_epoch_));
         }
         NotifyPowerState(enclosure, sim_->Now(), PowerState::kOff);
       }
@@ -71,16 +75,18 @@ void StorageSystem::ArmSpinDownTimer(EnclosureId enclosure) {
 SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
                                           int64_t n_ios, int64_t bytes,
                                           IoType type, bool sequential,
-                                          int64_t block_hint) {
+                                          int64_t block_hint,
+                                          DataItemId item) {
   DiskEnclosure& enc = *enclosures_.at(static_cast<size_t>(enclosure));
   SimTime now = sim_->Now();
   DiskEnclosure::IoGrant grant = enc.SubmitIo(now, n_ios, bytes, type,
                                               sequential);
   if (grant.powered_on) {
     if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+      // SubmitIo caught the integrator up to now; Energy() is a pure read.
       telemetry_->Record(telemetry::MakePowerEvent(
           now, enclosure, static_cast<uint8_t>(PowerState::kSpinningUp),
-          config_.enclosure.spinup_time));
+          config_.enclosure.spinup_time, enc.Energy(now), plan_epoch_));
     }
     NotifyPowerState(enclosure, now, PowerState::kSpinningUp);
   }
@@ -101,8 +107,8 @@ SimTime StorageSystem::SubmitPhysicalBulk(EnclosureId enclosure,
   rec.sequential = sequential;
   if (telemetry::Wants(telemetry_, telemetry::kClassIoDetail)) {
     telemetry_->Record(telemetry::MakeCacheEvent(
-        now, telemetry::EventKind::kPhysicalIo, kInvalidDataItem, enclosure,
-        n_ios, bytes));
+        now, telemetry::EventKind::kPhysicalIo, item, enclosure,
+        n_ios, bytes, plan_epoch_));
   }
   NotifyPhysicalIo(rec);
   if (spin_down_allowed_[static_cast<size_t>(enclosure)]) {
@@ -117,11 +123,11 @@ void StorageSystem::ApplyFlushDemands(const std::vector<FlushDemand>& demands) {
     if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
       telemetry_->Record(telemetry::MakeCacheEvent(
           sim_->Now(), telemetry::EventKind::kCacheFlush, d.item, enc,
-          d.blocks, d.bytes));
+          d.blocks, d.bytes, plan_epoch_));
     }
     SubmitPhysicalBulk(enc, std::max<int64_t>(1, d.blocks), d.bytes,
                        IoType::kWrite, /*sequential=*/true,
-                       virt_.BaseBlock(d.item));
+                       virt_.BaseBlock(d.item), d.item);
   }
 }
 
@@ -129,6 +135,8 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
     const trace::LogicalIoRecord& rec) {
   IoResult result;
   SimTime now = sim_->Now();
+  telemetry::analysis::IoOutcome outcome =
+      telemetry::analysis::IoOutcome::kHit;
   if (rec.is_read()) {
     StorageCache::ReadOutcome out =
         cache_.Read(rec.item, rec.offset, rec.size, &flush_scratch_);
@@ -137,10 +145,21 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
     result.latency = config_.cache.hit_latency;
     if (out.miss_blocks > 0) {
       EnclosureId enc = virt_.EnclosureOf(rec.item);
+      if (latency_book_ != nullptr) {
+        // state() catches the integrator up to now — the same CatchUp the
+        // SubmitIo below would perform moments later, so the probe leaves
+        // the replay's floating-point stream untouched.
+        outcome = enclosures_[static_cast<size_t>(enc)]->state(now) ==
+                          PowerState::kOn
+                      ? telemetry::analysis::IoOutcome::kMiss
+                      : telemetry::analysis::IoOutcome::kSpunDown;
+      } else {
+        outcome = telemetry::analysis::IoOutcome::kMiss;
+      }
       if (telemetry::Wants(telemetry_, telemetry::kClassIoDetail)) {
         telemetry_->Record(telemetry::MakeCacheEvent(
             now, telemetry::EventKind::kCacheAdmit, rec.item, enc,
-            out.miss_blocks, static_cast<int64_t>(rec.size)));
+            out.miss_blocks, static_cast<int64_t>(rec.size), plan_epoch_));
       }
       // Small random reads issue one device I/O per logical request; large
       // (multi-block) transfers cost one device I/O per cache block.
@@ -148,7 +167,8 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
       SimTime completion = SubmitPhysicalBulk(
           enc, n_ios, static_cast<int64_t>(rec.size), IoType::kRead,
           rec.sequential,
-          virt_.BaseBlock(rec.item) + rec.offset / config_.cache.block_size);
+          virt_.BaseBlock(rec.item) + rec.offset / config_.cache.block_size,
+          rec.item);
       result.latency = (completion - now) + config_.cache.hit_latency;
     }
   } else {
@@ -159,7 +179,21 @@ StorageSystem::IoResult StorageSystem::SubmitLogicalIo(
     result.latency = config_.cache.hit_latency;
     ApplyFlushDemands(flush_scratch_);
   }
+  if (latency_book_ != nullptr) {
+    uint8_t pattern =
+        rec.item >= 0 &&
+                static_cast<size_t>(rec.item) < item_pattern_.size()
+            ? item_pattern_[static_cast<size_t>(rec.item)]
+            : telemetry::analysis::kPatternUnclassified;
+    latency_book_->Record(pattern, outcome, result.latency);
+  }
   return result;
+}
+
+void StorageSystem::BeginPlanEpoch(int32_t plan,
+                                   const std::vector<uint8_t>& item_patterns) {
+  plan_epoch_ = plan;
+  item_pattern_.assign(item_patterns.begin(), item_patterns.end());
 }
 
 void StorageSystem::SetSpinDownAllowed(EnclosureId enclosure, bool allowed) {
@@ -177,7 +211,7 @@ Status StorageSystem::SetWriteDelayItems(
     telemetry_->Record(telemetry::MakeCacheEvent(
         sim_->Now(), telemetry::EventKind::kWriteDelaySet, kInvalidDataItem,
         kInvalidEnclosure, static_cast<int64_t>(items.size()),
-        displaced_bytes));
+        displaced_bytes, plan_epoch_));
   }
   ApplyFlushDemands(demands);
   return Status::OK();
@@ -195,19 +229,22 @@ Status StorageSystem::SetPreloadItems(
     if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
       telemetry_->Record(telemetry::MakeCacheEvent(
           sim_->Now(), telemetry::EventKind::kPreloadBegin, item, enc,
-          blocks, meta.size_bytes));
+          blocks, meta.size_bytes, plan_epoch_));
     }
     SimTime completion =
         SubmitPhysicalBulk(enc, blocks, meta.size_bytes, IoType::kRead,
-                           /*sequential=*/true, virt_.BaseBlock(item));
+                           /*sequential=*/true, virt_.BaseBlock(item), item);
     int64_t size_bytes = meta.size_bytes;
-    sim_->ScheduleAt(completion, [this, item, enc, blocks, size_bytes] {
+    // The done event keeps the plan the load was issued under, even if a
+    // newer plan lands while the read is in flight.
+    int32_t plan = plan_epoch_;
+    sim_->ScheduleAt(completion, [this, item, enc, blocks, size_bytes, plan] {
       Status st = cache_.MarkPreloaded(item);
       if (telemetry::Wants(telemetry_, telemetry::kClassCache)) {
         // bytes < 0 marks a stale preload (the set changed in flight).
         telemetry_->Record(telemetry::MakeCacheEvent(
             sim_->Now(), telemetry::EventKind::kPreloadDone, item, enc,
-            blocks, st.ok() ? size_bytes : -1));
+            blocks, st.ok() ? size_bytes : -1, plan));
       }
       if (!st.ok()) {
         // The preload set changed while the load was in flight; the read
@@ -235,6 +272,18 @@ void StorageSystem::FinalizeRun() {
       SimDuration gap = now - enc->last_busy_end();
       if (gap > 0) NotifyIdleGap(enc->id(), now, gap);
     }
+  }
+  // Cumulative per-component energy counters at the horizon. The harness
+  // reads EnclosureEnergy() at this same `now` right after, so whichever
+  // probe runs first performs the identical final CatchUp — the events
+  // telescope exactly to the run's measured ExperimentMetrics energy.
+  if (telemetry::Wants(telemetry_, telemetry::kClassPower)) {
+    for (auto& enc : enclosures_) {
+      telemetry_->Record(telemetry::MakeEnergyFinalEvent(
+          now, enc->id(), enc->Energy(now), plan_epoch_));
+    }
+    telemetry_->Record(telemetry::MakeEnergyFinalEvent(
+        now, kInvalidEnclosure, ControllerEnergy(), plan_epoch_));
   }
 }
 

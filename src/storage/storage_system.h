@@ -15,6 +15,7 @@
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
 #include "storage/storage_config.h"
+#include "telemetry/analysis/latency_histogram.h"
 #include "telemetry/recorder.h"
 #include "trace/io_record.h"
 
@@ -82,14 +83,32 @@ class StorageSystem {
   void SetTelemetry(telemetry::Recorder* recorder) { telemetry_ = recorder; }
   telemetry::Recorder* telemetry() const { return telemetry_; }
 
+  /// Attaches (or detaches, with nullptr) the per-run latency book that
+  /// SubmitLogicalIo records service times into, split by the item's
+  /// classified pattern and hit/miss/spun-down outcome. Independent of
+  /// the event recorder; not owned.
+  void SetLatencyBook(telemetry::analysis::LatencyBook* book) {
+    latency_book_ = book;
+  }
+
+  /// Starts plan epoch `plan` (1-based; 0 = before the first plan) and
+  /// replaces the per-item pattern table used to split the latency book.
+  /// `item_patterns` is indexed by DataItemId; items beyond its size (or
+  /// with values >= kNumPatternSlots) count as unclassified. Telemetry
+  /// events recorded after this call carry `plan` as their epoch tag.
+  void BeginPlanEpoch(int32_t plan, const std::vector<uint8_t>& item_patterns);
+
   /// Serves one application logical I/O through cache and enclosures.
   IoResult SubmitLogicalIo(const trace::LogicalIoRecord& rec);
 
   /// Submits an internal bulk I/O (destage, preload, migration chunk)
-  /// directly to an enclosure. Returns the batch completion time.
+  /// directly to an enclosure. Returns the batch completion time. `item`
+  /// (when known) is carried on the kPhysicalIo detail event so the
+  /// energy ledger can tie a spin-up back to the item whose I/O forced it.
   SimTime SubmitPhysicalBulk(EnclosureId enclosure, int64_t n_ios,
                              int64_t bytes, IoType type, bool sequential,
-                             int64_t block_hint = 0);
+                             int64_t block_hint = 0,
+                             DataItemId item = kInvalidDataItem);
 
   /// Allows or forbids automatic spin-down for an enclosure. Enabling it
   /// arms the idle timer immediately when already idle.
@@ -152,6 +171,12 @@ class StorageSystem {
   std::vector<bool> spin_down_allowed_;
   std::vector<StorageObserver*> observers_;
   telemetry::Recorder* telemetry_ = nullptr;
+  telemetry::analysis::LatencyBook* latency_book_ = nullptr;
+
+  /// Current power-management plan epoch (stamped into telemetry events)
+  /// and the per-item pattern table it published.
+  int32_t plan_epoch_ = 0;
+  std::vector<uint8_t> item_pattern_;
 
   /// Reusable scratch for per-I/O flush demands: SubmitLogicalIo hands it
   /// to StorageCache::Read/Write and consumes it before returning, so the

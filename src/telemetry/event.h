@@ -40,6 +40,9 @@ enum class EventKind : uint16_t {
   // --- replay/ / sim/ -------------------------------------------------
   kPeriodBoundary,  ///< one monitoring period ended
   kSimStats,        ///< simulator heap/cancellation snapshot
+
+  // --- storage/ (end-of-run accounting) --------------------------------
+  kEnergyFinal,  ///< cumulative joules of one component at run end
 };
 
 inline const char* EventKindName(EventKind kind) {
@@ -62,6 +65,7 @@ inline const char* EventKindName(EventKind kind) {
     case EventKind::kPeriodAdapt: return "period_adapt";
     case EventKind::kPeriodBoundary: return "period_boundary";
     case EventKind::kSimStats: return "sim_stats";
+    case EventKind::kEnergyFinal: return "energy_final";
   }
   return "?";
 }
@@ -85,7 +89,8 @@ inline uint32_t EventClassOf(EventKind kind) {
   switch (kind) {
     case EventKind::kNone: return 0;
     case EventKind::kPowerState:
-    case EventKind::kIdleGap: return kClassPower;
+    case EventKind::kIdleGap:
+    case EventKind::kEnergyFinal: return kClassPower;
     case EventKind::kCacheFlush:
     case EventKind::kWriteDelaySet:
     case EventKind::kPreloadBegin:
@@ -107,15 +112,26 @@ inline uint32_t EventClassOf(EventKind kind) {
 
 // --- Payloads (each <= 32 bytes, trivially copyable) ---------------------
 
-/// kPowerState. `state` mirrors storage::PowerState's numeric values
-/// (0 Off, 1 SpinningUp, 2 On). A SpinningUp event carries the configured
-/// spin-up latency so exporters can derive the SpinningUp -> On edge
-/// without instrumenting the enclosure FSM itself.
+/// kPowerState / kEnergyFinal. `state` mirrors storage::PowerState's
+/// numeric values (0 Off, 1 SpinningUp, 2 On). A SpinningUp event carries
+/// the configured spin-up latency so exporters can derive the
+/// SpinningUp -> On edge without instrumenting the enclosure FSM itself.
+/// `joules` is the component's *cumulative* energy counter at the event
+/// instant (the energy ledger telescopes these deltas, so its total
+/// reconciles exactly with ExperimentMetrics). `plan` tags the
+/// power-management plan epoch in force (0 before the first plan).
+/// kEnergyFinal reuses this payload with state == kFinalStateMarker;
+/// enclosure == -1 reports the controller's constant draw.
 struct PowerPayload {
   EnclosureId enclosure = kInvalidEnclosure;
   uint8_t state = 0;
   SimDuration spinup_us = 0;
+  double joules = 0.0;
+  int32_t plan = 0;
 };
+
+/// PowerPayload::state marker used by kEnergyFinal events.
+inline constexpr uint8_t kFinalStateMarker = 255;
 
 /// kIdleGap.
 struct IdlePayload {
@@ -125,11 +141,13 @@ struct IdlePayload {
 
 /// kCacheFlush / kCacheAdmit / kWriteDelaySet / kPreloadBegin /
 /// kPreloadDone / kPhysicalIo. Fields that do not apply are -1/0.
+/// `plan` tags the plan epoch whose cache assignment caused the action.
 struct CachePayload {
   DataItemId item = kInvalidDataItem;
   EnclosureId enclosure = kInvalidEnclosure;
   int64_t blocks = 0;
   int64_t bytes = 0;
+  int32_t plan = 0;
 };
 
 /// kMigrationBegin / kMigrationThrottle / kMigrationEnd / kBlockMove.
@@ -158,6 +176,7 @@ struct DecisionPayload {
   int32_t long_intervals = 0;
   int32_t io_sequences = 0;
   int32_t read_permille = 0;  ///< reads * 1000 / total_ios
+  int32_t plan = 0;           ///< plan epoch that emitted this decision
   int64_t total_ios = 0;
 };
 
@@ -235,9 +254,19 @@ inline Event MakeEvent(SimTime time, EventKind kind) {
 }
 
 inline Event MakePowerEvent(SimTime time, EnclosureId enclosure,
-                            uint8_t state, SimDuration spinup_us) {
+                            uint8_t state, SimDuration spinup_us,
+                            double joules = 0.0, int32_t plan = 0) {
   Event e = MakeEvent(time, EventKind::kPowerState);
-  e.power = PowerPayload{enclosure, state, spinup_us};
+  e.power = PowerPayload{enclosure, state, spinup_us, joules, plan};
+  return e;
+}
+
+/// End-of-run cumulative energy of one component: an enclosure, or the
+/// controller when `enclosure` is kInvalidEnclosure (-1).
+inline Event MakeEnergyFinalEvent(SimTime time, EnclosureId enclosure,
+                                  double joules, int32_t plan = 0) {
+  Event e = MakeEvent(time, EventKind::kEnergyFinal);
+  e.power = PowerPayload{enclosure, kFinalStateMarker, 0, joules, plan};
   return e;
 }
 
@@ -250,9 +279,9 @@ inline Event MakeIdleGapEvent(SimTime time, EnclosureId enclosure,
 
 inline Event MakeCacheEvent(SimTime time, EventKind kind, DataItemId item,
                             EnclosureId enclosure, int64_t blocks,
-                            int64_t bytes) {
+                            int64_t bytes, int32_t plan = 0) {
   Event e = MakeEvent(time, kind);
-  e.cache = CachePayload{item, enclosure, blocks, bytes};
+  e.cache = CachePayload{item, enclosure, blocks, bytes, plan};
   return e;
 }
 

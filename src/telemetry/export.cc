@@ -7,6 +7,8 @@
 #include <cstring>
 #include <memory>
 
+#include "telemetry/flat_json.h"
+
 namespace ecostore::telemetry {
 
 namespace {
@@ -20,7 +22,7 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kMigrationEnd,    EventKind::kBlockMove,
     EventKind::kDecision,        EventKind::kHotCold,
     EventKind::kPeriodAdapt,     EventKind::kPeriodBoundary,
-    EventKind::kSimStats,
+    EventKind::kSimStats,        EventKind::kEnergyFinal,
 };
 
 EventKind KindFromName(const std::string& name) {
@@ -30,84 +32,6 @@ EventKind KindFromName(const std::string& name) {
   return EventKind::kNone;
 }
 
-/// Minimal reader for the flat one-line JSON objects this module writes:
-/// string values contain no escapes and there is no nesting, so a linear
-/// scan for "key": value pairs suffices (and keeps eco_report free of
-/// external JSON dependencies).
-class FlatJson {
- public:
-  explicit FlatJson(const std::string& line) {
-    const char* p = line.c_str();
-    while ((p = std::strchr(p, '"')) != nullptr) {
-      const char* key_end = std::strchr(p + 1, '"');
-      if (key_end == nullptr) break;
-      std::string key(p + 1, key_end);
-      const char* colon = key_end + 1;
-      while (*colon == ' ') colon++;
-      if (*colon != ':') {
-        p = key_end + 1;
-        continue;
-      }
-      const char* value = colon + 1;
-      while (*value == ' ') value++;
-      if (*value == '"') {
-        const char* value_end = std::strchr(value + 1, '"');
-        if (value_end == nullptr) break;
-        keys_.emplace_back(std::move(key), std::string(value + 1, value_end));
-        p = value_end + 1;
-      } else {
-        const char* value_end = value;
-        while (*value_end != '\0' && *value_end != ',' && *value_end != '}') {
-          value_end++;
-        }
-        keys_.emplace_back(std::move(key), std::string(value, value_end));
-        p = value_end;
-      }
-    }
-  }
-
-  bool Has(const char* key) const { return Find(key) != nullptr; }
-
-  std::string Str(const char* key, const std::string& fallback = "") const {
-    const std::string* v = Find(key);
-    return v != nullptr ? *v : fallback;
-  }
-
-  int64_t Int(const char* key, int64_t fallback = 0) const {
-    const std::string* v = Find(key);
-    return v != nullptr ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
-  }
-
-  uint64_t U64(const char* key, uint64_t fallback = 0) const {
-    const std::string* v = Find(key);
-    return v != nullptr ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
-  }
-
- private:
-  const std::string* Find(const char* key) const {
-    for (const auto& [k, v] : keys_) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-
-  std::vector<std::pair<std::string, std::string>> keys_;
-};
-
-void AppendKV(std::string* out, const char* key, int64_t value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key,
-                static_cast<long long>(value));
-  *out += buf;
-}
-
-void AppendKVU(std::string* out, const char* key, uint64_t value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
-                static_cast<unsigned long long>(value));
-  *out += buf;
-}
-
 void AppendEventJson(std::string* out, const Event& e) {
   char buf[96];
   std::snprintf(buf, sizeof(buf), "{\"type\":\"event\",\"t\":%lld,\"kind\":\"%s\"",
@@ -115,9 +39,12 @@ void AppendEventJson(std::string* out, const Event& e) {
   *out += buf;
   switch (e.kind) {
     case EventKind::kPowerState:
+    case EventKind::kEnergyFinal:
       AppendKV(out, "enclosure", e.power.enclosure);
       AppendKV(out, "state", e.power.state);
       AppendKV(out, "spinup_us", e.power.spinup_us);
+      AppendKVF(out, "joules", e.power.joules);
+      AppendKV(out, "plan", e.power.plan);
       break;
     case EventKind::kIdleGap:
       AppendKV(out, "enclosure", e.idle.enclosure);
@@ -133,6 +60,7 @@ void AppendEventJson(std::string* out, const Event& e) {
       AppendKV(out, "enclosure", e.cache.enclosure);
       AppendKV(out, "blocks", e.cache.blocks);
       AppendKV(out, "bytes", e.cache.bytes);
+      AppendKV(out, "plan", e.cache.plan);
       break;
     case EventKind::kMigrationBegin:
     case EventKind::kMigrationThrottle:
@@ -151,6 +79,7 @@ void AppendEventJson(std::string* out, const Event& e) {
       AppendKV(out, "long_intervals", e.decision.long_intervals);
       AppendKV(out, "io_sequences", e.decision.io_sequences);
       AppendKV(out, "read_permille", e.decision.read_permille);
+      AppendKV(out, "plan", e.decision.plan);
       AppendKV(out, "total_ios", e.decision.total_ios);
       break;
     case EventKind::kHotCold:
@@ -184,9 +113,12 @@ Event EventFromJson(const FlatJson& json, EventKind kind) {
   Event e = MakeEvent(json.Int("t"), kind);
   switch (kind) {
     case EventKind::kPowerState:
+    case EventKind::kEnergyFinal:
       e.power.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
       e.power.state = static_cast<uint8_t>(json.Int("state"));
       e.power.spinup_us = json.Int("spinup_us");
+      e.power.joules = json.Dbl("joules");
+      e.power.plan = static_cast<int32_t>(json.Int("plan"));
       break;
     case EventKind::kIdleGap:
       e.idle.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
@@ -202,6 +134,7 @@ Event EventFromJson(const FlatJson& json, EventKind kind) {
       e.cache.enclosure = static_cast<EnclosureId>(json.Int("enclosure"));
       e.cache.blocks = json.Int("blocks");
       e.cache.bytes = json.Int("bytes");
+      e.cache.plan = static_cast<int32_t>(json.Int("plan"));
       break;
     case EventKind::kMigrationBegin:
     case EventKind::kMigrationThrottle:
@@ -223,6 +156,7 @@ Event EventFromJson(const FlatJson& json, EventKind kind) {
           static_cast<int32_t>(json.Int("io_sequences"));
       e.decision.read_permille =
           static_cast<int32_t>(json.Int("read_permille"));
+      e.decision.plan = static_cast<int32_t>(json.Int("plan"));
       e.decision.total_ios = json.Int("total_ios");
       break;
     case EventKind::kHotCold:
@@ -278,14 +212,48 @@ Status WriteJsonl(const std::string& path, const ExportMeta& meta,
                   const std::vector<Event>& events) {
   FilePtr f(std::fopen(path.c_str(), "w"));
   if (f == nullptr) return Status::IoError("cannot write " + path);
-  std::fprintf(f.get(),
-               "{\"type\":\"meta\",\"workload\":\"%s\",\"policy\":\"%s\","
-               "\"num_enclosures\":%d,\"duration_us\":%lld,"
-               "\"events\":%zu}\n",
-               meta.workload.c_str(), meta.policy.c_str(),
-               meta.num_enclosures, static_cast<long long>(meta.duration),
-               events.size());
+  std::string head;
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"meta\",\"workload\":\"%s\",\"policy\":\"%s\","
+                  "\"num_enclosures\":%d,\"duration_us\":%lld",
+                  meta.workload.c_str(), meta.policy.c_str(),
+                  meta.num_enclosures, static_cast<long long>(meta.duration));
+    head += buf;
+  }
+  if (meta.has_power_model) {
+    AppendKV(&head, "has_power_model", 1);
+    AppendKVF(&head, "idle_power_w", meta.idle_power_w);
+    AppendKVF(&head, "active_power_w", meta.active_power_w);
+    AppendKVF(&head, "off_power_w", meta.off_power_w);
+    AppendKVF(&head, "spinup_power_w", meta.spinup_power_w);
+    AppendKVF(&head, "controller_power_w", meta.controller_power_w);
+    AppendKV(&head, "spinup_time_us", meta.spinup_time_us);
+    AppendKV(&head, "break_even_us", meta.break_even_us);
+    AppendKV(&head, "spindown_timeout_us", meta.spindown_timeout_us);
+    AppendKV(&head, "cache_total_bytes", meta.cache_total_bytes);
+    AppendKV(&head, "preload_area_bytes", meta.preload_area_bytes);
+    AppendKV(&head, "write_delay_area_bytes", meta.write_delay_area_bytes);
+    AppendKVF(&head, "enclosure_energy_j", meta.enclosure_energy_j);
+    AppendKVF(&head, "controller_energy_j", meta.controller_energy_j);
+  }
+  AppendKV(&head, "events", static_cast<int64_t>(events.size()));
+  head += "}\n";
+  std::fwrite(head.data(), 1, head.size(), f.get());
   std::string line;
+  for (const LatencySlot& slot : meta.latency) {
+    if (slot.hist.count() == 0) continue;
+    line.clear();
+    line += "{\"type\":\"latency\"";
+    AppendKV(&line, "pattern", slot.pattern);
+    AppendKV(&line, "outcome", slot.outcome);
+    AppendKV(&line, "count", slot.hist.count());
+    AppendKV(&line, "sum_us", slot.hist.sum());
+    AppendKV(&line, "max_us", slot.hist.max());
+    line += ",\"buckets\":\"" + slot.hist.EncodeBuckets() + "\"}\n";
+    std::fwrite(line.data(), 1, line.size(), f.get());
+  }
   for (const Event& e : events) {
     line.clear();
     AppendEventJson(&line, e);
@@ -294,29 +262,119 @@ Status WriteJsonl(const std::string& path, const ExportMeta& meta,
   return Status::OK();
 }
 
+namespace {
+
+/// Reads one '\n'-terminated line of arbitrary length (the latency lines
+/// carry bucket strings that can exceed any fixed buffer). Returns false
+/// on EOF with nothing read.
+bool ReadLine(std::FILE* f, std::string* line) {
+  line->clear();
+  char buf[1024];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    *line += buf;
+    if (!line->empty() && line->back() == '\n') return true;
+  }
+  return !line->empty();
+}
+
+Status LineError(const std::string& path, long lineno, const char* what) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ":%ld: ", lineno);
+  return Status::InvalidArgument(path + buf + what);
+}
+
+}  // namespace
+
 Status ParseJsonl(const std::string& path, ExportMeta* meta,
                   std::vector<Event>* events) {
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (f == nullptr) return Status::IoError("cannot read " + path);
   if (meta != nullptr) *meta = ExportMeta{};
   events->clear();
-  char buf[1024];
-  while (std::fgets(buf, sizeof(buf), f.get()) != nullptr) {
-    FlatJson json{std::string(buf)};
+  std::string line;
+  long lineno = 0;
+  bool have_meta = false;
+  int64_t declared_events = -1;
+  while (ReadLine(f.get(), &line)) {
+    lineno++;
+    // Strip trailing newline / CR so structural checks see the payload.
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line.front() != '{') {
+      return LineError(path, lineno, "line is not a JSON object");
+    }
+    if (line.back() != '}') {
+      return LineError(path, lineno, "unterminated JSON object (truncated?)");
+    }
+    FlatJson json{line};
     std::string type = json.Str("type");
+    if (type.empty()) {
+      return LineError(path, lineno, "missing \"type\" field");
+    }
     if (type == "meta") {
+      have_meta = true;
+      if (json.Has("events")) declared_events = json.Int("events");
       if (meta != nullptr) {
         meta->workload = json.Str("workload");
         meta->policy = json.Str("policy");
         meta->num_enclosures = static_cast<int>(json.Int("num_enclosures"));
         meta->duration = json.Int("duration_us");
+        meta->has_power_model = json.Int("has_power_model") != 0;
+        if (meta->has_power_model) {
+          meta->idle_power_w = json.Dbl("idle_power_w");
+          meta->active_power_w = json.Dbl("active_power_w");
+          meta->off_power_w = json.Dbl("off_power_w");
+          meta->spinup_power_w = json.Dbl("spinup_power_w");
+          meta->controller_power_w = json.Dbl("controller_power_w");
+          meta->spinup_time_us = json.Int("spinup_time_us");
+          meta->break_even_us = json.Int("break_even_us");
+          meta->spindown_timeout_us = json.Int("spindown_timeout_us");
+          meta->cache_total_bytes = json.Int("cache_total_bytes");
+          meta->preload_area_bytes = json.Int("preload_area_bytes");
+          meta->write_delay_area_bytes = json.Int("write_delay_area_bytes");
+          meta->enclosure_energy_j = json.Dbl("enclosure_energy_j");
+          meta->controller_energy_j = json.Dbl("controller_energy_j");
+        }
       }
       continue;
     }
-    if (type != "event") continue;
-    EventKind kind = KindFromName(json.Str("kind"));
-    if (kind == EventKind::kNone) continue;
-    events->push_back(EventFromJson(json, kind));
+    if (type == "latency") {
+      if (meta != nullptr) {
+        LatencySlot slot;
+        slot.pattern = static_cast<uint8_t>(json.Int("pattern"));
+        slot.outcome = static_cast<uint8_t>(json.Int("outcome"));
+        slot.hist.DecodeBuckets(json.Str("buckets"), json.Int("sum_us"),
+                                json.Int("max_us"));
+        if (slot.hist.count() != json.Int("count")) {
+          return LineError(path, lineno,
+                           "latency bucket counts disagree with \"count\"");
+        }
+        meta->latency.push_back(std::move(slot));
+      }
+      continue;
+    }
+    if (type == "event") {
+      EventKind kind = KindFromName(json.Str("kind"));
+      if (kind == EventKind::kNone) {
+        return LineError(path, lineno, "unknown event kind");
+      }
+      events->push_back(EventFromJson(json, kind));
+      continue;
+    }
+    // Unknown "type" values are skipped so the format can grow.
+  }
+  if (!have_meta) {
+    return Status::InvalidArgument(path + ": no meta line found");
+  }
+  if (declared_events >= 0 &&
+      declared_events != static_cast<int64_t>(events->size())) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ": meta declares %lld events but %zu parsed (truncated?)",
+                  static_cast<long long>(declared_events), events->size());
+    return Status::InvalidArgument(path + buf);
   }
   return Status::OK();
 }

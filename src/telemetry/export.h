@@ -20,23 +20,61 @@
 #include <vector>
 
 #include "common/status.h"
+#include "telemetry/analysis/latency_histogram.h"
 #include "telemetry/event.h"
 
 namespace ecostore::telemetry {
 
-/// Run identification written into every export.
+/// One (pattern, outcome) latency histogram captured with a run.
+struct LatencySlot {
+  uint8_t pattern = analysis::kPatternUnclassified;
+  uint8_t outcome = 0;
+  analysis::LatencyHistogram hist;
+};
+
+/// Run identification written into every export. Since PR 5 the meta also
+/// carries the power model, the final measured energies and the latency
+/// book, which makes a capture self-describing: the offline analyzer
+/// (telemetry/analysis/) produces the identical summary from a parsed
+/// capture and from the in-process stream. Captures written by older
+/// builds parse with has_power_model == false and an empty latency book.
 struct ExportMeta {
   std::string workload;
   std::string policy;
   int num_enclosures = 0;
   SimDuration duration = 0;
+
+  /// Power / cache model parameters (storage::StorageConfig excerpt).
+  bool has_power_model = false;
+  double idle_power_w = 0.0;
+  double active_power_w = 0.0;
+  double off_power_w = 0.0;
+  double spinup_power_w = 0.0;
+  double controller_power_w = 0.0;
+  SimDuration spinup_time_us = 0;
+  SimDuration break_even_us = 0;
+  SimDuration spindown_timeout_us = 0;
+  int64_t cache_total_bytes = 0;
+  int64_t preload_area_bytes = 0;
+  int64_t write_delay_area_bytes = 0;
+
+  /// Final measured energies (ExperimentMetrics counterpart; %.17g
+  /// round-trips doubles exactly, so reconciliation is exact).
+  double enclosure_energy_j = 0.0;
+  double controller_energy_j = 0.0;
+
+  /// Per-(pattern, outcome) service-time histograms; empty cells omitted.
+  std::vector<LatencySlot> latency;
 };
 
 Status WriteJsonl(const std::string& path, const ExportMeta& meta,
                   const std::vector<Event>& events);
 
 /// Parses a WriteJsonl file back (the eco_report / round-trip-test
-/// reader). Unknown lines and fields are skipped, so the format can grow.
+/// reader). Unknown *type* values are skipped so the format can grow, but
+/// structurally broken input — a line that is not a JSON object, an event
+/// line with an unknown kind, or a file whose event count disagrees with
+/// the meta header (truncation) — fails with the offending line number.
 Status ParseJsonl(const std::string& path, ExportMeta* meta,
                   std::vector<Event>* events);
 

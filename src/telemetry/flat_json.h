@@ -1,0 +1,109 @@
+#ifndef ECOSTORE_TELEMETRY_FLAT_JSON_H_
+#define ECOSTORE_TELEMETRY_FLAT_JSON_H_
+
+// Minimal reader/writer helpers for the flat one-line JSON objects the
+// telemetry exporters produce: string values contain no escapes and
+// there is no nesting, so a linear scan for "key": value pairs suffices
+// (and keeps eco_report free of external JSON dependencies). Shared by
+// the capture reader (export.cc) and the summary reader (analysis/).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecostore::telemetry {
+
+class FlatJson {
+ public:
+  explicit FlatJson(const std::string& line) {
+    const char* p = line.c_str();
+    while ((p = std::strchr(p, '"')) != nullptr) {
+      const char* key_end = std::strchr(p + 1, '"');
+      if (key_end == nullptr) break;
+      std::string key(p + 1, key_end);
+      const char* colon = key_end + 1;
+      while (*colon == ' ') colon++;
+      if (*colon != ':') {
+        p = key_end + 1;
+        continue;
+      }
+      const char* value = colon + 1;
+      while (*value == ' ') value++;
+      if (*value == '"') {
+        const char* value_end = std::strchr(value + 1, '"');
+        if (value_end == nullptr) break;
+        keys_.emplace_back(std::move(key), std::string(value + 1, value_end));
+        p = value_end + 1;
+      } else {
+        const char* value_end = value;
+        while (*value_end != '\0' && *value_end != ',' && *value_end != '}') {
+          value_end++;
+        }
+        keys_.emplace_back(std::move(key), std::string(value, value_end));
+        p = value_end;
+      }
+    }
+  }
+
+  bool Has(const char* key) const { return Find(key) != nullptr; }
+
+  std::string Str(const char* key, const std::string& fallback = "") const {
+    const std::string* v = Find(key);
+    return v != nullptr ? *v : fallback;
+  }
+
+  int64_t Int(const char* key, int64_t fallback = 0) const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+  }
+
+  double Dbl(const char* key, double fallback = 0.0) const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+  uint64_t U64(const char* key, uint64_t fallback = 0) const {
+    const std::string* v = Find(key);
+    return v != nullptr ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+
+ private:
+  const std::string* Find(const char* key) const {
+    for (const auto& [k, v] : keys_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<std::string, std::string>> keys_;
+};
+
+inline void AppendKV(std::string* out, const char* key, int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%lld", key,
+                static_cast<long long>(value));
+  *out += buf;
+}
+
+inline void AppendKVU(std::string* out, const char* key, uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+/// %.17g round-trips every finite double exactly, so energy values
+/// survive a capture/parse cycle bit-for-bit (the ledger reconciliation
+/// relies on this).
+inline void AppendKVF(std::string* out, const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%.17g", key, value);
+  *out += buf;
+}
+
+}  // namespace ecostore::telemetry
+
+#endif  // ECOSTORE_TELEMETRY_FLAT_JSON_H_

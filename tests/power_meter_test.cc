@@ -76,6 +76,32 @@ TEST_F(PowerMeterTest, SeesPowerOffAsLowerSamples) {
   EXPECT_GT(meter.PeakPower(), samples.back().total());
 }
 
+TEST_F(PowerMeterTest, MidIntervalTransitionSplitsJoules) {
+  PowerMeter meter(system_.get(), 10 * kSecond);
+  ASSERT_TRUE(meter.Start().ok());
+  // Both transitions land mid-way through a 10 s accounting interval, so
+  // the lazy energy integral must split each interval's joules at the
+  // exact transition instant instead of snapping to a sample boundary:
+  // off at 25 s (idle 25 s), spin-up ordered at 41 s (off 16 s, spinning
+  // up 41..53 s at spinup_power), then idle again until 58 s.
+  sim_.RunUntil(25 * kSecond);
+  ASSERT_TRUE(system_->enclosure(0).PowerOff(sim_.Now()));
+  sim_.RunUntil(41 * kSecond);
+  SimTime ready = system_->enclosure(0).PowerOn(sim_.Now());
+  EXPECT_EQ(ready, 41 * kSecond + config_.enclosure.spinup_time);
+  sim_.RunUntil(58 * kSecond);
+  const double expect =
+      config_.enclosure.idle_power * 25.0 +
+      config_.enclosure.off_power * 16.0 +
+      config_.enclosure.spinup_power *
+          ToSeconds(config_.enclosure.spinup_time) +
+      config_.enclosure.idle_power * (58.0 - 53.0);
+  EXPECT_NEAR(system_->enclosure(0).Energy(sim_.Now()), expect, 1e-6);
+  // The untouched enclosure idled throughout.
+  EXPECT_NEAR(system_->enclosure(1).Energy(sim_.Now()),
+              config_.enclosure.idle_power * 58.0, 1e-6);
+}
+
 TEST_F(PowerMeterTest, StopHaltsSampling) {
   PowerMeter meter(system_.get(), 10 * kSecond);
   ASSERT_TRUE(meter.Start().ok());

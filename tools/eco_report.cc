@@ -3,19 +3,27 @@
 //   eco_report audit <run.jsonl>        per-period decision audit log
 //   eco_report timeline <run.jsonl>     per-enclosure power-state timeline
 //   eco_report diff <a.jsonl> <b.jsonl> compare two captures
+//   eco_report score <run.jsonl>        energy ledger + latency digest
+//   eco_report regress <a> <b>          CI gate: nonzero on regression
 //
 // The input is the JSONL stream written by telemetry::WriteJsonl (the
 // bench binaries' --telemetry=<base> flag produces it as <base>.jsonl).
+// `regress` also accepts summary JSON files written by
+// --telemetry-summary / `score --summary=`; captures and summaries are
+// told apart by the first line.
 
 #include <algorithm>
 #include <array>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "telemetry/analysis/energy_ledger.h"
+#include "telemetry/analysis/summary.h"
 #include "telemetry/export.h"
 
 namespace ecostore::telemetry {
@@ -274,11 +282,176 @@ int RunDiff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+// --- score ----------------------------------------------------------------
+
+int RunScore(const std::string& path, const std::string& summary_out) {
+  ExportMeta meta;
+  std::vector<Event> events;
+  if (LoadOrDie(path, &meta, &events) != 0) return 1;
+  PrintHeader(meta, events.size());
+
+  analysis::EnergyLedger ledger;
+  analysis::Summary summary = analysis::BuildSummary(meta, events, &ledger);
+
+  if (!meta.has_power_model) {
+    std::printf("\n(no power model in capture: ledger unavailable; "
+                "re-capture with a current build)\n");
+  } else {
+    std::printf("\nenergy ledger (off windows, exactly accounted)\n");
+    std::printf("  %-4s %10s %10s %7s %12s %12s %12s  %s\n", "enc", "start",
+                "end", "plan", "actual J", "credit J", "debit J", "wake");
+    for (const analysis::OffWindow& w : ledger.off_windows) {
+      char wake[96];
+      if (w.wake_item != kInvalidDataItem) {
+        std::snprintf(wake, sizeof(wake), "%s (item %d)",
+                      analysis::WakeCauseName(w.wake), w.wake_item);
+      } else {
+        std::snprintf(wake, sizeof(wake), "%s",
+                      analysis::WakeCauseName(w.wake));
+      }
+      std::printf("  %-4d %10s %10s %7d %12.1f %12.1f %12.1f  %s%s\n",
+                  w.enclosure, FormatSimTime(w.start).c_str(),
+                  FormatSimTime(w.end).c_str(), w.plan, w.actual_j,
+                  w.credit_j, w.debit_j, wake,
+                  w.mispredict ? "  MISPREDICT" : "");
+      if (w.mispredict && w.has_culprit) {
+        const DecisionPayload& d = w.culprit;
+        std::printf("       culprit: plan %d classified item %d as %s "
+                    "(%d long intervals, %d%% reads, %d sequences, "
+                    "%" PRId64 " ios) -> %s\n",
+                    d.plan, d.item, PatternName(d.pattern), d.long_intervals,
+                    (d.read_permille + 5) / 10, d.io_sequences, d.total_ios,
+                    DescribeActions(d).c_str());
+      }
+    }
+    std::printf("\n  off windows: %" PRId64 "  dwell %.1fs  "
+                "credit %.1f J  debit %.1f J  net saving %.1f J\n",
+                summary.off_windows, ToSeconds(ledger.off_dwell_us),
+                ledger.off_credit_j, ledger.off_debit_j,
+                summary.net_saving_j);
+    std::printf("  mispredicts: %" PRId64 " (loss %.1f J)\n",
+                ledger.mispredicts, ledger.mispredict_loss_j);
+
+    if (!ledger.advisory.empty()) {
+      std::printf("\nadvisory entries (model estimates, not reconciled)\n");
+      for (const analysis::AdvisoryEntry& a : ledger.advisory) {
+        std::printf("  %10s  %-20s plan %-4d item %-6d enc %-4d "
+                    "credit %10.3f J  debit %10.3f J\n",
+                    FormatSimTime(a.time).c_str(),
+                    analysis::AdvisoryKindName(a.kind), a.plan, a.item,
+                    a.enclosure, a.credit_j, a.debit_j);
+      }
+      std::printf("  advisory total: credit %.1f J  debit %.1f J\n",
+                  ledger.advisory_credit_j, ledger.advisory_debit_j);
+    }
+
+    if (ledger.has_finals) {
+      std::printf("\nreconciliation: ledger %.1f + %.1f J vs measured "
+                  "%.1f + %.1f J (rel err %.3g)\n",
+                  ledger.ledger_enclosure_j, ledger.ledger_controller_j,
+                  meta.enclosure_energy_j, meta.controller_energy_j,
+                  ledger.reconcile_rel_err);
+    } else {
+      std::printf("\nreconciliation: unavailable (capture has no "
+                  "energy_final events)\n");
+    }
+  }
+
+  if (!summary.latency.empty()) {
+    std::printf("\nlatency (microseconds, log-linear histogram digests)\n");
+    std::printf("  %-4s %-10s %10s %10s %10s %10s %10s %12s\n", "pat",
+                "outcome", "count", "p50", "p95", "p99", "max", "mean");
+    for (const analysis::LatencyRow& r : summary.latency) {
+      std::printf("  %-4s %-10s %10" PRId64 " %10" PRId64 " %10" PRId64
+                  " %10" PRId64 " %10" PRId64 " %12.1f\n",
+                  analysis::PatternSlotName(r.pattern),
+                  analysis::IoOutcomeName(r.outcome), r.count, r.p50_us,
+                  r.p95_us, r.p99_us, r.max_us, r.mean_us);
+    }
+  }
+
+  if (!summary_out.empty()) {
+    Status st = analysis::WriteSummaryJson(summary_out, summary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsummary -> %s\n", summary_out.c_str());
+  }
+  return 0;
+}
+
+// --- regress --------------------------------------------------------------
+
+// A capture's first line is its meta line; a summary file never contains
+// "type":"meta". Sniffing the head keeps `regress` usable with either,
+// so the CI gate can compare a fresh capture against a checked-in golden
+// summary without re-running the golden workload.
+bool LooksLikeCapture(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char head[256];
+  size_t n = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  head[n] = '\0';
+  const char* newline = std::strchr(head, '\n');
+  size_t line_len = newline != nullptr ? static_cast<size_t>(newline - head)
+                                       : n;
+  std::string first(head, line_len);
+  return first.find("\"type\":\"meta\"") != std::string::npos;
+}
+
+int LoadSummaryOrDie(const std::string& path, analysis::Summary* summary) {
+  Status st;
+  if (LooksLikeCapture(path)) {
+    ExportMeta meta;
+    std::vector<Event> events;
+    st = ParseJsonl(path, &meta, &events);
+    if (st.ok()) *summary = analysis::BuildSummary(meta, events);
+  } else {
+    st = analysis::ParseSummaryFile(path, summary);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunRegress(const std::string& path_a, const std::string& path_b,
+               double tolerance) {
+  analysis::Summary a, b;
+  if (LoadSummaryOrDie(path_a, &a) != 0) return 1;
+  if (LoadSummaryOrDie(path_b, &b) != 0) return 1;
+
+  std::vector<analysis::SummaryDiff> diffs =
+      analysis::CompareSummaries(a, b, tolerance);
+  std::printf("A: %s / %s   B: %s / %s   tolerance %g\n", a.workload.c_str(),
+              a.policy.c_str(), b.workload.c_str(), b.policy.c_str(),
+              tolerance);
+  if (diffs.empty()) {
+    std::printf("PASS: no gate field differs beyond tolerance\n");
+    return 0;
+  }
+  std::printf("REGRESSION: %zu field(s) differ beyond tolerance\n",
+              diffs.size());
+  std::printf("  %-36s %16s %16s %12s\n", "field", "A", "B", "rel err");
+  for (const analysis::SummaryDiff& d : diffs) {
+    std::printf("  %-36s %16.6g %16.6g %12.3g\n", d.field.c_str(), d.a, d.b,
+                d.rel_err);
+  }
+  return 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: eco_report audit <run.jsonl>\n"
                "       eco_report timeline <run.jsonl>\n"
-               "       eco_report diff <a.jsonl> <b.jsonl>\n");
+               "       eco_report diff <a.jsonl> <b.jsonl>\n"
+               "       eco_report score <run.jsonl> [--summary=<path>]\n"
+               "       eco_report regress <a> <b> [--tolerance=<t>]\n"
+               "         (a/b: capture .jsonl or summary .json; exits 1 on\n"
+               "          regression, so usable directly as a CI gate)\n");
   return 2;
 }
 
@@ -290,6 +463,27 @@ int Main(int argc, char** argv) {
   if (command == "diff") {
     if (argc < 4) return Usage();
     return RunDiff(argv[2], argv[3]);
+  }
+  if (command == "score") {
+    std::string summary_out;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg(argv[i]);
+      const std::string prefix = "--summary=";
+      if (arg.rfind(prefix, 0) == 0) summary_out = arg.substr(prefix.size());
+    }
+    return RunScore(argv[2], summary_out);
+  }
+  if (command == "regress") {
+    if (argc < 4) return Usage();
+    double tolerance = 1e-6;
+    for (int i = 4; i < argc; ++i) {
+      std::string arg(argv[i]);
+      const std::string prefix = "--tolerance=";
+      if (arg.rfind(prefix, 0) == 0) {
+        tolerance = std::strtod(arg.c_str() + prefix.size(), nullptr);
+      }
+    }
+    return RunRegress(argv[2], argv[3], tolerance);
   }
   return Usage();
 }
