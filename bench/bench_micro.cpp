@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
+#include "bench/bench_util.h"
 #include "bench/legacy_cache.h"
 #include "bench/legacy_simulator.h"
 #include "bench/replay_check.h"
@@ -27,6 +29,7 @@
 #include "core/placement_planner.h"
 #include "policies/basic_policies.h"
 #include "replay/experiment.h"
+#include "replay/sharded_experiment.h"
 #include "sim/simulator.h"
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
@@ -568,6 +571,75 @@ ReplayFigure MeasureReplayThroughput(bool eco,
   return figure;
 }
 
+// ---------------------------------------------------------------------
+// Shard-scaling microbench: one 120-enclosure eco run on the sharded
+// engine, S=1 (the serial engine, by delegation) vs S=8. The config is
+// inside the documented exact-equivalence domain (neutral cache,
+// pattern-change triggers off), so the figures are gated on the two
+// shard counts producing the same integer counters and per-enclosure
+// energies. The speedup is machine-dependent: on a single-core host the
+// epoch barriers are pure overhead and the figure is honestly < 1.
+// ---------------------------------------------------------------------
+
+ReplayFigure MeasureShardedReplayThroughput(
+    int shards, replay::ExperimentMetrics* out_metrics = nullptr) {
+  workload::FileServerConfig wl;
+  wl.duration = 20 * kMinute;
+  wl.num_enclosures = 120;
+  wl.big_hot_files = 20;
+  wl.small_hot_files = 60;
+  wl.popular_files = 2500;
+  wl.tail_files = 1000;
+  wl.archive_files = 240;
+  // The default file-server sizes (120 GiB hot / 96 GiB archive) target
+  // a 12-enclosure array; 20 big-hot files at those sizes overflow the
+  // first enclosure's 1.7 TiB volume. Scale the per-file sizes down so
+  // the 120-enclosure placement fits while the I/O stream stays dense.
+  wl.big_hot_file_bytes = 8 * kGiB;
+  wl.archive_file_bytes = 4 * kGiB;
+  auto workload = workload::FileServerWorkload::Create(wl);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "sharded bench workload: %s\n",
+                 workload.status().ToString().c_str());
+    std::abort();
+  }
+
+  ReplayFigure figure;
+  auto run_once = [&] {
+    core::PowerManagementConfig pm;
+    pm.enable_pattern_change_triggers = false;
+    core::EcoStoragePolicy policy(pm);
+    replay::ExperimentConfig config;
+    config.storage.cache.total_bytes = 64 * kGiB;
+    config.storage.cache.write_delay_area_bytes = 8 * kGiB;
+    replay::ShardedExperiment experiment(workload.value().get(), &policy,
+                                         config, shards);
+    auto metrics = experiment.Run();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "sharded bench run: %s\n",
+                   metrics.status().ToString().c_str());
+      std::abort();
+    }
+    figure.logical_ios = metrics.value().logical_ios;
+    figure.fingerprint = bench::MetricsFingerprint(metrics.value());
+    if (out_metrics != nullptr) *out_metrics = metrics.value();
+  };
+
+  using Clock = std::chrono::steady_clock;
+  // Two timed runs, best wall time: these runs are seconds-long, so the
+  // 2-second repeat loop of the serial figure would be all warm-up.
+  double best = 1e300;
+  for (int i = 0; i < 2; ++i) {
+    auto start = Clock::now();
+    run_once();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed < best) best = elapsed;
+  }
+  figure.lios_per_sec = static_cast<double>(figure.logical_ios) / best;
+  return figure;
+}
+
 namespace {
 
 template <typename Fn>
@@ -821,6 +893,33 @@ void WriteBenchPerfJson(const char* path_override) {
     }
   }
 
+  // Shard-scaling figure: S=1 vs S=8 on the 120-enclosure run, gated on
+  // both shard counts producing the same simulated outcome (integer
+  // counters exact, per-enclosure energies bitwise — the run is inside
+  // the exact-equivalence domain by construction).
+  replay::ExperimentMetrics sharded_one, sharded_eight;
+  ReplayFigure shard1 = MeasureShardedReplayThroughput(1, &sharded_one);
+  ReplayFigure shard8 = MeasureShardedReplayThroughput(8, &sharded_eight);
+  if (sharded_one.logical_ios != sharded_eight.logical_ios ||
+      sharded_one.physical_batches != sharded_eight.physical_batches ||
+      sharded_one.spinups != sharded_eight.spinups ||
+      sharded_one.enclosure_energy != sharded_eight.enclosure_energy) {
+    std::fprintf(stderr,
+                 "BENCH_perf: sharded replay (S=8) diverged from serial "
+                 "(lios %lld/%lld phys %lld/%lld spin %lld/%lld "
+                 "encE %.17g/%.17g)\n",
+                 static_cast<long long>(sharded_one.logical_ios),
+                 static_cast<long long>(sharded_eight.logical_ios),
+                 static_cast<long long>(sharded_one.physical_batches),
+                 static_cast<long long>(sharded_eight.physical_batches),
+                 static_cast<long long>(sharded_one.spinups),
+                 static_cast<long long>(sharded_eight.spinups),
+                 sharded_one.enclosure_energy,
+                 sharded_eight.enclosure_energy);
+    std::exit(1);
+  }
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+
   const char* path = path_override;
   if (path == nullptr) path = std::getenv("ECOSTORE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_perf.json";
@@ -876,6 +975,19 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"no_power_saving_speedup\": %.2f\n",
                nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sharded_replay\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_120enc_20min\",\n");
+  std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
+  std::fprintf(out, "    \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(out, "    \"logical_ios_per_run\": %lld,\n",
+               static_cast<long long>(shard1.logical_ios));
+  std::fprintf(out, "    \"shards1_lios_per_sec\": %.0f,\n",
+               shard1.lios_per_sec);
+  std::fprintf(out, "    \"shards8_lios_per_sec\": %.0f,\n",
+               shard8.lios_per_sec);
+  std::fprintf(out, "    \"speedup\": %.2f\n",
+               shard8.lios_per_sec / shard1.lios_per_sec);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"telemetry_overhead\": {\n");
   std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
   std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
@@ -919,6 +1031,11 @@ void WriteBenchPerfJson(const char* path_override) {
               eco.lios_per_sec / kSeedReplayEcoLiosPerSec,
               nps.lios_per_sec / 1e6, kSeedReplayNpsLiosPerSec / 1e6,
               nps.lios_per_sec / kSeedReplayNpsLiosPerSec);
+  std::printf("sharded replay (120 enclosures, %u host cpus): S=8 %.2fM "
+              "vs S=1 %.2fM lios/s (%.2fx)\n",
+              host_cpus, shard8.lios_per_sec / 1e6,
+              shard1.lios_per_sec / 1e6,
+              shard8.lios_per_sec / shard1.lios_per_sec);
   std::printf("telemetry overhead (eco replay, %llu events/pair): "
               "on %.2fM vs off %.2fM lios/s = %.2f%% (budget %.1f%%)\n",
               static_cast<unsigned long long>(telemetry_recorded),
@@ -940,9 +1057,13 @@ int main(int argc, char** argv) {
   // --replay prints the end-to-end throughput figures only.
   // --json[=path] also skips google-benchmark and machine-writes the
   // BENCH_perf.json schema (the sanctioned way to regenerate the file).
-  std::string golden_path = "bench/golden_replay.txt";
+  // --shards=S (with --check / --record) runs the gate on the sharded
+  // engine; each shard count has its own golden file because sharded FP
+  // reductions re-associate relative to serial.
+  std::string golden_path;
   std::string json_path;
   bool check = false, record = false, replay_only = false, json_only = false;
+  const int shards = ecostore::bench::ParseShardsFlag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg == "--check") check = true;
@@ -956,8 +1077,13 @@ int main(int argc, char** argv) {
       golden_path = arg.substr(9);
     }
   }
+  if (golden_path.empty()) {
+    golden_path = shards > 1 ? "bench/golden_replay_shards" +
+                                   std::to_string(shards) + ".txt"
+                             : "bench/golden_replay.txt";
+  }
   if (check || record) {
-    return ecostore::bench::ReplayCheckMain(golden_path, record);
+    return ecostore::bench::ReplayCheckMain(golden_path, record, shards);
   }
   if (json_only) {
     ecostore::WriteBenchPerfJson(json_path.empty() ? nullptr

@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   const std::string summary_path =
       bench::ParseTelemetrySummaryFlag(argc, argv);
+  // --capture-only skips the four-policy figure suite and runs just the
+  // instrumented capture: what the CI regression gate wants.
+  const bool capture_only =
+      bench::HasFlag(argc, argv, "--capture-only") && !telemetry_base.empty();
   bench::PrintHeader("Figs. 11-13, 18 — TPC-C (OLTP)",
                      "proposed -15.7% power at -8.5% tpmC; DDR saves "
                      "nothing");
@@ -30,6 +34,25 @@ int main(int argc, char** argv) {
   workload::OltpConfig wl_config;
   wl_config.duration = bench::MaybeShorten(
       static_cast<SimDuration>(1.8 * kHour), 30 * kMinute);
+
+  if (capture_only) {
+    replay::ExperimentConfig config;
+    core::PowerManagementConfig pm;
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::OltpWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    // The OLTP stream emits ~7.5M events in quick mode; the default 2M
+    // ring would wrap and starve the ledger of the oldest windows.
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path, 1u << 23);
+  }
+
   auto workload = workload::OltpWorkload::Create(wl_config);
   if (!workload.ok()) {
     std::cerr << workload.status().ToString() << "\n";

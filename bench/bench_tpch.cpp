@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   const std::string summary_path =
       bench::ParseTelemetrySummaryFlag(argc, argv);
+  // --capture-only skips the four-policy figure suite and runs just the
+  // instrumented capture: what the CI regression gate wants.
+  const bool capture_only =
+      bench::HasFlag(argc, argv, "--capture-only") && !telemetry_base.empty();
   bench::PrintHeader("Figs. 14-16, 19 — TPC-H (DSS)",
                      "all methods save >50%; proposed & DDR ~70%, PDC "
                      "~56%; DDR's responses worst");
@@ -31,6 +35,25 @@ int main(int argc, char** argv) {
   workload::DssConfig wl_config;
   wl_config.duration = bench::MaybeShorten(6 * kHour, 90 * kMinute);
   if (bench::QuickMode()) wl_config.scale = 0.2;
+
+  if (capture_only) {
+    replay::ExperimentConfig config;
+    core::PowerManagementConfig pm;
+    replay::ExperimentJob job;
+    job.workload = [wl_config]() -> Result<std::unique_ptr<workload::Workload>> {
+      auto wl = workload::DssWorkload::Create(wl_config);
+      if (!wl.ok()) return wl.status();
+      return Result<std::unique_ptr<workload::Workload>>(
+          std::move(wl).value());
+    };
+    job.policy = replay::PaperPolicySet(pm)[1];
+    job.config = config;
+    // DSS scans are I/O-dense like OLTP: give the capture the large
+    // ring so the ledger sees the whole run.
+    return bench::CaptureTelemetry(telemetry_base, std::move(job),
+                                   summary_path, 1u << 23);
+  }
+
   auto workload = workload::DssWorkload::Create(wl_config);
   if (!workload.ok()) {
     std::cerr << workload.status().ToString() << "\n";

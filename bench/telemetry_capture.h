@@ -75,17 +75,21 @@ inline telemetry::ExportMeta BuildCaptureMeta(
 /// Runs `job` once with a telemetry recorder and latency book attached
 /// and writes `<base>.jsonl`, `<base>.power.csv` and `<base>.trace.json`.
 /// When `summary_path` is non-empty, also writes the analyzer's summary
-/// JSON there. Returns a process exit code (0 on success) so bench mains
-/// can propagate it.
+/// JSON there. `ring_capacity` sizes the recorder ring (events are 48
+/// bytes, so even the 8M-entry ring the OLTP/DSS captures need is only
+/// ~400 MB); a too-small ring drops the oldest events deterministically
+/// but starves the ledger. Returns a process exit code (0 on success) so
+/// bench mains can propagate it.
 inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
-                            const std::string& summary_path = "") {
+                            const std::string& summary_path = "",
+                            uint32_t ring_capacity = 1u << 21) {
   // Record every class including per-I/O detail: the ledger uses the
   // kPhysicalIo events to tie a mispredicted spin-down to the item whose
   // demand I/O forced the wake-up. The detail classes multiply event
   // volume, so the capture ring is larger than the default; a wrapped
   // ring would silently lose the oldest off-windows from the ledger.
   telemetry::Recorder::Options options;
-  options.thread_buffer_capacity = 1u << 21;
+  options.thread_buffer_capacity = ring_capacity;
   options.mask = telemetry::kClassAll;
   telemetry::Recorder recorder(options);
   telemetry::analysis::LatencyBook book;

@@ -1,0 +1,39 @@
+#include "core/shard_plan.h"
+
+namespace ecostore::core {
+
+std::vector<bool> ShardMap::OwnedMask(int num_enclosures, int shard) const {
+  std::vector<bool> mask(static_cast<size_t>(num_enclosures), false);
+  for (int e = 0; e < num_enclosures; ++e) {
+    if (ShardOf(static_cast<EnclosureId>(e)) == shard) {
+      mask[static_cast<size_t>(e)] = true;
+    }
+  }
+  return mask;
+}
+
+std::vector<std::unordered_set<DataItemId>> SplitWriteDelayItems(
+    const std::unordered_set<DataItemId>& items,
+    const storage::BlockVirtualization& virt, const ShardMap& map) {
+  std::vector<std::unordered_set<DataItemId>> out(
+      static_cast<size_t>(map.shards));
+  for (DataItemId item : items) {
+    out[static_cast<size_t>(map.ShardOf(virt.EnclosureOf(item)))].insert(
+        item);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::pair<DataItemId, int64_t>>> SplitPreloadItems(
+    const std::vector<std::pair<DataItemId, int64_t>>& items,
+    const storage::BlockVirtualization& virt, const ShardMap& map) {
+  std::vector<std::vector<std::pair<DataItemId, int64_t>>> out(
+      static_cast<size_t>(map.shards));
+  for (const auto& entry : items) {
+    out[static_cast<size_t>(map.ShardOf(virt.EnclosureOf(entry.first)))]
+        .push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace ecostore::core

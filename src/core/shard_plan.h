@@ -1,0 +1,48 @@
+#ifndef ECOSTORE_CORE_SHARD_PLAN_H_
+#define ECOSTORE_CORE_SHARD_PLAN_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/block_virtualization.h"
+
+namespace ecostore::core {
+
+/// \brief The deterministic enclosure→shard partition of the sharded
+/// engine, and helpers that cut a policy's array-wide plan into the
+/// per-shard deltas each lane applies locally.
+///
+/// Enclosure e belongs to shard e % shards: cheap, stable under any
+/// enclosure count, and it stripes the paper's RAID-group-major layouts
+/// across shards so consecutive hot groups do not pile into one lane. An
+/// item belongs to the shard of its *current* enclosure, so ownership
+/// follows migration commits.
+struct ShardMap {
+  int shards = 1;
+
+  int ShardOf(EnclosureId enclosure) const {
+    return static_cast<int>(enclosure) % shards;
+  }
+
+  /// Ownership mask for one shard (StorageSystem::SetOwnedEnclosures).
+  std::vector<bool> OwnedMask(int num_enclosures, int shard) const;
+};
+
+/// Splits a plan-wide write-delay set into per-shard subsets keyed by each
+/// item's current enclosure. Every item lands in exactly one subset.
+std::vector<std::unordered_set<DataItemId>> SplitWriteDelayItems(
+    const std::unordered_set<DataItemId>& items,
+    const storage::BlockVirtualization& virt, const ShardMap& map);
+
+/// Splits an ordered preload list into per-shard lists, preserving the
+/// planner's submission order within each shard (the order determines the
+/// sequence of preload reads a lane issues, so it must be stable).
+std::vector<std::vector<std::pair<DataItemId, int64_t>>> SplitPreloadItems(
+    const std::vector<std::pair<DataItemId, int64_t>>& items,
+    const storage::BlockVirtualization& virt, const ShardMap& map);
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_SHARD_PLAN_H_

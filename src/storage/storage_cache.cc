@@ -362,7 +362,8 @@ StorageCache::WriteOutcome StorageCache::Write(
 }
 
 std::vector<FlushDemand> StorageCache::SetWriteDelayItems(
-    const std::unordered_set<DataItemId>& items) {
+    const std::unordered_set<DataItemId>& items,
+    std::vector<DataItemId>* entered, std::vector<WdChange>* left) {
   std::vector<FlushDemand> demands;
   BeginDemands(&demands);
   // Destage dirty blocks of items leaving the set (paper §V-B).
@@ -370,7 +371,9 @@ std::vector<FlushDemand> StorageCache::SetWriteDelayItems(
   for (auto& [id, info] : items_) {
     if (!info.write_delayed && info.wd_dirty == 0) continue;
     if (items.count(id) > 0) continue;
+    int64_t flushed = 0;
     if (info.wd_dirty > 0) {
+      flushed = info.wd_dirty;
       AddDemand(id, info.wd_dirty, info.wd_dirty * config_.block_size);
       wd_dirty_total_ -= info.wd_dirty;
       info.wd_dirty = 0;
@@ -378,10 +381,55 @@ std::vector<FlushDemand> StorageCache::SetWriteDelayItems(
     }
     info.write_delayed = false;
     leaving.push_back(id);
+    if (left != nullptr) {
+      left->push_back(WdChange{id, flushed, flushed * config_.block_size});
+    }
   }
-  for (DataItemId id : items) items_[id].write_delayed = true;
+  for (DataItemId id : items) {
+    ItemInfo& info = items_[id];
+    if (entered != nullptr && !info.write_delayed) entered->push_back(id);
+    info.write_delayed = true;
+  }
   for (DataItemId id : leaving) CompactItem(id);
+  // items_ iterates in hash order; sort so per-item attribution events are
+  // emitted in a stable order.
+  if (entered != nullptr) std::sort(entered->begin(), entered->end());
+  if (left != nullptr) {
+    std::sort(left->begin(), left->end(),
+              [](const WdChange& a, const WdChange& b) { return a.item < b.item; });
+  }
   return demands;
+}
+
+StorageCache::ItemState StorageCache::ExportItemState(DataItemId item) const {
+  ItemState state;
+  const ItemInfo* info = FindItem(item);
+  if (info != nullptr) {
+    state.preload_selected = info->preload_selected;
+    state.preloaded = info->preloaded;
+    state.write_delayed = info->write_delayed;
+    state.preload_bytes = info->preload_bytes;
+  }
+  return state;
+}
+
+void StorageCache::AdoptItemState(DataItemId item, const ItemState& state) {
+  ItemInfo& info = items_[item];
+  info.preload_selected = state.preload_selected;
+  info.preloaded = state.preloaded;
+  info.write_delayed = state.write_delayed;
+  info.preload_bytes = state.preload_bytes;
+  CompactItem(item);
+}
+
+void StorageCache::DropItemState(DataItemId item) {
+  auto it = items_.find(item);
+  if (it == items_.end()) return;
+  it->second.preload_selected = false;
+  it->second.preloaded = false;
+  it->second.write_delayed = false;
+  it->second.preload_bytes = 0;
+  CompactItem(item);
 }
 
 Result<std::vector<DataItemId>> StorageCache::SetPreloadItems(

@@ -81,10 +81,24 @@ class StorageCache {
   WriteOutcome Write(DataItemId item, int64_t offset, int32_t size,
                      std::vector<FlushDemand>* destage);
 
+  /// One item that left the write-delay set, with the dirty blocks that
+  /// were destaged on its way out (0 when it had none).
+  struct WdChange {
+    DataItemId item = kInvalidDataItem;
+    int64_t flushed_blocks = 0;
+    int64_t flushed_bytes = 0;
+  };
+
   /// Replaces the write-delay item set (paper §V-B). Dirty write-delay
   /// blocks of items leaving the set must be destaged; they are returned.
+  /// When non-null, `entered` receives the ids that newly joined the set
+  /// and `left` the items that exited (with their destaged dirty blocks),
+  /// both sorted by item id so callers can emit deterministic per-item
+  /// attribution events regardless of hash-map iteration order.
   std::vector<FlushDemand> SetWriteDelayItems(
-      const std::unordered_set<DataItemId>& items);
+      const std::unordered_set<DataItemId>& items,
+      std::vector<DataItemId>* entered = nullptr,
+      std::vector<WdChange>* left = nullptr);
 
   /// Replaces the preload item set (paper §V-C). `sizes` gives each item's
   /// size; the sum must fit the preload area. Returns the items that are
@@ -117,6 +131,25 @@ class StorageCache {
   /// migrates, since its physical location changed). Dirty blocks are
   /// returned as demands to write to the *new* location.
   std::vector<FlushDemand> InvalidateItem(DataItemId item);
+
+  /// Plan-level membership of one item (no block residency), used by the
+  /// sharded engine to move an item's cache standing between per-shard
+  /// caches when the item migrates across the shard boundary. Blocks do
+  /// not transfer: the caller is expected to InvalidateItem() on the
+  /// source cache first (physical locations changed anyway), so only the
+  /// preload/write-delay selection and residency flags carry over.
+  struct ItemState {
+    bool preload_selected = false;
+    bool preloaded = false;
+    bool write_delayed = false;
+    int64_t preload_bytes = 0;
+  };
+
+  ItemState ExportItemState(DataItemId item) const;
+  /// Overwrites the item's membership flags with `state`.
+  void AdoptItemState(DataItemId item, const ItemState& state);
+  /// Clears the item's membership flags (post-export, on the source).
+  void DropItemState(DataItemId item);
 
   int64_t hit_blocks() const { return hit_blocks_; }
   int64_t miss_blocks() const { return miss_blocks_; }

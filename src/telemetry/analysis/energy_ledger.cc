@@ -74,6 +74,9 @@ EnergyLedger BuildLedger(const ExportMeta& meta,
     int64_t bytes;
   };
   std::vector<PendingCache> pending;
+  /// Set-level kWriteDelaySet entries, used only when the capture has no
+  /// per-item membership deltas (legacy fallback, DESIGN.md §10).
+  std::vector<PendingCache> legacy_wd;
   std::map<int32_t, SimTime> first_wd_in_plan;
 
   // Looks around index i for same-timestamp events that identify why an
@@ -209,11 +212,26 @@ EnergyLedger BuildLedger(const ExportMeta& meta,
         break;
       case EventKind::kWriteDelaySet: {
         ledger.write_delays++;
+        legacy_wd.push_back(PendingCache{AdvisoryEntry::Kind::kWriteDelay,
+                                         e.cache.item, e.cache.enclosure,
+                                         e.time, e.cache.plan,
+                                         e.cache.bytes});
+        auto [it, inserted] = first_wd_in_plan.emplace(e.cache.plan, e.time);
+        if (!inserted) it->second = std::min(it->second, e.time);
+        break;
+      }
+      case EventKind::kWriteDelayAdmit: {
+        ledger.write_delay_admits++;
         pending.push_back(PendingCache{AdvisoryEntry::Kind::kWriteDelay,
                                        e.cache.item, e.cache.enclosure,
                                        e.time, e.cache.plan, e.cache.bytes});
         auto [it, inserted] = first_wd_in_plan.emplace(e.cache.plan, e.time);
         if (!inserted) it->second = std::min(it->second, e.time);
+        break;
+      }
+      case EventKind::kWriteDelayFlush: {
+        ledger.write_delay_flushes++;
+        ledger.write_delay_flush_bytes += e.cache.bytes;
         break;
       }
       default:
@@ -222,6 +240,13 @@ EnergyLedger BuildLedger(const ExportMeta& meta,
   }
   ledger.plans =
       plan_start.empty() ? 0 : static_cast<int64_t>(plan_start.rbegin()->first);
+
+  // Per-item write-delay attribution when the capture carries membership
+  // deltas; otherwise keep the old set-level advisory entries.
+  ledger.per_item_write_delay = ledger.write_delay_admits > 0;
+  if (!ledger.per_item_write_delay) {
+    pending.insert(pending.end(), legacy_wd.begin(), legacy_wd.end());
+  }
 
   // Reconciliation: the per-component cumulative counters at the horizon
   // must telescope to the run's measured totals. %.17g round-trips, so a

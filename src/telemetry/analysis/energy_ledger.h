@@ -114,6 +114,17 @@ struct EnergyLedger {
   int64_t migrations = 0;
   int64_t preloads = 0;
   int64_t write_delays = 0;
+
+  // Per-item write-delay attribution (DESIGN.md §10). True when the
+  // capture carries kWriteDelayAdmit/kWriteDelayFlush membership deltas;
+  // advisory kWriteDelay entries are then per item with a real enclosure
+  // (so the avoided-spin-up credit model applies). Captures from builds
+  // that only emitted the set-level kWriteDelaySet aggregate fall back to
+  // one enclosure-less advisory entry per set update.
+  bool per_item_write_delay = false;
+  int64_t write_delay_admits = 0;
+  int64_t write_delay_flushes = 0;
+  int64_t write_delay_flush_bytes = 0;
 };
 
 /// Builds the ledger from a time-ordered event stream. `meta` must carry

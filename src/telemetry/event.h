@@ -43,6 +43,12 @@ enum class EventKind : uint16_t {
 
   // --- storage/ (end-of-run accounting) --------------------------------
   kEnergyFinal,  ///< cumulative joules of one component at run end
+
+  // --- storage/ (per-item write-delay attribution; DESIGN.md §10) -------
+  // Appended after kEnergyFinal so existing numeric kind values stay
+  // stable for captures recorded before these existed.
+  kWriteDelayAdmit,  ///< one item entered the write-delay set
+  kWriteDelayFlush,  ///< one item left the set; its dirty blocks destaged
 };
 
 inline const char* EventKindName(EventKind kind) {
@@ -66,6 +72,8 @@ inline const char* EventKindName(EventKind kind) {
     case EventKind::kPeriodBoundary: return "period_boundary";
     case EventKind::kSimStats: return "sim_stats";
     case EventKind::kEnergyFinal: return "energy_final";
+    case EventKind::kWriteDelayAdmit: return "write_delay_admit";
+    case EventKind::kWriteDelayFlush: return "write_delay_flush";
   }
   return "?";
 }
@@ -93,6 +101,8 @@ inline uint32_t EventClassOf(EventKind kind) {
     case EventKind::kEnergyFinal: return kClassPower;
     case EventKind::kCacheFlush:
     case EventKind::kWriteDelaySet:
+    case EventKind::kWriteDelayAdmit:
+    case EventKind::kWriteDelayFlush:
     case EventKind::kPreloadBegin:
     case EventKind::kPreloadDone: return kClassCache;
     case EventKind::kCacheAdmit:
@@ -210,13 +220,22 @@ struct SimStatsPayload {
   int64_t cancelled = 0;
 };
 
+/// Event::shard value used by the sharded engine's coordinator (period
+/// boundaries, migration engine, decisions): sorts after every real shard
+/// at equal timestamps, which matches the barrier protocol — shard-local
+/// effects at time t are applied before coordinator events at t.
+inline constexpr uint16_t kCoordinatorShard = 0xffff;
+
 /// \brief One fixed-size, simulated-time-stamped telemetry event. 48-byte
 /// trivially copyable POD so per-thread ring buffers are flat memcpy-able
 /// arrays and recording is one bounds check + one 48-byte store.
 struct Event {
   SimTime time = 0;
   EventKind kind = EventKind::kNone;
-  uint16_t pad16 = 0;
+  /// Shard that recorded the event (0 in serial runs; the sharded
+  /// engine's coordinator records kCoordinatorShard). Occupies what used
+  /// to be padding, so the 48-byte layout is unchanged.
+  uint16_t shard = 0;
   uint32_t pad32 = 0;
   union {
     PowerPayload power;

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 
+#include "telemetry/analysis/energy_ledger.h"
 #include "telemetry/flat_json.h"
 
 namespace ecostore::telemetry {
@@ -23,6 +25,7 @@ constexpr EventKind kAllKinds[] = {
     EventKind::kDecision,        EventKind::kHotCold,
     EventKind::kPeriodAdapt,     EventKind::kPeriodBoundary,
     EventKind::kSimStats,        EventKind::kEnergyFinal,
+    EventKind::kWriteDelayAdmit, EventKind::kWriteDelayFlush,
 };
 
 EventKind KindFromName(const std::string& name) {
@@ -37,6 +40,9 @@ void AppendEventJson(std::string* out, const Event& e) {
   std::snprintf(buf, sizeof(buf), "{\"type\":\"event\",\"t\":%lld,\"kind\":\"%s\"",
                 static_cast<long long>(e.time), EventKindName(e.kind));
   *out += buf;
+  // Serial runs record shard 0 everywhere; omit the key so their capture
+  // bytes are unchanged from pre-sharding captures.
+  if (e.shard != 0) AppendKV(out, "shard", e.shard);
   switch (e.kind) {
     case EventKind::kPowerState:
     case EventKind::kEnergyFinal:
@@ -53,6 +59,8 @@ void AppendEventJson(std::string* out, const Event& e) {
     case EventKind::kCacheFlush:
     case EventKind::kCacheAdmit:
     case EventKind::kWriteDelaySet:
+    case EventKind::kWriteDelayAdmit:
+    case EventKind::kWriteDelayFlush:
     case EventKind::kPreloadBegin:
     case EventKind::kPreloadDone:
     case EventKind::kPhysicalIo:
@@ -111,6 +119,7 @@ void AppendEventJson(std::string* out, const Event& e) {
 
 Event EventFromJson(const FlatJson& json, EventKind kind) {
   Event e = MakeEvent(json.Int("t"), kind);
+  e.shard = static_cast<uint16_t>(json.Int("shard"));
   switch (kind) {
     case EventKind::kPowerState:
     case EventKind::kEnergyFinal:
@@ -127,6 +136,8 @@ Event EventFromJson(const FlatJson& json, EventKind kind) {
     case EventKind::kCacheFlush:
     case EventKind::kCacheAdmit:
     case EventKind::kWriteDelaySet:
+    case EventKind::kWriteDelayAdmit:
+    case EventKind::kWriteDelayFlush:
     case EventKind::kPreloadBegin:
     case EventKind::kPreloadDone:
     case EventKind::kPhysicalIo:
@@ -450,7 +461,9 @@ Status WriteChromeTrace(const std::string& path, const ExportMeta& meta,
                         const std::vector<Event>& events) {
   // One trace entry per line; entries are sorted by ts so viewers (and
   // the round-trip test) see a monotone stream. pid 0 = power states,
-  // pid 1 = policy decisions/migrations, pid 2 = simulator counters.
+  // pid 1 = policy decisions/migrations, pid 2 = simulator counters,
+  // pid 3 = energy-ledger counters (cumulative off-window credit/debit
+  // per enclosure and the running mispredict count).
   struct Entry {
     SimTime ts;
     std::string json;
@@ -503,6 +516,37 @@ Status WriteChromeTrace(const std::string& path, const ExportMeta& meta,
         break;
     }
   }
+
+  // Counter tracks from the energy ledger: one track per enclosure with
+  // the cumulative off-window credit/debit, plus a global mispredict
+  // count, each stepping at the instant the window closes.
+  if (meta.has_power_model) {
+    analysis::EnergyLedger ledger = analysis::BuildLedger(meta, events);
+    std::map<EnclosureId, std::pair<double, double>> cum;
+    int64_t mispredicts = 0;
+    for (const analysis::OffWindow& w : ledger.off_windows) {
+      auto& c = cum[w.enclosure];
+      c.first += w.credit_j;
+      c.second += w.debit_j;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"ledger enc %d\",\"ph\":\"C\",\"ts\":%lld,"
+                    "\"pid\":3,\"args\":{\"credit_j\":%.3f,"
+                    "\"debit_j\":%.3f}}",
+                    w.enclosure, static_cast<long long>(w.end), c.first,
+                    c.second);
+      entries.push_back(Entry{w.end, buf});
+      if (w.mispredict) {
+        mispredicts++;
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"ledger mispredicts\",\"ph\":\"C\","
+                      "\"ts\":%lld,\"pid\":3,\"args\":{\"count\":%lld}}",
+                      static_cast<long long>(w.end),
+                      static_cast<long long>(mispredicts));
+        entries.push_back(Entry{w.end, buf});
+      }
+    }
+  }
+
   std::stable_sort(entries.begin(), entries.end(),
                    [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
 

@@ -17,7 +17,20 @@ struct ThreadBinding {
 };
 thread_local ThreadBinding t_binding;
 
+/// Shard tag stamped into Event::shard by Record(). Thread-local, not
+/// per-recorder: one thread advances one shard at a time, whichever
+/// recorder it records into.
+thread_local uint16_t t_shard = 0;
+
 }  // namespace
+
+uint16_t SetThreadShard(uint16_t shard) {
+  uint16_t previous = t_shard;
+  t_shard = shard;
+  return previous;
+}
+
+uint16_t ThreadShard() { return t_shard; }
 
 Recorder::Recorder(const Options& options)
     : options_(options), mask_(options.mask) {
@@ -57,12 +70,14 @@ void Recorder::Record(const Event& event) {
     buffer = BindThisThread();
   }
   recorded_.fetch_add(1, std::memory_order_relaxed);
+  Event stamped = event;
+  stamped.shard = t_shard;
   if (buffer->events.size() < options_.thread_buffer_capacity) {
-    buffer->events.push_back(event);
+    buffer->events.push_back(stamped);
     return;
   }
   // Ring is at capacity: overwrite the oldest entry.
-  buffer->events[buffer->head] = event;
+  buffer->events[buffer->head] = stamped;
   buffer->head = (buffer->head + 1) % buffer->events.size();
   buffer->wrapped = true;
   dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -91,11 +106,17 @@ std::vector<Event> Recorder::Drain() {
     buffer->head = 0;
     buffer->wrapped = false;
   }
-  // Stable: per-thread record order breaks simulated-time ties, so a
-  // single-threaded run drains in exactly the order it recorded.
-  std::stable_sort(
-      merged.begin(), merged.end(),
-      [](const Event& a, const Event& b) { return a.time < b.time; });
+  // Sort key (time, shard). Stable: within one (time, shard) group events
+  // keep their per-thread record order, so a single-threaded run (all
+  // shard 0) drains in exactly the order it recorded. In a sharded run a
+  // shard executes on exactly one thread per epoch, so every (time, shard)
+  // group lives in a single ring in record order, and the drained stream
+  // is deterministic for any worker-thread count.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.shard < b.shard;
+                   });
   return merged;
 }
 

@@ -332,6 +332,53 @@ int RunScore(const std::string& path, const std::string& summary_out) {
     std::printf("  mispredicts: %" PRId64 " (loss %.1f J)\n",
                 ledger.mispredicts, ledger.mispredict_loss_j);
 
+    // Per-enclosure roll-up: where the savings (and the losses) live.
+    if (!ledger.off_windows.empty() || !ledger.advisory.empty()) {
+      struct Roll {
+        int64_t windows = 0;
+        SimDuration dwell = 0;
+        double credit_j = 0.0;
+        double debit_j = 0.0;
+        int64_t mispredicts = 0;
+        double advisory_credit_j = 0.0;
+        double advisory_debit_j = 0.0;
+      };
+      std::map<EnclosureId, Roll> roll;
+      for (const analysis::OffWindow& w : ledger.off_windows) {
+        Roll& r = roll[w.enclosure];
+        r.windows++;
+        r.dwell += w.end - w.start;
+        r.credit_j += w.credit_j;
+        r.debit_j += w.debit_j;
+        if (w.mispredict) r.mispredicts++;
+      }
+      for (const analysis::AdvisoryEntry& a : ledger.advisory) {
+        if (a.enclosure == kInvalidEnclosure) continue;
+        Roll& r = roll[a.enclosure];
+        r.advisory_credit_j += a.credit_j;
+        r.advisory_debit_j += a.debit_j;
+      }
+      std::printf("\nper-enclosure roll-up\n");
+      std::printf("  %-4s %8s %9s %12s %12s %12s %6s %12s %12s\n", "enc",
+                  "windows", "dwell s", "credit J", "debit J", "net J",
+                  "mis", "adv cr J", "adv db J");
+      for (const auto& [enclosure, r] : roll) {
+        std::printf("  %-4d %8" PRId64 " %9.1f %12.1f %12.1f %12.1f "
+                    "%6" PRId64 " %12.3f %12.3f\n",
+                    enclosure, r.windows, ToSeconds(r.dwell), r.credit_j,
+                    r.debit_j, r.credit_j - r.debit_j, r.mispredicts,
+                    r.advisory_credit_j, r.advisory_debit_j);
+      }
+    }
+
+    if (ledger.per_item_write_delay) {
+      std::printf("\nwrite-delay membership (per-item attribution): "
+                  "%" PRId64 " admits, %" PRId64 " flushes "
+                  "(%" PRId64 " bytes destaged on exit)\n",
+                  ledger.write_delay_admits, ledger.write_delay_flushes,
+                  ledger.write_delay_flush_bytes);
+    }
+
     if (!ledger.advisory.empty()) {
       std::printf("\nadvisory entries (model estimates, not reconciled)\n");
       for (const analysis::AdvisoryEntry& a : ledger.advisory) {
