@@ -21,6 +21,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/legacy_cache.h"
+#include "bench/legacy_planner.h"
 #include "bench/legacy_simulator.h"
 #include "bench/replay_check.h"
 #include "common/random.h"
@@ -642,6 +643,153 @@ ReplayFigure MeasureShardedReplayThroughput(
 
 namespace {
 
+// ---------------------------------------------------------------------
+// planner_scale: the indexed placement planner vs the frozen stable_sort
+// reference (bench/legacy_planner.h) on synthetic fleets, gated on the
+// two producing bit-identical plans. The fixture scatters a P3 head over
+// the fleet so ~85% of P3 items start on cold enclosures (the Algorithm
+// 2 mover population), and fills enclosures to ~65% so a fraction of the
+// placements needs Algorithm 3 evictions.
+// ---------------------------------------------------------------------
+
+struct PlannerScaleFixture {
+  storage::DataItemCatalog catalog;
+  core::ClassificationResult result;
+  std::unique_ptr<storage::BlockVirtualization> virt;
+  int64_t movers = 0;  ///< P3 items initially on cold enclosures
+};
+
+PlannerScaleFixture MakePlannerScaleFixture(int n_enclosures,
+                                            int items_per_enclosure) {
+  PlannerScaleFixture fx;
+  for (int e = 0; e < n_enclosures; ++e) {
+    fx.catalog.AddVolume(static_cast<EnclosureId>(e));
+  }
+  const int n_items = n_enclosures * items_per_enclosure;
+  Xoshiro256 rng(0x9e3779b97f4a7c15ull + static_cast<uint64_t>(n_items));
+  double p3_iops_sum = 0.0;
+  for (int i = 0; i < n_items; ++i) {
+    const bool p3 = rng.NextDouble() < 0.03;
+    auto pattern = p3 ? core::IoPattern::kP3
+                      : static_cast<core::IoPattern>(rng.UniformInt(0, 2));
+    DataItemId id =
+        fx.catalog
+            .AddItem("i" + std::to_string(i),
+                     static_cast<VolumeId>(
+                         rng.UniformInt(0, n_enclosures - 1)),
+                     rng.UniformInt(16, 160) * (128LL * 1024 * 1024),
+                     storage::DataItemKind::kFile)
+            .value();
+    core::ItemClassification cls;
+    cls.item = id;
+    cls.pattern = pattern;
+    cls.size_bytes = fx.catalog.item(id).size_bytes;
+    cls.avg_iops = p3 ? static_cast<double>(rng.UniformInt(1, 50)) : 0.2;
+    if (p3) p3_iops_sum += cls.avg_iops;
+    fx.result.items.push_back(cls);
+  }
+  // Peak concurrent IOPS above the per-item average (as the classifier
+  // measures on real traces) — gives N_hot the headroom that makes the
+  // placement converge without retries at ~60% IOPS fill.
+  fx.result.p3_max_iops = p3_iops_sum * 1.6;
+  fx.virt = std::make_unique<storage::BlockVirtualization>(
+      &fx.catalog, n_enclosures, 1700LL * 1024 * 1024 * 1024);
+  if (!fx.virt->PlaceInitial().ok()) {
+    std::fprintf(stderr, "planner_scale: initial placement failed\n");
+    std::exit(1);
+  }
+  core::HotColdPlanner hc(
+      core::HotColdPlanner::Options{900.0, fx.virt->capacity_bytes()});
+  core::HotColdPartition part = hc.Plan(fx.result, *fx.virt);
+  for (const core::ItemClassification& cls : fx.result.items) {
+    if (cls.pattern == core::IoPattern::kP3 &&
+        !part.IsHot(fx.virt->EnclosureOf(cls.item))) {
+      fx.movers++;
+    }
+  }
+  return fx;
+}
+
+bool SamePlacementPlan(const core::PlacementPlan& a,
+                       const core::PlacementPlan& b) {
+  if (a.partition.n_hot != b.partition.n_hot ||
+      a.partition.is_hot != b.partition.is_hot ||
+      a.migrations.size() != b.migrations.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.migrations.size(); ++i) {
+    if (a.migrations[i].item != b.migrations[i].item ||
+        a.migrations[i].from != b.migrations[i].from ||
+        a.migrations[i].to != b.migrations[i].to) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Fn>
+double MeasureSecondsPerCall(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up (grows scratch to steady state)
+  int calls = 0;
+  auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    calls++;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < 1.0 && calls < 10);
+  return elapsed / calls;
+}
+
+struct PlannerScaleCase {
+  int enclosures = 0;
+  int items = 0;
+  int64_t movers = 0;
+  int64_t migrations = 0;
+  double legacy_sec = 0.0;
+  double indexed_sec = 0.0;
+};
+
+PlannerScaleCase RunPlannerScaleCase(int n_enclosures,
+                                     int items_per_enclosure) {
+  PlannerScaleFixture fx =
+      MakePlannerScaleFixture(n_enclosures, items_per_enclosure);
+  PlannerScaleCase out;
+  out.enclosures = n_enclosures;
+  out.items = n_enclosures * items_per_enclosure;
+  out.movers = fx.movers;
+
+  core::PlacementPlanner::Options options{900.0, fx.virt->capacity_bytes()};
+  core::HotColdPlanner hot_cold(
+      core::HotColdPlanner::Options{900.0, fx.virt->capacity_bytes()});
+  core::PlacementPlanner indexed(options, &hot_cold);
+  legacy::LegacyHotColdPlanner legacy_hot_cold(
+      core::HotColdPlanner::Options{900.0, fx.virt->capacity_bytes()});
+  legacy::LegacyPlacementPlanner legacy(options, &legacy_hot_cold);
+
+  core::PlacementPlan indexed_plan = indexed.Plan(fx.result, *fx.virt);
+  core::PlacementPlan legacy_plan = legacy.Plan(fx.result, *fx.virt);
+  if (!SamePlacementPlan(indexed_plan, legacy_plan)) {
+    std::fprintf(stderr,
+                 "BENCH_perf: planner_scale %dx%d — indexed and legacy "
+                 "plans disagree (n_hot %d/%d, migrations %zu/%zu)\n",
+                 n_enclosures, items_per_enclosure, indexed_plan.partition.n_hot,
+                 legacy_plan.partition.n_hot, indexed_plan.migrations.size(),
+                 legacy_plan.migrations.size());
+    std::exit(1);
+  }
+  out.migrations = static_cast<int64_t>(indexed_plan.migrations.size());
+
+  out.indexed_sec = MeasureSecondsPerCall([&] {
+    benchmark::DoNotOptimize(indexed.Plan(fx.result, *fx.virt));
+  });
+  out.legacy_sec = MeasureSecondsPerCall([&] {
+    benchmark::DoNotOptimize(legacy.Plan(fx.result, *fx.virt));
+  });
+  return out;
+}
+
 template <typename Fn>
 double MeasureEventsPerSec(int64_t events_per_call, Fn&& fn) {
   using Clock = std::chrono::steady_clock;
@@ -920,6 +1068,11 @@ void WriteBenchPerfJson(const char* path_override) {
   }
   const unsigned host_cpus = std::thread::hardware_concurrency();
 
+  // Fleet-scale planner figure: indexed vs legacy stable_sort placement
+  // on synthetic 1k/100k and 10k/1M fleets, gated on identical plans.
+  PlannerScaleCase planner_small = RunPlannerScaleCase(1000, 100);
+  PlannerScaleCase planner_large = RunPlannerScaleCase(10000, 100);
+
   const char* path = path_override;
   if (path == nullptr) path = std::getenv("ECOSTORE_BENCH_JSON");
   if (path == nullptr) path = "BENCH_perf.json";
@@ -1000,6 +1153,23 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"overhead_pct\": %.2f,\n", telemetry_overhead_pct);
   std::fprintf(out, "    \"gate_pct\": %.1f\n", kTelemetryGatePct);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"planner_scale\": {\n");
+  std::fprintf(out, "    \"cases\": [\n");
+  const PlannerScaleCase* planner_cases[] = {&planner_small, &planner_large};
+  for (int i = 0; i < 2; ++i) {
+    const PlannerScaleCase& c = *planner_cases[i];
+    std::fprintf(out,
+                 "      {\"enclosures\": %d, \"items\": %d, "
+                 "\"p3_movers\": %lld, \"migrations\": %lld, "
+                 "\"legacy_ms_per_plan\": %.2f, "
+                 "\"indexed_ms_per_plan\": %.2f, \"speedup\": %.1f}%s\n",
+                 c.enclosures, c.items, static_cast<long long>(c.movers),
+                 static_cast<long long>(c.migrations), c.legacy_sec * 1e3,
+                 c.indexed_sec * 1e3, c.legacy_sec / c.indexed_sec,
+                 i == 0 ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f,\n",
                sim_rate);
   std::fprintf(out, "  \"simulator_seed_schedule_events_per_sec\": %.0f,\n",
@@ -1041,6 +1211,16 @@ void WriteBenchPerfJson(const char* path_override) {
               static_cast<unsigned long long>(telemetry_recorded),
               telemetry_on_rate / 1e6, telemetry_off_rate / 1e6,
               telemetry_overhead_pct, kTelemetryGatePct);
+  for (int i = 0; i < 2; ++i) {
+    const PlannerScaleCase& c = *planner_cases[i];
+    std::printf("planner scale (%d enclosures, %d items, %lld movers): "
+                "indexed %.2f ms vs legacy %.2f ms per plan (%.1fx), "
+                "%lld migrations\n",
+                c.enclosures, c.items, static_cast<long long>(c.movers),
+                c.indexed_sec * 1e3, c.legacy_sec * 1e3,
+                c.legacy_sec / c.indexed_sec,
+                static_cast<long long>(c.migrations));
+  }
   std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM, legacy "
               "%.2fM, %.2fx), cancel-heavy %.2fM ev/s -> %s\n",
               sim_rate / 1e6, kSeedSimulatorEventsPerSec / 1e6,

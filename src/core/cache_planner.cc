@@ -4,10 +4,36 @@
 
 namespace ecostore::core {
 
+namespace {
+
+/// Heap "less" for the write-delay leg: the best candidate (most writes,
+/// then smallest discovery index) must surface at the heap top, so the
+/// comparator orders *away* from that. Pop order is therefore exactly the
+/// (writes desc, catalog order asc) sequence the historical stable_sort
+/// produced — the index makes the order total.
+struct WorseWriter {
+  bool operator()(const CachePlanner::Candidate& a,
+                  const CachePlanner::Candidate& b) const {
+    if (a.cls->writes != b.cls->writes) return a.cls->writes < b.cls->writes;
+    return a.index > b.index;
+  }
+};
+
+/// Same for the preload leg: (read density desc, catalog order asc).
+struct WorseReader {
+  bool operator()(const CachePlanner::Candidate& a,
+                  const CachePlanner::Candidate& b) const {
+    if (a.density != b.density) return a.density < b.density;
+    return a.index > b.index;
+  }
+};
+
+}  // namespace
+
 CachePlan CachePlanner::Plan(
     const ClassificationResult& classification,
     const HotColdPartition& partition,
-    const std::vector<EnclosureId>& final_enclosure) const {
+    const std::vector<EnclosureId>& final_enclosure) {
   CachePlan plan;
 
   auto on_cold = [&](const ItemClassification& cls) {
@@ -23,20 +49,32 @@ CachePlan CachePlanner::Plan(
       wd_budget -= cls.write_bytes;
     }
   }
-  // Remaining budget goes to the most write-heavy cold P1 items.
+  // Remaining budget goes to the most write-heavy cold P1 items. Lazy
+  // top-k: pop candidates best-first and stop once the budget is spent —
+  // O(n + k log n) against the reference's full sort. The selection stays
+  // exact because a zero-write-bytes item is admitted even at budget 0
+  // (0 > 0 is false); the early exit only fires when no such item is in
+  // the pool.
   if (wd_budget > 0) {
-    std::vector<const ItemClassification*> p1;
+    candidate_scratch_.clear();
+    bool has_zero_write_bytes = false;
+    uint32_t index = 0;
     for (const ItemClassification& cls : classification.items) {
       if (cls.pattern == IoPattern::kP1 && on_cold(cls) && cls.writes > 0) {
-        p1.push_back(&cls);
+        candidate_scratch_.push_back(Candidate{&cls, 0.0, index++});
+        if (cls.write_bytes == 0) has_zero_write_bytes = true;
       }
     }
-    std::stable_sort(p1.begin(), p1.end(),
-                     [](const ItemClassification* a,
-                        const ItemClassification* b) {
-                       return a->writes > b->writes;
-                     });
-    for (const ItemClassification* cls : p1) {
+    std::make_heap(candidate_scratch_.begin(), candidate_scratch_.end(),
+                   WorseWriter{});
+    size_t live = candidate_scratch_.size();
+    while (live > 0) {
+      if (wd_budget <= 0 && !has_zero_write_bytes) break;
+      std::pop_heap(candidate_scratch_.begin(),
+                    candidate_scratch_.begin() + static_cast<ptrdiff_t>(live),
+                    WorseWriter{});
+      --live;
+      const ItemClassification* cls = candidate_scratch_[live].cls;
       if (cls->write_bytes > wd_budget) continue;
       plan.write_delay.push_back(cls->item);
       wd_budget -= cls->write_bytes;
@@ -44,27 +82,34 @@ CachePlan CachePlanner::Plan(
   }
 
   // --- Preload (paper §IV-F) ---
-  std::vector<const ItemClassification*> candidates;
+  // P1 items on cold enclosures by descending read-I/O density, greedily
+  // while they fit the remaining area — the same lazy-heap traversal
+  // (density precomputed once per candidate; identical FP expression to
+  // the reference comparator, so ordering is bit-equal).
+  candidate_scratch_.clear();
+  bool has_zero_size = false;
+  uint32_t index = 0;
   for (const ItemClassification& cls : classification.items) {
     if (cls.pattern == IoPattern::kP1 && on_cold(cls) && cls.reads > 0) {
-      candidates.push_back(&cls);
+      double density = cls.size_bytes > 0
+                           ? static_cast<double>(cls.reads) /
+                                 static_cast<double>(cls.size_bytes)
+                           : 0.0;
+      candidate_scratch_.push_back(Candidate{&cls, density, index++});
+      if (cls.size_bytes == 0) has_zero_size = true;
     }
   }
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [](const ItemClassification* a,
-                      const ItemClassification* b) {
-                     double da = a->size_bytes > 0
-                                     ? static_cast<double>(a->reads) /
-                                           static_cast<double>(a->size_bytes)
-                                     : 0.0;
-                     double db = b->size_bytes > 0
-                                     ? static_cast<double>(b->reads) /
-                                           static_cast<double>(b->size_bytes)
-                                     : 0.0;
-                     return da > db;
-                   });
+  std::make_heap(candidate_scratch_.begin(), candidate_scratch_.end(),
+                 WorseReader{});
   int64_t pl_budget = options_.preload_area_bytes;
-  for (const ItemClassification* cls : candidates) {
+  size_t live = candidate_scratch_.size();
+  while (live > 0) {
+    if (pl_budget <= 0 && !has_zero_size) break;
+    std::pop_heap(candidate_scratch_.begin(),
+                  candidate_scratch_.begin() + static_cast<ptrdiff_t>(live),
+                  WorseReader{});
+    --live;
+    const ItemClassification* cls = candidate_scratch_[live].cls;
     if (cls->size_bytes > pl_budget) continue;
     plan.preload.emplace_back(cls->item, cls->size_bytes);
     pl_budget -= cls->size_bytes;

@@ -1,6 +1,7 @@
 #ifndef ECOSTORE_CORE_CACHE_PLANNER_H_
 #define ECOSTORE_CORE_CACHE_PLANNER_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct CachePlan {
 ///
 /// Preload: P1 items on cold enclosures by descending read-I/O density
 /// (reads per byte), greedily while they fit the preload area.
+///
+/// Both budgeted selections run as lazy heap top-k (pop best-first, stop
+/// when the budget is spent) instead of full sorts; output is bit-equal
+/// to the stable_sort reference in bench/legacy_planner.h (DESIGN.md
+/// §12 — the budget makes k data-dependent, which is why this leg uses a
+/// heap where HotColdPlanner can use nth_element).
 class CachePlanner {
  public:
   struct Options {
@@ -36,17 +43,29 @@ class CachePlanner {
     int64_t write_delay_area_bytes = 0;
   };
 
+  /// One scored selection candidate; index is the discovery (catalog)
+  /// order, the total-order tie-break.
+  struct Candidate {
+    const ItemClassification* cls;
+    double density;
+    uint32_t index;
+  };
+
   explicit CachePlanner(const Options& options) : options_(options) {}
 
+  /// Non-const: the candidate scratch persists across periods so
+  /// steady-state planning allocates nothing.
+  ///
   /// \param final_enclosure item -> enclosure after the planned
   ///        migrations complete
   /// \param partition the hot/cold split the placement settled on
   CachePlan Plan(const ClassificationResult& classification,
                  const HotColdPartition& partition,
-                 const std::vector<EnclosureId>& final_enclosure) const;
+                 const std::vector<EnclosureId>& final_enclosure);
 
  private:
   Options options_;
+  std::vector<Candidate> candidate_scratch_;
 };
 
 /// \brief Adapts the monitoring-period length: I_new = avg(Long Intervals)

@@ -1,7 +1,6 @@
 #include "core/eco_storage_policy.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/logging.h"
 #include "telemetry/recorder.h"
@@ -28,8 +27,15 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
     const monitor::MonitorSnapshot& snapshot,
     const storage::StorageSystem& system,
     policies::PolicyActuator* actuator) {
-  last_plan_ = function_->Run(snapshot, system, current_period_);
+  // A §V-D trigger caused this period end iff the flag is still up: that
+  // is direct evidence of a sudden pattern change, so the management
+  // function must re-plan from scratch rather than incrementally.
+  last_plan_ =
+      function_->Run(snapshot, system, current_period_,
+                     /*force_full=*/triggered_this_period_);
   placement_determinations_++;
+  if (last_plan_.incremental) incremental_replans_++;
+  if (last_plan_.placement_skipped) placements_skipped_++;
   pattern_history_.push_back(last_plan_.classification.pattern_counts);
 
   // Publish the plan epoch — 1-based, so epoch 0 means "no plan yet" —
@@ -72,33 +78,47 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
            !last_plan_.partition.IsHot(enc);
   };
 
-  std::unordered_set<DataItemId> wd(last_plan_.cache.write_delay.begin(),
-                                    last_plan_.cache.write_delay.end());
+  // The carried selection lives in a sorted id vector — assigning from a
+  // hash set would bake stdlib-dependent iteration order into persistent
+  // policy state — and every merge below reuses member scratch, so a
+  // steady-state period allocates nothing.
+  wd_fresh_scratch_.assign(last_plan_.cache.write_delay.begin(),
+                           last_plan_.cache.write_delay.end());
+  std::sort(wd_fresh_scratch_.begin(), wd_fresh_scratch_.end());
+  wd_carry_scratch_.clear();
   for (DataItemId item : prev_write_delay_) {
-    if (still_cold_non_p3(item)) wd.insert(item);
+    if (still_cold_non_p3(item)) wd_carry_scratch_.push_back(item);
   }
-  prev_write_delay_.assign(wd.begin(), wd.end());
-  actuator->SetWriteDelayItems(wd);
+  prev_write_delay_.clear();
+  std::set_union(wd_fresh_scratch_.begin(), wd_fresh_scratch_.end(),
+                 wd_carry_scratch_.begin(), wd_carry_scratch_.end(),
+                 std::back_inserter(prev_write_delay_));
+  wd_actuator_scratch_.clear();
+  wd_actuator_scratch_.insert(prev_write_delay_.begin(),
+                              prev_write_delay_.end());
+  actuator->SetWriteDelayItems(wd_actuator_scratch_);
 
-  std::vector<std::pair<DataItemId, int64_t>> preload =
-      last_plan_.cache.preload;
+  // Preload keeps enact order: fresh picks first (planner density order —
+  // the order the preload I/O issues in), surviving carryover after.
+  preload_scratch_ = last_plan_.cache.preload;
   int64_t budget = function_->config().preload_area_bytes;
-  std::unordered_set<DataItemId> fresh_ids;
-  fresh_ids.reserve(preload.size());
-  for (const auto& [item, size] : preload) {
-    fresh_ids.insert(item);
+  fresh_ids_scratch_.clear();
+  for (const auto& [item, size] : preload_scratch_) {
+    fresh_ids_scratch_.push_back(item);
     budget -= size;
   }
+  std::sort(fresh_ids_scratch_.begin(), fresh_ids_scratch_.end());
   for (const auto& [item, size] : prev_preload_) {
-    if (fresh_ids.count(item) != 0 || !still_cold_non_p3(item) ||
-        size > budget) {
+    if (std::binary_search(fresh_ids_scratch_.begin(),
+                           fresh_ids_scratch_.end(), item) ||
+        !still_cold_non_p3(item) || size > budget) {
       continue;
     }
-    preload.emplace_back(item, size);
+    preload_scratch_.emplace_back(item, size);
     budget -= size;
   }
-  prev_preload_ = preload;
-  actuator->SetPreloadItems(preload);
+  prev_preload_ = preload_scratch_;
+  actuator->SetPreloadItems(preload_scratch_);
   for (size_t e = 0; e < last_plan_.spin_down_allowed.size(); ++e) {
     actuator->SetSpinDownAllowed(static_cast<EnclosureId>(e),
                                  last_plan_.spin_down_allowed[e]);
@@ -109,28 +129,50 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   // the enacted plan took, plus the partition and period adaptation.
   telemetry::Recorder* recorder = actuator->telemetry();
   if (telemetry::Wants(recorder, telemetry::kClassDecision)) {
-    std::unordered_map<DataItemId, EnclosureId> migration_target;
+    // Sorted scratch vectors instead of per-period hash tables: the
+    // lookups below are binary searches over id-sorted ranges.
+    migration_target_scratch_.clear();
     for (const Migration& mig : last_plan_.migrations) {
-      migration_target.emplace(mig.item, mig.to);
+      migration_target_scratch_.emplace_back(mig.item, mig.to);
     }
-    std::unordered_set<DataItemId> preload_ids;
-    for (const auto& [item, size] : preload) preload_ids.insert(item);
+    std::sort(migration_target_scratch_.begin(),
+              migration_target_scratch_.end());
+    preload_ids_scratch_.clear();
+    for (const auto& [item, size] : preload_scratch_) {
+      preload_ids_scratch_.push_back(item);
+    }
+    std::sort(preload_ids_scratch_.begin(), preload_ids_scratch_.end());
+    auto migration_of = [&](DataItemId item) -> const EnclosureId* {
+      auto it = std::lower_bound(
+          migration_target_scratch_.begin(), migration_target_scratch_.end(),
+          item,
+          [](const std::pair<DataItemId, EnclosureId>& a, DataItemId b) {
+            return a.first < b;
+          });
+      if (it == migration_target_scratch_.end() || it->first != item) {
+        return nullptr;
+      }
+      return &it->second;
+    };
     SimTime now = actuator->Now();
     for (const ItemClassification& cls : last_plan_.classification.items) {
       telemetry::DecisionPayload d;
       d.item = cls.item;
       d.pattern = static_cast<uint8_t>(cls.pattern);
-      auto mig = migration_target.find(cls.item);
-      if (mig != migration_target.end()) d.actions |= telemetry::kActionMigrate;
-      if (wd.count(cls.item) != 0) d.actions |= telemetry::kActionWriteDelay;
-      if (preload_ids.count(cls.item) != 0) {
+      const EnclosureId* mig = migration_of(cls.item);
+      if (mig != nullptr) d.actions |= telemetry::kActionMigrate;
+      if (std::binary_search(prev_write_delay_.begin(),
+                             prev_write_delay_.end(), cls.item)) {
+        d.actions |= telemetry::kActionWriteDelay;
+      }
+      if (std::binary_search(preload_ids_scratch_.begin(),
+                             preload_ids_scratch_.end(), cls.item)) {
         d.actions |= telemetry::kActionPreload;
       }
       if (cls.total_ios() == 0 && d.actions == 0) continue;  // untouched
       d.enclosure = static_cast<int16_t>(
-          mig != migration_target.end()
-              ? mig->second
-              : system.virtualization().EnclosureOf(cls.item));
+          mig != nullptr ? *mig
+                         : system.virtualization().EnclosureOf(cls.item));
       d.long_intervals = static_cast<int32_t>(cls.long_intervals.size());
       d.io_sequences = static_cast<int32_t>(cls.io_sequences);
       d.read_permille = cls.total_ios() > 0
@@ -163,6 +205,10 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
                        << " migrations=" << last_plan_.migrations.size()
                        << " wd=" << last_plan_.cache.write_delay.size()
                        << " preload=" << last_plan_.cache.preload.size()
+                       << (last_plan_.placement_skipped
+                               ? " [incremental: skipped]"
+                               : last_plan_.incremental ? " [incremental]"
+                                                        : "")
                        << " next=" << FormatDuration(current_period_);
   return current_period_;
 }

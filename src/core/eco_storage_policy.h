@@ -4,6 +4,8 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/power_management.h"
@@ -55,6 +57,11 @@ class EcoStoragePolicy : public policies::StoragePolicy {
   /// The most recent plan (inspection/testing).
   const ManagementPlan& last_plan() const { return last_plan_; }
 
+  /// How many period ends took the incremental re-plan path, and how many
+  /// of those skipped placement entirely (DESIGN.md §12).
+  int64_t incremental_replans() const { return incremental_replans_; }
+  int64_t placements_skipped() const { return placements_skipped_; }
+
  private:
   PowerManagementConfig config_;
   std::unique_ptr<PowerManagementFunction> function_;
@@ -69,16 +76,30 @@ class EcoStoragePolicy : public policies::StoragePolicy {
   std::vector<int64_t> cold_power_on_counts_;
 
   /// Previous cache selections, kept sticky across periods (paper §V-C).
+  /// prev_write_delay_ is maintained sorted by item id: persistent policy
+  /// state must not depend on hash-set iteration order. prev_preload_
+  /// keeps enact order (it drives the preload I/O sequence).
   std::vector<DataItemId> prev_write_delay_;
   std::vector<std::pair<DataItemId, int64_t>> prev_preload_;
 
   ManagementPlan last_plan_;
   int64_t placement_determinations_ = 0;
+  int64_t incremental_replans_ = 0;
+  int64_t placements_skipped_ = 0;
   std::vector<std::array<int64_t, kNumIoPatterns>> pattern_history_;
 
   /// Reusable per-item pattern table handed to PublishPlan each period;
   /// member so steady-state periods allocate nothing.
   std::vector<uint8_t> pattern_scratch_;
+
+  /// Per-period scratch, member-owned so steady state allocates nothing.
+  std::vector<DataItemId> wd_fresh_scratch_;
+  std::vector<DataItemId> wd_carry_scratch_;
+  std::unordered_set<DataItemId> wd_actuator_scratch_;
+  std::vector<std::pair<DataItemId, int64_t>> preload_scratch_;
+  std::vector<DataItemId> fresh_ids_scratch_;
+  std::vector<DataItemId> preload_ids_scratch_;
+  std::vector<std::pair<DataItemId, EnclosureId>> migration_target_scratch_;
 };
 
 }  // namespace ecostore::core

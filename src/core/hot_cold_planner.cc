@@ -14,7 +14,8 @@ HotColdPartition HotColdPlanner::Plan(
   partition.is_hot.assign(static_cast<size_t>(n), false);
 
   // Per-enclosure total size of resident P3 items, and global P3 totals.
-  std::vector<int64_t> p3_bytes(static_cast<size_t>(n), 0);
+  std::vector<int64_t>& p3_bytes = p3_bytes_scratch_;
+  p3_bytes.assign(static_cast<size_t>(n), 0);
   int64_t p3_total_bytes = 0;
   for (const ItemClassification& cls : classification.items) {
     if (cls.pattern != IoPattern::kP3) continue;
@@ -36,14 +37,29 @@ HotColdPartition HotColdPlanner::Plan(
   partition.n_hot = n_hot;
 
   // Paper §IV-C Step 3: hot = the n_hot enclosures richest in P3 bytes.
-  std::vector<int> order(static_cast<size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return p3_bytes[static_cast<size_t>(a)] > p3_bytes[static_cast<size_t>(b)];
-  });
-  for (int i = 0; i < n_hot; ++i) {
-    partition.is_hot[static_cast<size_t>(order[static_cast<size_t>(i)])] =
-        true;
+  // Only the top-n_hot *set* matters (the prefix is never ordered again),
+  // and the comparator below is a strict total order — bytes descending
+  // with the enclosure id breaking ties exactly as the historical
+  // stable_sort did — so nth_element selects the identical set in O(n)
+  // instead of O(n log n).
+  if (n_hot > 0 && n_hot < n) {
+    std::vector<int>& order = order_scratch_;
+    order.resize(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    auto hotter = [&](int a, int b) {
+      int64_t ba = p3_bytes[static_cast<size_t>(a)];
+      int64_t bb = p3_bytes[static_cast<size_t>(b)];
+      if (ba != bb) return ba > bb;
+      return a < b;
+    };
+    std::nth_element(order.begin(), order.begin() + n_hot, order.end(),
+                     hotter);
+    for (int i = 0; i < n_hot; ++i) {
+      partition.is_hot[static_cast<size_t>(order[static_cast<size_t>(i)])] =
+          true;
+    }
+  } else if (n_hot >= n) {
+    partition.is_hot.assign(static_cast<size_t>(n), true);
   }
   return partition;
 }

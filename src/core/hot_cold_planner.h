@@ -27,7 +27,10 @@ struct HotColdPartition {
 ///
 /// N_hot = max(ceil(I_max / O), ceil(sum of P3 sizes / S)); the N_hot
 /// enclosures holding the most P3 bytes become hot (minimising the P3
-/// bytes that must migrate off cold enclosures).
+/// bytes that must migrate off cold enclosures). Selection is an O(n)
+/// nth_element top-k — set-equivalent to the stable_sort reference in
+/// bench/legacy_planner.h because the tie-break (enclosure id ascending)
+/// makes the order total (DESIGN.md §12).
 class HotColdPlanner {
  public:
   struct Options {
@@ -47,6 +50,9 @@ class HotColdPlanner {
 
  private:
   Options options_;
+  /// Scratch reused across periods (single-threaded planner use).
+  mutable std::vector<int64_t> p3_bytes_scratch_;
+  mutable std::vector<int> order_scratch_;
 };
 
 }  // namespace ecostore::core

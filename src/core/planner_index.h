@@ -1,0 +1,153 @@
+#ifndef ECOSTORE_CORE_PLANNER_INDEX_H_
+#define ECOSTORE_CORE_PLANNER_INDEX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecostore::core {
+
+/// Top-first order for cold migration targets: Algorithm 3 prefers the
+/// cold enclosure with the largest working IOPS, ties broken toward the
+/// smaller enclosure id (the order a stable_sort over an id-ascending list
+/// produces — the tie-break every replay golden is keyed to).
+struct ColdTargetOrder {
+  bool operator()(double key_a, EnclosureId a, double key_b,
+                  EnclosureId b) const {
+    if (key_a != key_b) return key_a > key_b;
+    return a < b;
+  }
+};
+
+/// Top-first order for hot placement sources: Algorithm 2 fills the
+/// least-loaded hot enclosure first, same id-ascending tie-break.
+struct HotSourceOrder {
+  bool operator()(double key_a, EnclosureId a, double key_b,
+                  EnclosureId b) const {
+    if (key_a != key_b) return key_a < key_b;
+    return a < b;
+  }
+};
+
+/// \brief Addressable binary heap over enclosure ids keyed by a double
+/// (working IOPS while planning).
+///
+/// The planner needs two operations a plain priority queue lacks: update
+/// the key of an arbitrary enclosure in O(log n) after an ApplyMove, and
+/// traverse enclosures in exact sorted order (pop, examine, push back)
+/// so decisions match the stable_sort reference bit for bit. A dense
+/// position index (enclosure id -> heap slot) provides both. Because the
+/// comparators above are strict total orders — the id breaks every tie —
+/// the pop sequence is the unique sorted order, independent of the
+/// heap's internal layout.
+template <typename TopFirst>
+class IndexedEnclosureHeap {
+ public:
+  /// Empties the heap and re-sizes the position index for ids [0, n).
+  void Reset(int num_enclosures) {
+    heap_.clear();
+    pos_.assign(static_cast<size_t>(num_enclosures), -1);
+    key_.assign(static_cast<size_t>(num_enclosures), 0.0);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  bool Contains(EnclosureId e) const {
+    return pos_[static_cast<size_t>(e)] >= 0;
+  }
+  double KeyOf(EnclosureId e) const { return key_[static_cast<size_t>(e)]; }
+
+  /// The enclosure the active order puts first. Heap must be non-empty.
+  EnclosureId Top() const { return heap_.front(); }
+
+  void Push(EnclosureId e, double key) {
+    assert(pos_[static_cast<size_t>(e)] < 0);
+    key_[static_cast<size_t>(e)] = key;
+    pos_[static_cast<size_t>(e)] = static_cast<int32_t>(heap_.size());
+    heap_.push_back(e);
+    SiftUp(heap_.size() - 1);
+  }
+
+  EnclosureId Pop() {
+    EnclosureId top = heap_.front();
+    RemoveAt(0);
+    return top;
+  }
+
+  /// Re-keys an enclosure already in the heap; O(log n).
+  void Update(EnclosureId e, double key) {
+    auto i = static_cast<size_t>(pos_[static_cast<size_t>(e)]);
+    assert(i < heap_.size());
+    key_[static_cast<size_t>(e)] = key;
+    if (!SiftUp(i)) SiftDown(i);
+  }
+
+  void Remove(EnclosureId e) {
+    auto i = static_cast<size_t>(pos_[static_cast<size_t>(e)]);
+    assert(i < heap_.size());
+    RemoveAt(i);
+  }
+
+ private:
+  bool Before(EnclosureId a, EnclosureId b) const {
+    return TopFirst{}(key_[static_cast<size_t>(a)], a,
+                      key_[static_cast<size_t>(b)], b);
+  }
+
+  void Place(size_t i, EnclosureId e) {
+    heap_[i] = e;
+    pos_[static_cast<size_t>(e)] = static_cast<int32_t>(i);
+  }
+
+  bool SiftUp(size_t i) {
+    EnclosureId e = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!Before(e, heap_[parent])) break;
+      Place(i, heap_[parent]);
+      i = parent;
+      moved = true;
+    }
+    if (moved) Place(i, e);
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    EnclosureId e = heap_[i];
+    size_t n = heap_.size();
+    bool moved = false;
+    while (true) {
+      size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && Before(heap_[child + 1], heap_[child])) ++child;
+      if (!Before(heap_[child], e)) break;
+      Place(i, heap_[child]);
+      i = child;
+      moved = true;
+    }
+    if (moved) Place(i, e);
+  }
+
+  void RemoveAt(size_t i) {
+    EnclosureId removed = heap_[i];
+    pos_[static_cast<size_t>(removed)] = -1;
+    EnclosureId last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      Place(i, last);
+      if (!SiftUp(i)) SiftDown(i);
+    }
+  }
+
+  std::vector<EnclosureId> heap_;
+  std::vector<int32_t> pos_;  // enclosure id -> heap slot, -1 when absent
+  std::vector<double> key_;   // enclosure id -> current key
+};
+
+}  // namespace ecostore::core
+
+#endif  // ECOSTORE_CORE_PLANNER_INDEX_H_

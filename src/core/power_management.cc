@@ -1,8 +1,14 @@
 #include "core/power_management.h"
 
+#include <algorithm>
+
 namespace ecostore::core {
 
 namespace {
+
+bool SamePartition(const HotColdPartition& a, const HotColdPartition& b) {
+  return a.n_hot == b.n_hot && a.is_hot == b.is_hot;
+}
 
 PowerManagementConfig FillDefaults(PowerManagementConfig config,
                                    const storage::StorageSystem& system) {
@@ -57,7 +63,7 @@ PowerManagementFunction::PowerManagementFunction(
 ManagementPlan PowerManagementFunction::Run(
     const monitor::MonitorSnapshot& snapshot,
     const storage::StorageSystem& system,
-    SimDuration current_period) const {
+    SimDuration current_period, bool force_full) {
   ManagementPlan plan;
   const storage::BlockVirtualization& virt = system.virtualization();
 
@@ -68,9 +74,85 @@ ManagementPlan PowerManagementFunction::Run(
 
   // Determine hot/cold enclosures + data placement.
   if (config_.enable_placement) {
-    PlacementPlan placement = placement_.Plan(plan.classification, virt);
-    plan.partition = std::move(placement.partition);
-    plan.migrations = std::move(placement.migrations);
+    const size_t n_items = plan.classification.items.size();
+    bool planned = false;
+
+    // Incremental path (DESIGN.md §12). Sound because every item that can
+    // be P3-and-on-cold *now* is reachable from one of three facts: its
+    // pattern changed since the last plan (dirty), its residency changed
+    // since the last plan (move journal — in-flight migrations commit
+    // between periods), or it was already P3-on-cold at the last plan
+    // (residue). Anything else kept both its pattern and its enclosure,
+    // and under an unchanged partition an unchanged P3 item still sits
+    // hot. A partition shift invalidates that last step, so it falls back
+    // to the full plan.
+    if (config_.enable_incremental_replan && !force_full && have_prev_ &&
+        prev_patterns_.size() == n_items &&
+        journal_cursor_ <= virt.move_log_size()) {
+      candidate_scratch_.clear();
+      for (size_t i = 0; i < n_items; ++i) {
+        if (static_cast<uint8_t>(plan.classification.items[i].pattern) !=
+            prev_patterns_[i]) {
+          candidate_scratch_.push_back(static_cast<DataItemId>(i));
+        }
+      }
+      plan.dirty_items = static_cast<int64_t>(candidate_scratch_.size());
+      const std::vector<DataItemId>& log = virt.move_log();
+      candidate_scratch_.insert(candidate_scratch_.end(),
+                                log.begin() + static_cast<ptrdiff_t>(
+                                                  journal_cursor_),
+                                log.end());
+      candidate_scratch_.insert(candidate_scratch_.end(),
+                                prev_p3_cold_.begin(), prev_p3_cold_.end());
+      std::sort(candidate_scratch_.begin(), candidate_scratch_.end());
+      candidate_scratch_.erase(std::unique(candidate_scratch_.begin(),
+                                           candidate_scratch_.end()),
+                               candidate_scratch_.end());
+      plan.replan_candidates =
+          static_cast<int64_t>(candidate_scratch_.size());
+
+      HotColdPartition fresh = hot_cold_.Plan(plan.classification, virt);
+      if (SamePartition(fresh, prev_partition_)) {
+        if (candidate_scratch_.empty()) {
+          // Fast path: nothing can have become P3-on-cold, so the full
+          // planner would compute an empty mover list and no migrations.
+          plan.partition = std::move(fresh);
+          plan.migrations.clear();
+          prev_p3_cold_.clear();
+          plan.incremental = true;
+          plan.placement_skipped = true;
+          planned = true;
+        } else {
+          PlacementPlan placement =
+              placement_.Plan(plan.classification, virt,
+                              &candidate_scratch_, &prev_p3_cold_);
+          plan.partition = std::move(placement.partition);
+          plan.migrations = std::move(placement.migrations);
+          plan.incremental = true;
+          planned = true;
+        }
+      }
+    }
+
+    if (!planned) {
+      PlacementPlan placement =
+          placement_.Plan(plan.classification, virt, nullptr,
+                          &prev_p3_cold_);
+      plan.partition = std::move(placement.partition);
+      plan.migrations = std::move(placement.migrations);
+    }
+
+    // Snapshot the state the next period's incremental decision needs:
+    // the settled partition *before* the safety net below mutates it,
+    // the pattern table, and the consumed journal prefix.
+    prev_partition_ = plan.partition;
+    prev_patterns_.resize(n_items);
+    for (size_t i = 0; i < n_items; ++i) {
+      prev_patterns_[i] =
+          static_cast<uint8_t>(plan.classification.items[i].pattern);
+    }
+    journal_cursor_ = virt.move_log_size();
+    have_prev_ = true;
   } else {
     plan.partition = hot_cold_.Plan(plan.classification, virt);
     // Items stay put; cold enclosures may still hold P3 items. Such

@@ -44,6 +44,14 @@ struct PowerManagementConfig {
   bool enable_write_delay = true;
   bool enable_adaptive_period = true;
   bool enable_pattern_change_triggers = true;
+  /// Incremental re-planning (DESIGN.md §12): when the hot/cold partition
+  /// is unchanged since the last period, Algorithm 2 only considers items
+  /// whose classified pattern changed, that moved enclosure since the last
+  /// plan, or that were P3-on-cold last time — and skips placement
+  /// entirely when that union is empty. Plans are provably identical to
+  /// full re-planning, so this is safe to leave on; the flag exists for
+  /// ablation and the equivalence tests.
+  bool enable_incremental_replan = true;
 
   Status Validate() const;
 };
@@ -58,11 +66,26 @@ struct ManagementPlan {
   /// Per-enclosure spin-down permission (true = cold, may power off).
   std::vector<bool> spin_down_allowed;
   SimDuration next_period = 0;
+
+  /// Incremental re-plan audit (DESIGN.md §12). `incremental` is true
+  /// when Algorithm 2 ran against the candidate set instead of the full
+  /// catalog; `placement_skipped` when the empty-candidate fast path
+  /// bypassed placement entirely (migrations trivially empty).
+  bool incremental = false;
+  bool placement_skipped = false;
+  int64_t dirty_items = 0;        ///< pattern changes since the last period
+  int64_t replan_candidates = 0;  ///< dirty ∪ moved ∪ residue handed over
 };
 
 /// \brief The power-management function (paper Algorithm 1): classify
 /// patterns, split hot/cold, plan placement, pick write-delay and preload
 /// items, configure power-off, and adapt the monitoring period.
+///
+/// Stateful across invocations: it remembers the previous period's
+/// pattern table, the partition the placement settled on, the residual
+/// P3-on-cold set and a cursor into the virtualization layer's move
+/// journal, which together drive the incremental re-plan path
+/// (DESIGN.md §12). One instance serves one experiment run.
 class PowerManagementFunction {
  public:
   /// \param config method parameters; zero-valued capacity/cache fields
@@ -73,9 +96,13 @@ class PowerManagementFunction {
   const PowerManagementConfig& config() const { return config_; }
 
   /// Runs one management decision over a period snapshot.
+  ///
+  /// \param force_full bypass the incremental path for this invocation
+  ///        (the §V-D sudden-change triggers request this: the trigger
+  ///        itself is evidence the pattern landscape shifted).
   ManagementPlan Run(const monitor::MonitorSnapshot& snapshot,
                      const storage::StorageSystem& system,
-                     SimDuration current_period) const;
+                     SimDuration current_period, bool force_full = false);
 
  private:
   PowerManagementConfig config_;
@@ -84,6 +111,19 @@ class PowerManagementFunction {
   PlacementPlanner placement_;
   CachePlanner cache_;
   MonitoringPeriodController period_;
+
+  // ---- incremental re-plan state (DESIGN.md §12) ----
+  bool have_prev_ = false;
+  /// Pattern of every item at the last plan (IoPattern as uint8_t).
+  std::vector<uint8_t> prev_patterns_;
+  /// Partition the last placement settled on (pre safety-net).
+  HotColdPartition prev_partition_;
+  /// Residue: items that were P3-on-cold at the last placement (their
+  /// migrations may still be in flight or may have failed).
+  std::vector<DataItemId> prev_p3_cold_;
+  /// Consumed prefix of BlockVirtualization::move_log().
+  size_t journal_cursor_ = 0;
+  std::vector<DataItemId> candidate_scratch_;
 };
 
 }  // namespace ecostore::core

@@ -54,6 +54,15 @@ class BlockVirtualization {
     return static_cast<int64_t>(item) << 32;
   }
 
+  /// Append-only residency journal: one entry per committed MoveItem that
+  /// actually changed an item's enclosure, in commit order. The
+  /// incremental re-planner reads the suffix past its cursor to learn
+  /// which items moved since the last plan (stale in-flight migrations
+  /// can land an item on a cold enclosure between periods); see
+  /// DESIGN.md §12. Cleared by PlaceInitial.
+  const std::vector<DataItemId>& move_log() const { return move_log_; }
+  size_t move_log_size() const { return move_log_.size(); }
+
   const DataItemCatalog& catalog() const { return *catalog_; }
 
  private:
@@ -61,6 +70,7 @@ class BlockVirtualization {
   int64_t capacity_;
   std::vector<EnclosureId> placement_;  // item -> enclosure
   std::vector<int64_t> used_bytes_;     // per enclosure
+  std::vector<DataItemId> move_log_;    // committed residency changes
 };
 
 }  // namespace ecostore::storage

@@ -1,0 +1,236 @@
+#include "workload/cloud_block_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ecostore::workload {
+
+Status CloudBlockConfig::Validate() const {
+  if (duration <= 0) return Status::InvalidArgument("duration must be > 0");
+  if (num_enclosures < 2) {
+    return Status::InvalidArgument("need at least 2 enclosures");
+  }
+  if (volumes_per_enclosure < 1 || items_per_volume < 1) {
+    return Status::InvalidArgument(
+        "need at least 1 volume per enclosure and 1 item per volume");
+  }
+  if (hot_volume_fraction < 0 || bursty_write_fraction < 0 ||
+      read_burst_fraction < 0 ||
+      hot_volume_fraction + bursty_write_fraction + read_burst_fraction >
+          1.0) {
+    return Status::InvalidArgument(
+        "role fractions must be non-negative and sum to <= 1");
+  }
+  if (zipf_theta < 0) {
+    return Status::InvalidArgument("zipf_theta must be non-negative");
+  }
+  if (hot_volume_iops <= 0 || hot_volume_iops_floor <= 0 ||
+      hot_burst_ratio < 1.0) {
+    return Status::InvalidArgument("invalid hot-volume rate parameters");
+  }
+  if (bursty_interval_head <= 0 ||
+      bursty_interval_tail < bursty_interval_head || read_interval_head <= 0 ||
+      read_interval_tail < read_interval_head || idle_interval <= 0) {
+    return Status::InvalidArgument("invalid episode intervals");
+  }
+  if (item_size_median <= 0 || item_size_sigma < 0 || min_item_bytes <= 0 ||
+      max_item_bytes < min_item_bytes) {
+    return Status::InvalidArgument("invalid item size distribution");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CloudBlockWorkload>> CloudBlockWorkload::Create(
+    const CloudBlockConfig& config) {
+  ECOSTORE_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<CloudBlockWorkload> workload(
+      new CloudBlockWorkload(config));
+  ECOSTORE_RETURN_NOT_OK(workload->Build());
+  return workload;
+}
+
+Status CloudBlockWorkload::Build() {
+  const CloudBlockConfig& c = config_;
+  info_.name = "cloud_block";
+  info_.duration = c.duration;
+  info_.num_enclosures = c.num_enclosures;
+
+  const int num_volumes = c.num_enclosures * c.volumes_per_enclosure;
+  hot_volumes_ = static_cast<int>(
+      std::llround(c.hot_volume_fraction * num_volumes));
+  bursty_volumes_ = static_cast<int>(
+      std::llround(c.bursty_write_fraction * num_volumes));
+  read_volumes_ = static_cast<int>(
+      std::llround(c.read_burst_fraction * num_volumes));
+  // At least one continuously-hot volume, or there is no P3 population at
+  // all and the placement has nothing to consolidate.
+  hot_volumes_ = std::max(hot_volumes_, 1);
+  idle_volumes_ =
+      std::max(num_volumes - hot_volumes_ - bursty_volumes_ - read_volumes_,
+               0);
+  bursty_volumes_ =
+      std::min(bursty_volumes_, num_volumes - hot_volumes_);
+  read_volumes_ = std::min(
+      read_volumes_, num_volumes - hot_volumes_ - bursty_volumes_);
+
+  Xoshiro256 rng(c.seed);
+
+  // Popularity ranks scatter over the fleet via a Fisher-Yates shuffle:
+  // rank_of[v] is volume v's global popularity rank. Without the shuffle
+  // all hot volumes would sit on the first enclosures and the planner
+  // would have nothing to do.
+  std::vector<int> rank_of(static_cast<size_t>(num_volumes));
+  for (int v = 0; v < num_volumes; ++v) rank_of[static_cast<size_t>(v)] = v;
+  for (int v = num_volumes - 1; v > 0; --v) {
+    auto u = static_cast<size_t>(rng.UniformInt(0, v));
+    std::swap(rank_of[static_cast<size_t>(v)], rank_of[u]);
+  }
+
+  segments_.reserve(static_cast<size_t>(num_volumes) *
+                    static_cast<size_t>(c.items_per_volume));
+  for (int v = 0; v < num_volumes; ++v) {
+    VolumeId vol = catalog_.AddVolume(
+        static_cast<EnclosureId>(v / c.volumes_per_enclosure));
+    const int rank = rank_of[static_cast<size_t>(v)];
+    Role role;
+    if (rank < hot_volumes_) {
+      role = Role::kHot;
+    } else if (rank < hot_volumes_ + bursty_volumes_) {
+      role = Role::kBurstyWrite;
+    } else if (rank < hot_volumes_ + bursty_volumes_ + read_volumes_) {
+      role = Role::kReadBurst;
+    } else {
+      role = Role::kIdle;
+    }
+    for (int s = 0; s < c.items_per_volume; ++s) {
+      auto size = static_cast<int64_t>(
+          rng.LogNormal(c.item_size_median, c.item_size_sigma));
+      size = std::clamp(size, c.min_item_bytes, c.max_item_bytes);
+      Result<DataItemId> id = catalog_.AddItem(
+          "vol" + std::to_string(v) + "_seg" + std::to_string(s), vol, size,
+          storage::DataItemKind::kFile, /*pinned=*/false);
+      if (!id.ok()) return id.status();
+      SegmentSpec spec;
+      spec.item = id.value();
+      spec.size = size;
+      spec.role = role;
+      spec.rank = rank;
+      segments_.push_back(spec);
+      info_.total_data_bytes += size;
+    }
+  }
+
+  BuildSources();
+  return Status::OK();
+}
+
+void CloudBlockWorkload::BuildSources() {
+  const CloudBlockConfig& c = config_;
+  mixer_.Clear();
+  uint64_t salt = 0;
+  const double per_item = 1.0 / static_cast<double>(c.items_per_volume);
+  for (const SegmentSpec& spec : segments_) {
+    uint64_t seed = c.seed * 1000003 + (++salt);
+    switch (spec.role) {
+      case Role::kHot: {
+        // Zipf-decayed volume rate, floored so the tail of the hot set
+        // stays continuously busy (inter-arrival << break-even → P3),
+        // split evenly over the volume's segments.
+        double weight =
+            std::pow(static_cast<double>(spec.rank + 1), -c.zipf_theta);
+        double vol_rate =
+            std::max(c.hot_volume_iops * weight, c.hot_volume_iops_floor);
+        SteadyRandomSource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.low_rate = vol_rate * per_item;
+        o.high_rate = o.low_rate * c.hot_burst_ratio;
+        o.high_duration = c.hot_high_duration;
+        o.low_duration = c.hot_low_duration;
+        o.phase_offset = static_cast<SimTime>(salt) * 11 * kSecond;
+        o.read_ratio = c.hot_read_ratio;
+        o.io_size = 16 * 1024;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<SteadyRandomSource>(o));
+        break;
+      }
+      case Role::kBurstyWrite: {
+        // Episode gap grows with popularity rank across the bursty band;
+        // per-item interval is the volume interval times items_per_volume
+        // so the volume-level episode rate matches the calibration.
+        double frac =
+            bursty_volumes_ > 1
+                ? static_cast<double>(spec.rank - hot_volumes_) /
+                      static_cast<double>(bursty_volumes_ - 1)
+                : 0.0;
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = static_cast<SimDuration>(
+            (static_cast<double>(c.bursty_interval_head) +
+             frac * static_cast<double>(c.bursty_interval_tail -
+                                        c.bursty_interval_head)) *
+            static_cast<double>(c.items_per_volume));
+        o.episode_length = c.bursty_episode_length;
+        o.intra_gap = c.bursty_intra_gap;
+        o.read_ratio = c.bursty_read_ratio;
+        o.io_size = 64 * 1024;
+        o.sequential = true;
+        o.cap_episode_to_item_size = true;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+      case Role::kReadBurst: {
+        double frac =
+            read_volumes_ > 1
+                ? static_cast<double>(spec.rank - hot_volumes_ -
+                                      bursty_volumes_) /
+                      static_cast<double>(read_volumes_ - 1)
+                : 0.0;
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = static_cast<SimDuration>(
+            (static_cast<double>(c.read_interval_head) +
+             frac * static_cast<double>(c.read_interval_tail -
+                                        c.read_interval_head)) *
+            static_cast<double>(c.items_per_volume));
+        o.episode_length = c.read_episode_length;
+        o.intra_gap = c.read_intra_gap;
+        o.read_ratio = c.read_read_ratio;
+        o.io_size = 128 * 1024;
+        o.sequential = true;
+        o.cap_episode_to_item_size = true;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+      case Role::kIdle: {
+        BurstySource::Options o;
+        o.item = spec.item;
+        o.item_size = spec.size;
+        o.episode_interval = static_cast<SimDuration>(
+            static_cast<double>(c.idle_interval) *
+            static_cast<double>(c.items_per_volume));
+        o.episode_length = c.idle_episode_length;
+        o.intra_gap = c.idle_intra_gap;
+        o.read_ratio = c.idle_read_ratio;
+        o.io_size = 32 * 1024;
+        o.sequential = true;
+        o.end = c.duration;
+        o.seed = seed;
+        mixer_.Add(std::make_unique<BurstySource>(o));
+        break;
+      }
+    }
+  }
+}
+
+void CloudBlockWorkload::Reset() { BuildSources(); }
+
+}  // namespace ecostore::workload

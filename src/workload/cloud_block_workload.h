@@ -1,0 +1,154 @@
+#ifndef ECOSTORE_WORKLOAD_CLOUD_BLOCK_WORKLOAD_H_
+#define ECOSTORE_WORKLOAD_CLOUD_BLOCK_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "workload/io_sources.h"
+#include "workload/workload.h"
+
+namespace ecostore::workload {
+
+/// Parameters of the synthetic cloud block-storage trace, calibrated to
+/// the published analysis of Alibaba's production block traces (PAPERS.md,
+/// arXiv 2203.10766): volumes are write-dominant overall, per-volume load
+/// is extremely heavy-tailed (a few percent of volumes carry most of the
+/// I/O), and arrivals are bursty rather than steady. This is the
+/// fleet-scale stand-in the 2012 paper never saw — it stresses the
+/// P2/write-delay paths and the planner's scaling, not the MSR-shaped
+/// P1/preload mix.
+struct CloudBlockConfig {
+  SimDuration duration = 2 * kHour;
+
+  /// Fleet shape: `volumes_per_enclosure` tenant volumes per enclosure,
+  /// each striped into `items_per_volume` catalog items (block segments —
+  /// the placement granularity). Defaults give a mid-size array; the
+  /// fleet benchmark raises num_enclosures to 10k for 1M items.
+  int num_enclosures = 25;
+  int volumes_per_enclosure = 10;
+  int items_per_volume = 4;
+
+  /// Volume population mix, as fractions of all volumes, assigned down
+  /// the popularity ranking (head first):
+  /// - hot: continuously active, write-dominant (the P3 head; ~4% of
+  ///   volumes carrying most of the load — the Alibaba imbalance).
+  /// - bursty writers: episodic write bursts with minutes-scale gaps
+  ///   (classify P2; the write-delay function's prey).
+  /// - read burst: episodic, read-mostly (classify P1; preload prey).
+  /// - remainder: near-idle volumes with rare mixed episodes.
+  double hot_volume_fraction = 0.04;
+  double bursty_write_fraction = 0.26;
+  double read_burst_fraction = 0.10;
+
+  /// Popularity skew across volumes (weight ~ 1/rank^theta). 0.99 is the
+  /// classical storage-popularity setting; raise toward 1.2 for the
+  /// extreme imbalance of the Alibaba tail.
+  double zipf_theta = 0.99;
+
+  /// Hot-volume aggregate IOPS: rank-0 volume rate, decayed by the Zipf
+  /// weight but floored so every hot volume stays continuously busy
+  /// (gap << break-even, i.e. genuinely P3).
+  double hot_volume_iops = 3.0;
+  double hot_volume_iops_floor = 1.2;
+  /// Two-phase burst modulation of hot volumes (high phase = `burst_ratio`
+  /// times the base rate).
+  double hot_burst_ratio = 2.5;
+  SimDuration hot_high_duration = 30 * kSecond;
+  SimDuration hot_low_duration = 90 * kSecond;
+  double hot_read_ratio = 0.25;  ///< write-dominant
+
+  /// Bursty-writer episodes, per volume (scaled to per-item sources).
+  SimDuration bursty_interval_head = 4 * kMinute;
+  SimDuration bursty_interval_tail = 25 * kMinute;
+  double bursty_episode_length = 30.0;
+  SimDuration bursty_intra_gap = 800 * kMillisecond;
+  double bursty_read_ratio = 0.12;
+
+  /// Read-burst volumes.
+  SimDuration read_interval_head = 3 * kMinute;
+  SimDuration read_interval_tail = 15 * kMinute;
+  double read_episode_length = 25.0;
+  SimDuration read_intra_gap = 500 * kMillisecond;
+  double read_read_ratio = 0.95;
+
+  /// Idle-volume residual activity.
+  SimDuration idle_interval = 4 * kHour;
+  double idle_episode_length = 10.0;
+  SimDuration idle_intra_gap = 2 * kSecond;
+  double idle_read_ratio = 0.5;
+
+  /// Per-item (segment) size: log-normal, clamped to
+  /// [min_item_bytes, max_item_bytes].
+  double item_size_median = 3.0 * 1024 * 1024 * 1024;
+  double item_size_sigma = 0.9;
+  int64_t min_item_bytes = 256LL * 1024 * 1024;
+  int64_t max_item_bytes = 24LL * 1024 * 1024 * 1024;
+
+  uint64_t seed = 20220331;  ///< the Alibaba trace-window vintage
+
+  Status Validate() const;
+};
+
+/// \brief Synthetic cloud block-storage workload: a heavy-tailed,
+/// write-dominant, bursty volume population (see CloudBlockConfig).
+///
+/// Every volume gets a popularity rank from a deterministic shuffle, so
+/// hot volumes scatter across enclosures instead of clustering on the
+/// first ones — the placement planner has to consolidate them, which is
+/// exactly the Algorithm 2/3 load the fleet benchmark measures.
+class CloudBlockWorkload : public Workload {
+ public:
+  static Result<std::unique_ptr<CloudBlockWorkload>> Create(
+      const CloudBlockConfig& config);
+
+  const WorkloadInfo& info() const override { return info_; }
+  const storage::DataItemCatalog& catalog() const override {
+    return catalog_;
+  }
+  bool Next(trace::LogicalIoRecord* rec) override {
+    return mixer_.Next(rec);
+  }
+  size_t NextBatch(std::vector<trace::LogicalIoRecord>* out,
+                   size_t max_records) override {
+    return mixer_.NextBatch(out, max_records);
+  }
+  void Reset() override;
+
+  /// Number of volumes in each role (inspection/testing).
+  int hot_volumes() const { return hot_volumes_; }
+  int bursty_volumes() const { return bursty_volumes_; }
+  int read_volumes() const { return read_volumes_; }
+  int idle_volumes() const { return idle_volumes_; }
+
+ private:
+  explicit CloudBlockWorkload(const CloudBlockConfig& config)
+      : config_(config) {}
+
+  Status Build();
+  void BuildSources();
+
+  CloudBlockConfig config_;
+  WorkloadInfo info_;
+  storage::DataItemCatalog catalog_;
+  SourceMixer mixer_;
+
+  enum class Role : uint8_t { kHot, kBurstyWrite, kReadBurst, kIdle };
+
+  struct SegmentSpec {
+    DataItemId item;
+    int64_t size;
+    Role role;
+    int rank;  ///< popularity rank of the owning volume (0 = hottest)
+  };
+  std::vector<SegmentSpec> segments_;
+  int hot_volumes_ = 0;
+  int bursty_volumes_ = 0;
+  int read_volumes_ = 0;
+  int idle_volumes_ = 0;
+};
+
+}  // namespace ecostore::workload
+
+#endif  // ECOSTORE_WORKLOAD_CLOUD_BLOCK_WORKLOAD_H_

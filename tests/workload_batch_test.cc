@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "workload/cloud_block_workload.h"
 #include "workload/composite_workload.h"
 #include "workload/dss_workload.h"
 #include "workload/file_server_workload.h"
@@ -133,6 +134,15 @@ TEST(WorkloadBatchTest, OltpMatchesNext) {
   auto workload = OltpWorkload::Create(config);
   ASSERT_TRUE(workload.ok());
   CheckBatchEquivalence(workload.value().get(), 12);
+}
+
+TEST(WorkloadBatchTest, CloudBlockMatchesNext) {
+  CloudBlockConfig config;
+  config.duration = 10 * kMinute;
+  config.num_enclosures = 5;
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  CheckBatchEquivalence(workload.value().get(), 17);
 }
 
 TEST(WorkloadBatchTest, DssMatchesNext) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/pattern_classifier.h"
+#include "storage/block_virtualization.h"
+#include "workload/cloud_block_workload.h"
 #include "workload/dss_workload.h"
 #include "workload/file_server_workload.h"
 #include "workload/io_sources.h"
@@ -274,6 +276,85 @@ TEST(DssWorkloadTest, QueryWallTimesFillDuration) {
     total += wall[static_cast<size_t>(q)];
   }
   EXPECT_NEAR(total, ToSeconds(config.duration), 0.25 * total);
+}
+
+// --- Cloud block storage ----------------------------------------------
+
+TEST(CloudBlockWorkloadTest, ValidatesConfig) {
+  CloudBlockConfig config;
+  config.duration = 0;
+  EXPECT_FALSE(CloudBlockWorkload::Create(config).ok());
+  config = CloudBlockConfig{};
+  config.num_enclosures = 0;
+  EXPECT_FALSE(CloudBlockWorkload::Create(config).ok());
+  config = CloudBlockConfig{};
+  config.hot_volume_fraction = 0.5;
+  config.bursty_write_fraction = 0.4;
+  config.read_burst_fraction = 0.2;  // fractions sum past 1
+  EXPECT_FALSE(CloudBlockWorkload::Create(config).ok());
+}
+
+TEST(CloudBlockWorkloadTest, DeterministicStream) {
+  CloudBlockConfig config;
+  config.duration = 20 * kMinute;
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  ExpectDeterministicAndOrdered(*workload.value(), 2000);
+}
+
+TEST(CloudBlockWorkloadTest, RoleCountsFollowFractions) {
+  CloudBlockConfig config;  // 25 enclosures x 10 volumes = 250 volumes
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  const CloudBlockWorkload& w = *workload.value();
+  EXPECT_EQ(w.hot_volumes(), 10);     // 4% of 250
+  EXPECT_EQ(w.bursty_volumes(), 65);  // 26%
+  EXPECT_EQ(w.read_volumes(), 25);    // 10%
+  EXPECT_EQ(w.hot_volumes() + w.bursty_volumes() + w.read_volumes() +
+                w.idle_volumes(),
+            250);
+  EXPECT_EQ(w.catalog().item_count(), 1000);  // 250 volumes x 4 segments
+}
+
+TEST(CloudBlockWorkloadTest, StreamIsWriteDominant) {
+  CloudBlockConfig config;
+  config.duration = 30 * kMinute;
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  trace::LogicalIoRecord rec;
+  int64_t reads = 0, writes = 0;
+  while (workload.value()->Next(&rec)) {
+    (rec.type == IoType::kRead ? reads : writes)++;
+  }
+  ASSERT_GT(reads + writes, 1000);
+  // Alibaba-shaped: the volume population is write-dominant overall.
+  EXPECT_GT(writes, reads);
+}
+
+TEST(CloudBlockWorkloadTest, MixHasP3HeadP2BurstsAndP1Readers) {
+  CloudBlockConfig config;  // full default 2 h window
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  auto result = ClassifyFullRun(*workload.value());
+  // Hot volumes (4% of the population) stay continuously busy -> P3.
+  double p3 = result.PatternFraction(core::IoPattern::kP3);
+  EXPECT_GT(p3, 0.02);
+  EXPECT_LT(p3, 0.08);
+  // Bursty writers classify P2 (write-majority with long intervals);
+  // the far interval tail may stay silent in-window, so only a floor.
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP2), 0.08);
+  // Read-burst volumes classify P1.
+  EXPECT_GT(result.PatternFraction(core::IoPattern::kP1), 0.03);
+}
+
+TEST(CloudBlockWorkloadTest, CatalogPlacesInitially) {
+  CloudBlockConfig config;
+  config.num_enclosures = 8;
+  auto workload = CloudBlockWorkload::Create(config);
+  ASSERT_TRUE(workload.ok());
+  storage::BlockVirtualization virt(&workload.value()->catalog(), 8,
+                                    1024LL * 1024 * 1024 * 1024);
+  EXPECT_TRUE(virt.PlaceInitial().ok());
 }
 
 }  // namespace
