@@ -118,6 +118,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(policy.placements_skipped()),
               static_cast<long long>(policy.placement_determinations() -
                                      policy.incremental_replans()));
+  std::printf("[monitor]    streaming classification %s, trace capture "
+              "%s, classifier peak state %.2f MiB\n",
+              policy.streaming_active() ? "on" : "off",
+              experiment.application_monitor().capture() ? "on" : "off",
+              static_cast<double>(policy.classifier_peak_state_bytes()) /
+                  (1024.0 * 1024.0));
   std::printf("[host]       %.2f s wall, %lld sim events\n",
               m.wall_seconds,
               static_cast<long long>(m.sim_events_executed));

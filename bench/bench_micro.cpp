@@ -13,14 +13,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/legacy_cache.h"
+#include "bench/legacy_classifier.h"
 #include "bench/legacy_planner.h"
 #include "bench/legacy_simulator.h"
 #include "bench/replay_check.h"
@@ -267,16 +270,17 @@ core::ClassificationResult ClassifyLegacy(
     cls.avg_iops = period_seconds > 0
                        ? static_cast<double>(cls.total_ios()) / period_seconds
                        : 0.0;
-    cls.long_intervals = std::move(profile.long_intervals);
+    cls.long_interval_count =
+        static_cast<int64_t>(profile.long_intervals.size());
 
-    for (SimDuration li : cls.long_intervals) {
+    for (SimDuration li : profile.long_intervals) {
       long_interval_sum += static_cast<double>(li);
       long_interval_count++;
     }
 
     if (per_item[i].empty()) {
       cls.pattern = core::IoPattern::kP0;
-    } else if (cls.long_intervals.empty()) {
+    } else if (profile.long_intervals.empty()) {
       cls.pattern = core::IoPattern::kP3;
     } else if (cls.reads * 2 > cls.total_ios()) {
       cls.pattern = core::IoPattern::kP1;
@@ -790,6 +794,196 @@ PlannerScaleCase RunPlannerScaleCase(int n_enclosures,
   return out;
 }
 
+// ---------------------------------------------------------------------
+// classify_scale: period-end classification cost at fleet scale (10k
+// enclosures / 1M items), legacy full-trace replay vs streaming
+// finalisation (DESIGN.md §13). The streaming classifier pays the
+// interval analysis during ingest — amortised into monitoring — so its
+// period-end cost is the sharded catalog scan alone, while the frozen
+// reference (bench/legacy_classifier.h) replays the whole captured trace
+// and heap-allocates per episodic item. Gated on the two producing
+// bit-identical classifications AND identical placement plans
+// (migration lists compared element-wise).
+// ---------------------------------------------------------------------
+
+struct ClassifyScaleCase {
+  int enclosures = 0;
+  int items = 0;
+  int64_t trace_events = 0;
+  int64_t active_items = 0;
+  int64_t migrations = 0;
+  double ingest_sec = 0.0;    ///< one full-period ingest pass
+  double legacy_sec = 0.0;    ///< legacy classify per period end
+  double finalize_sec = 0.0;  ///< streaming finalise per period end
+  size_t peak_state_bytes = 0;
+  size_t trace_bytes = 0;
+};
+
+bool SameClassification(const core::ClassificationResult& a,
+                        const core::ClassificationResult& b) {
+  if (a.items.size() != b.items.size() ||
+      a.pattern_counts != b.pattern_counts ||
+      a.p3_max_iops != b.p3_max_iops ||
+      a.mean_long_interval != b.mean_long_interval) {
+    return false;
+  }
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    const core::ItemClassification& x = a.items[i];
+    const core::ItemClassification& y = b.items[i];
+    if (x.item != y.item || x.pattern != y.pattern ||
+        x.reads != y.reads || x.writes != y.writes ||
+        x.read_bytes != y.read_bytes || x.write_bytes != y.write_bytes ||
+        x.io_sequences != y.io_sequences ||
+        x.long_interval_count != y.long_interval_count ||
+        x.avg_iops != y.avg_iops) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ClassifyScaleCase RunClassifyScaleCase(int n_enclosures,
+                                       int items_per_enclosure) {
+  constexpr SimTime kPeriodEnd = 520 * kSecond;
+  ClassifyScaleCase out;
+  out.enclosures = n_enclosures;
+  const int n_items = n_enclosures * items_per_enclosure;
+  out.items = n_items;
+
+  storage::DataItemCatalog catalog;
+  for (int e = 0; e < n_enclosures; ++e) {
+    catalog.AddVolume(static_cast<EnclosureId>(e));
+  }
+  Xoshiro256 rng(0x5eedc1a551f7ull + static_cast<uint64_t>(n_items));
+  for (int i = 0; i < n_items; ++i) {
+    catalog
+        .AddItem("i" + std::to_string(i),
+                 static_cast<VolumeId>(rng.UniformInt(0, n_enclosures - 1)),
+                 rng.UniformInt(16, 160) * (128LL * 1024 * 1024),
+                 storage::DataItemKind::kFile)
+        .value();
+  }
+
+  // Activity-proportional trace: ~2% of the catalog sees I/O at all, a
+  // tenth of that runs dense enough to classify P3. Per-item times are
+  // strictly increasing, so sorting by (time, item) yields a valid
+  // global monitor order with per-item order preserved.
+  std::vector<trace::LogicalIoRecord> records;
+  for (int i = 0; i < n_items; ++i) {
+    if (!rng.Bernoulli(0.02)) continue;
+    out.active_items++;
+    trace::LogicalIoRecord rec;
+    rec.item = static_cast<DataItemId>(i);
+    rec.size = 8 * 1024;
+    if (rng.Bernoulli(0.1)) {
+      // Dense: every 0.1-0.4 s for the whole period — never a Long
+      // Interval (P3), feeding the I_max bucket series.
+      SimTime t = rng.UniformInt(0, 5 * kSecond);
+      while (t < kPeriodEnd) {
+        rec.time = t;
+        rec.type = rng.Bernoulli(0.6) ? IoType::kRead : IoType::kWrite;
+        records.push_back(rec);
+        t += rng.UniformInt(kSecond / 10, 4 * kSecond / 10);
+      }
+    } else {
+      // Episodic: one or two short bursts (P1/P2).
+      const int bursts = rng.Bernoulli(0.4) ? 2 : 1;
+      for (int b = 0; b < bursts; ++b) {
+        SimTime t = rng.UniformInt(0, kPeriodEnd - kSecond);
+        const int n = static_cast<int>(rng.UniformInt(3, 20));
+        for (int k = 0; k < n && t < kPeriodEnd; ++k) {
+          rec.time = t;
+          rec.type = rng.Bernoulli(0.5) ? IoType::kRead : IoType::kWrite;
+          records.push_back(rec);
+          t += rng.UniformInt(10 * kMillisecond, 200 * kMillisecond);
+        }
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const trace::LogicalIoRecord& a,
+               const trace::LogicalIoRecord& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.item < b.item;
+            });
+  trace::LogicalTraceBuffer buffer;
+  for (const trace::LogicalIoRecord& rec : records) buffer.Append(rec);
+  records.clear();
+  records.shrink_to_fit();
+  out.trace_events = static_cast<int64_t>(buffer.size());
+  out.trace_bytes = buffer.size() * sizeof(trace::LogicalIoRecord);
+
+  core::PatternClassifier::Options options{52 * kSecond, 1 * kSecond};
+  core::PatternClassifier streaming(options);
+  bench::LegacyPatternClassifier legacy(options);
+
+  // One timed full-period ingest pass (the cost the streaming pipeline
+  // folds into monitoring), leaving the classifier ready to finalise.
+  using Clock = std::chrono::steady_clock;
+  auto ingest_start = Clock::now();
+  streaming.BeginPeriod(0);
+  for (const trace::LogicalIoRecord& rec : buffer.records()) {
+    streaming.OnLogicalIo(rec);
+  }
+  out.ingest_sec =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+
+  // First finalise pays the one-time O(catalog) quiet-row init; the timed
+  // loop below measures the steady-state period end (frontier only).
+  const core::ClassificationResult& streaming_result =
+      streaming.Finalize(catalog, kPeriodEnd);
+  core::ClassificationResult legacy_result =
+      legacy.Classify(buffer, catalog, 0, kPeriodEnd);
+  if (!SameClassification(legacy_result, streaming_result)) {
+    std::fprintf(stderr,
+                 "BENCH_perf: classify_scale %dx%d — streaming and legacy "
+                 "classifications disagree\n",
+                 n_enclosures, items_per_enclosure);
+    std::exit(1);
+  }
+
+  // Identical plans: both classifications through the same placement
+  // pipeline must order the same migrations.
+  auto virt = std::make_unique<storage::BlockVirtualization>(
+      &catalog, n_enclosures, 1700LL * 1024 * 1024 * 1024);
+  if (!virt->PlaceInitial().ok()) {
+    std::fprintf(stderr, "classify_scale: initial placement failed\n");
+    std::exit(1);
+  }
+  core::HotColdPlanner hot_cold(
+      core::HotColdPlanner::Options{900.0, virt->capacity_bytes()});
+  core::PlacementPlanner planner(
+      core::PlacementPlanner::Options{900.0, virt->capacity_bytes()},
+      &hot_cold);
+  core::PlacementPlan stream_plan = planner.Plan(streaming_result, *virt);
+  core::PlacementPlan legacy_plan = planner.Plan(legacy_result, *virt);
+  if (!SamePlacementPlan(stream_plan, legacy_plan)) {
+    std::fprintf(stderr,
+                 "BENCH_perf: classify_scale %dx%d — plans disagree "
+                 "(n_hot %d/%d, migrations %zu/%zu)\n",
+                 n_enclosures, items_per_enclosure,
+                 stream_plan.partition.n_hot, legacy_plan.partition.n_hot,
+                 stream_plan.migrations.size(),
+                 legacy_plan.migrations.size());
+    std::exit(1);
+  }
+  out.migrations = static_cast<int64_t>(stream_plan.migrations.size());
+
+  // Period-end cost: streaming = Finalize only (idempotent over the same
+  // ingested state), legacy = the full trace replay + per-item gather.
+  out.finalize_sec = MeasureSecondsPerCall([&] {
+    const core::ClassificationResult& r =
+        streaming.Finalize(catalog, kPeriodEnd);
+    benchmark::DoNotOptimize(r.items.data());
+  });
+  out.legacy_sec = MeasureSecondsPerCall([&] {
+    benchmark::DoNotOptimize(
+        legacy.Classify(buffer, catalog, 0, kPeriodEnd));
+  });
+  out.peak_state_bytes = streaming.peak_state_bytes();
+  return out;
+}
+
 template <typename Fn>
 double MeasureEventsPerSec(int64_t events_per_call, Fn&& fn) {
   using Clock = std::chrono::steady_clock;
@@ -997,20 +1191,35 @@ void WriteBenchPerfJson(const char* path_override) {
   // Telemetry overhead: the identical eco replay with a recorder attached
   // (default class mask, the --telemetry configuration) vs without. The
   // instrumented run must stay bit-identical AND within 2% throughput.
-  // Wall-clock pairs are noisy at the ~1% scale, so the gate retries a
-  // few back-to-back pairs and takes the smallest observed overhead — a
-  // real regression shows up in every pair, scheduler noise does not.
+  // Wall-clock rates on this harness drift by several percent over a
+  // --json run (frequency scaling, cache warming), so a single off/on
+  // pair reports anywhere between -3% and +4% on a healthy build — and
+  // the old take-the-smallest rule then published the most negative
+  // outlier (the recorded -2.81% was pure noise). Each repetition now
+  // brackets the instrumented run with two baseline runs (off-on-off):
+  // linear drift cancels inside the bracket, and the published figure is
+  // the MEDIAN of the repetitions — a real regression shifts the whole
+  // distribution, residual noise only its tails.
   constexpr double kTelemetryGatePct = 2.0;
+  constexpr int kTelemetryPairs = 5;
   double telemetry_off_rate = 0.0;
   double telemetry_on_rate = 0.0;
   double telemetry_overhead_pct = 0.0;
   uint64_t telemetry_recorded = 0;
   {
-    double best_overhead = 1e9;
-    for (int attempt = 0; attempt < 5; ++attempt) {
-      telemetry::Recorder recorder;  // fresh rings per pair
-      ReplayFigure off = MeasureReplayThroughput(true);
+    struct OverheadRep {
+      double overhead_pct;
+      double off_rate;
+      double on_rate;
+      uint64_t recorded;
+    };
+    std::vector<OverheadRep> reps;
+    reps.reserve(kTelemetryPairs);
+    for (int attempt = 0; attempt < kTelemetryPairs; ++attempt) {
+      telemetry::Recorder recorder;  // fresh rings per repetition
+      ReplayFigure off_before = MeasureReplayThroughput(true);
       ReplayFigure on = MeasureReplayThroughput(true, &recorder);
+      ReplayFigure off_after = MeasureReplayThroughput(true);
       if (on.fingerprint != kSeedReplayEcoFingerprint) {
         std::fprintf(stderr,
                      "BENCH_perf: telemetry-on replay diverged from the "
@@ -1020,23 +1229,29 @@ void WriteBenchPerfJson(const char* path_override) {
                          kSeedReplayEcoFingerprint));
         std::exit(1);
       }
-      double overhead =
-          (off.lios_per_sec - on.lios_per_sec) / off.lios_per_sec * 100.0;
-      if (overhead < best_overhead) {
-        best_overhead = overhead;
-        telemetry_off_rate = off.lios_per_sec;
-        telemetry_on_rate = on.lios_per_sec;
-        telemetry_recorded = recorder.recorded();
-      }
-      if (best_overhead < kTelemetryGatePct) break;
+      double off_rate =
+          0.5 * (off_before.lios_per_sec + off_after.lios_per_sec);
+      reps.push_back(OverheadRep{
+          (off_rate - on.lios_per_sec) / off_rate * 100.0, off_rate,
+          on.lios_per_sec, recorder.recorded()});
     }
-    telemetry_overhead_pct = best_overhead;
+    std::sort(reps.begin(), reps.end(),
+              [](const OverheadRep& a, const OverheadRep& b) {
+                return a.overhead_pct < b.overhead_pct;
+              });
+    const OverheadRep& median = reps[kTelemetryPairs / 2];
+    telemetry_overhead_pct = median.overhead_pct;
+    telemetry_off_rate = median.off_rate;
+    telemetry_on_rate = median.on_rate;
+    telemetry_recorded = median.recorded;
     if (telemetry_overhead_pct >= kTelemetryGatePct) {
       std::fprintf(stderr,
-                   "BENCH_perf: telemetry overhead %.2f%% exceeds the "
-                   "%.1f%% budget (on %.0f vs off %.0f lios/s)\n",
-                   telemetry_overhead_pct, kTelemetryGatePct,
-                   telemetry_on_rate, telemetry_off_rate);
+                   "BENCH_perf: telemetry overhead %.2f%% (median of %d "
+                   "bracketed repetitions) exceeds the %.1f%% budget "
+                   "(on %.0f vs off %.0f lios/s)\n",
+                   telemetry_overhead_pct, kTelemetryPairs,
+                   kTelemetryGatePct, telemetry_on_rate,
+                   telemetry_off_rate);
       std::exit(1);
     }
   }
@@ -1072,6 +1287,10 @@ void WriteBenchPerfJson(const char* path_override) {
   // on synthetic 1k/100k and 10k/1M fleets, gated on identical plans.
   PlannerScaleCase planner_small = RunPlannerScaleCase(1000, 100);
   PlannerScaleCase planner_large = RunPlannerScaleCase(10000, 100);
+
+  // Fleet-scale period-end classification figure, gated on identical
+  // classifications and identical placement plans.
+  ClassifyScaleCase classify_scale = RunClassifyScaleCase(10000, 100);
 
   const char* path = path_override;
   if (path == nullptr) path = std::getenv("ECOSTORE_BENCH_JSON");
@@ -1151,6 +1370,8 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"off_lios_per_sec\": %.0f,\n", telemetry_off_rate);
   std::fprintf(out, "    \"on_lios_per_sec\": %.0f,\n", telemetry_on_rate);
   std::fprintf(out, "    \"overhead_pct\": %.2f,\n", telemetry_overhead_pct);
+  std::fprintf(out, "    \"statistic\": \"median\",\n");
+  std::fprintf(out, "    \"pairs\": %d,\n", kTelemetryPairs);
   std::fprintf(out, "    \"gate_pct\": %.1f\n", kTelemetryGatePct);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"planner_scale\": {\n");
@@ -1169,6 +1390,30 @@ void WriteBenchPerfJson(const char* path_override) {
                  i == 0 ? "," : "");
   }
   std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"classify_scale\": {\n");
+  std::fprintf(out, "    \"enclosures\": %d,\n", classify_scale.enclosures);
+  std::fprintf(out, "    \"items\": %d,\n", classify_scale.items);
+  std::fprintf(out, "    \"trace_events\": %lld,\n",
+               static_cast<long long>(classify_scale.trace_events));
+  std::fprintf(out, "    \"active_items\": %lld,\n",
+               static_cast<long long>(classify_scale.active_items));
+  std::fprintf(out, "    \"migrations\": %lld,\n",
+               static_cast<long long>(classify_scale.migrations));
+  std::fprintf(out, "    \"ingest_ms_per_period\": %.2f,\n",
+               classify_scale.ingest_sec * 1e3);
+  std::fprintf(out, "    \"legacy_ms_per_period_end\": %.2f,\n",
+               classify_scale.legacy_sec * 1e3);
+  std::fprintf(out, "    \"streaming_finalize_ms_per_period_end\": %.2f,\n",
+               classify_scale.finalize_sec * 1e3);
+  std::fprintf(out, "    \"period_end_speedup\": %.1f,\n",
+               classify_scale.legacy_sec / classify_scale.finalize_sec);
+  std::fprintf(out, "    \"classifier_peak_state_mib\": %.2f,\n",
+               static_cast<double>(classify_scale.peak_state_bytes) /
+                   (1024.0 * 1024.0));
+  std::fprintf(out, "    \"retained_trace_mib\": %.2f\n",
+               static_cast<double>(classify_scale.trace_bytes) /
+                   (1024.0 * 1024.0));
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"simulator_schedule_events_per_sec\": %.0f,\n",
                sim_rate);
@@ -1206,11 +1451,13 @@ void WriteBenchPerfJson(const char* path_override) {
               host_cpus, shard8.lios_per_sec / 1e6,
               shard1.lios_per_sec / 1e6,
               shard8.lios_per_sec / shard1.lios_per_sec);
-  std::printf("telemetry overhead (eco replay, %llu events/pair): "
-              "on %.2fM vs off %.2fM lios/s = %.2f%% (budget %.1f%%)\n",
+  std::printf("telemetry overhead (eco replay, %llu events/run, median "
+              "of %d bracketed reps): on %.2fM vs off %.2fM lios/s = "
+              "%.2f%% (budget %.1f%%)\n",
               static_cast<unsigned long long>(telemetry_recorded),
-              telemetry_on_rate / 1e6, telemetry_off_rate / 1e6,
-              telemetry_overhead_pct, kTelemetryGatePct);
+              kTelemetryPairs, telemetry_on_rate / 1e6,
+              telemetry_off_rate / 1e6, telemetry_overhead_pct,
+              kTelemetryGatePct);
   for (int i = 0; i < 2; ++i) {
     const PlannerScaleCase& c = *planner_cases[i];
     std::printf("planner scale (%d enclosures, %d items, %lld movers): "
@@ -1221,6 +1468,22 @@ void WriteBenchPerfJson(const char* path_override) {
                 c.legacy_sec / c.indexed_sec,
                 static_cast<long long>(c.migrations));
   }
+  std::printf("classify scale (%d enclosures, %d items, %lld events, "
+              "%lld active): finalize %.2f ms vs legacy %.2f ms per "
+              "period end (%.1fx), ingest %.2f ms/period, peak state "
+              "%.2f MiB vs %.2f MiB retained trace, %lld migrations\n",
+              classify_scale.enclosures, classify_scale.items,
+              static_cast<long long>(classify_scale.trace_events),
+              static_cast<long long>(classify_scale.active_items),
+              classify_scale.finalize_sec * 1e3,
+              classify_scale.legacy_sec * 1e3,
+              classify_scale.legacy_sec / classify_scale.finalize_sec,
+              classify_scale.ingest_sec * 1e3,
+              static_cast<double>(classify_scale.peak_state_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<double>(classify_scale.trace_bytes) /
+                  (1024.0 * 1024.0),
+              static_cast<long long>(classify_scale.migrations));
   std::printf("simulator: schedule+run %.2fM ev/s (seed %.2fM, legacy "
               "%.2fM, %.2fx), cancel-heavy %.2fM ev/s -> %s\n",
               sim_rate / 1e6, kSeedSimulatorEventsPerSec / 1e6,

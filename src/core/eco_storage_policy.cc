@@ -11,6 +11,16 @@ void EcoStoragePolicy::Start(const storage::StorageSystem& system,
                              policies::PolicyActuator* actuator) {
   actuator_ = actuator;
   function_ = std::make_unique<PowerManagementFunction>(config_, system);
+  // Fleet-scale monitoring mode (DESIGN.md §13): feed the classifier from
+  // the monitor's logical I/O stream so period ends only finalise. When
+  // the runtime supports it, wants_logical_trace() then releases the
+  // per-period trace buffer. Runtimes without sink support (bare test
+  // actuators) fall back to replaying the captured trace — identical
+  // classifications either way.
+  streaming_ = actuator->AttachLogicalIoSink(function_->classifier());
+  if (streaming_) {
+    function_->classifier()->BeginPeriod(actuator->Now());
+  }
   current_period_ = config_.initial_period;
   period_start_ = actuator->Now();
   is_hot_.assign(static_cast<size_t>(system.num_enclosures()), true);
@@ -32,31 +42,28 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   // function must re-plan from scratch rather than incrementally.
   last_plan_ =
       function_->Run(snapshot, system, current_period_,
-                     /*force_full=*/triggered_this_period_);
+                     /*force_full=*/triggered_this_period_,
+                     /*streaming_ingest=*/streaming_);
+  if (streaming_) {
+    // The engine resets the application monitor right after this hook
+    // returns, both at Now(): no record can arrive in between, so the
+    // classifier's next period aligns exactly with the monitor's.
+    function_->classifier()->BeginPeriod(actuator->Now());
+  }
   placement_determinations_++;
   if (last_plan_.incremental) incremental_replans_++;
   if (last_plan_.placement_skipped) placements_skipped_++;
-  pattern_history_.push_back(last_plan_.classification.pattern_counts);
+  pattern_history_.push_back(last_plan_.classification->pattern_counts);
 
   // Publish the plan epoch — 1-based, so epoch 0 means "no plan yet" —
   // and the per-item pattern table *before* enacting anything, so every
   // action the plan triggers (flushes, preloads, spin-downs and the I/O
   // they cause) is tagged with the plan that decided it.
   const int32_t plan_id = static_cast<int32_t>(placement_determinations_);
-  {
-    const auto& items = last_plan_.classification.items;
-    pattern_scratch_.clear();
-    for (const ItemClassification& cls : items) {
-      if (cls.item < 0) continue;
-      if (static_cast<size_t>(cls.item) >= pattern_scratch_.size()) {
-        pattern_scratch_.resize(static_cast<size_t>(cls.item) + 1,
-                                telemetry::analysis::kPatternUnclassified);
-      }
-      pattern_scratch_[static_cast<size_t>(cls.item)] =
-          static_cast<uint8_t>(cls.pattern);
-    }
-    actuator->PublishPlan(plan_id, pattern_scratch_);
-  }
+  // The classifier's pattern table (indexed by item id, refreshed by the
+  // Finalize inside Run) is exactly the PublishPlan payload — no
+  // per-period rebuild.
+  actuator->PublishPlan(plan_id, function_->classifier()->patterns());
 
   // Enact the plan. Migrations first request P0/P1/P2 evictions, then P3
   // consolidations (the planner already ordered them; paper §V-A).
@@ -68,7 +75,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
   // stay selected (paper §V-C: already-preloaded items are kept). This
   // damps churn when an item merely went quiet (P0) for one period.
   auto still_cold_non_p3 = [&](DataItemId item) {
-    const auto& items = last_plan_.classification.items;
+    const auto& items = last_plan_.classification->items;
     if (item < 0 || static_cast<size_t>(item) >= items.size()) return false;
     if (items[static_cast<size_t>(item)].pattern == IoPattern::kP3) {
       return false;
@@ -155,7 +162,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
       return &it->second;
     };
     SimTime now = actuator->Now();
-    for (const ItemClassification& cls : last_plan_.classification.items) {
+    for (const ItemClassification& cls : last_plan_.classification->items) {
       telemetry::DecisionPayload d;
       d.item = cls.item;
       d.pattern = static_cast<uint8_t>(cls.pattern);
@@ -173,7 +180,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
       d.enclosure = static_cast<int16_t>(
           mig != nullptr ? *mig
                          : system.virtualization().EnclosureOf(cls.item));
-      d.long_intervals = static_cast<int32_t>(cls.long_intervals.size());
+      d.long_intervals = static_cast<int32_t>(cls.long_interval_count);
       d.io_sequences = static_cast<int32_t>(cls.io_sequences);
       d.read_permille = cls.total_ios() > 0
                             ? static_cast<int32_t>(cls.reads * 1000 /
@@ -193,7 +200,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
         static_cast<int32_t>(hot.size())));
     recorder->Record(telemetry::MakeAdaptEvent(
         now, current_period_, last_plan_.next_period,
-        last_plan_.classification.mean_long_interval));
+        last_plan_.classification->mean_long_interval));
   }
 
   is_hot_ = last_plan_.partition.is_hot;

@@ -47,6 +47,22 @@ class EcoStoragePolicy : public policies::StoragePolicy {
     return placement_determinations_;
   }
 
+  /// With a streaming sink attached the captured trace is never read —
+  /// the engine may release the per-period buffer (DESIGN.md §13).
+  bool wants_logical_trace() const override { return !streaming_; }
+
+  /// Whether Start() attached the classifier to the monitor's I/O stream.
+  bool streaming_active() const { return streaming_; }
+
+  /// High-water mark of the streaming classifier's running state in
+  /// bytes (per-item states, P3 bucket pool, pattern/dirty tables) — the
+  /// fleet-scale replacement for the per-period trace buffer.
+  size_t classifier_peak_state_bytes() const {
+    return function_ != nullptr
+               ? function_->classifier()->peak_state_bytes()
+               : 0;
+  }
+
   /// Pattern mix of each completed period (for the Fig. 6 bench and the
   /// §VI-C stability analysis).
   const std::vector<std::array<int64_t, kNumIoPatterns>>& pattern_history()
@@ -70,6 +86,8 @@ class EcoStoragePolicy : public policies::StoragePolicy {
   SimDuration current_period_ = 0;
   SimTime period_start_ = 0;
   bool triggered_this_period_ = false;
+  /// Classifier ingests via the monitor sink (set in Start()).
+  bool streaming_ = false;
 
   /// Latest hot/cold view for the §V-D triggers.
   std::vector<bool> is_hot_;
@@ -87,10 +105,6 @@ class EcoStoragePolicy : public policies::StoragePolicy {
   int64_t incremental_replans_ = 0;
   int64_t placements_skipped_ = 0;
   std::vector<std::array<int64_t, kNumIoPatterns>> pattern_history_;
-
-  /// Reusable per-item pattern table handed to PublishPlan each period;
-  /// member so steady-state periods allocate nothing.
-  std::vector<uint8_t> pattern_scratch_;
 
   /// Per-period scratch, member-owned so steady state allocates nothing.
   std::vector<DataItemId> wd_fresh_scratch_;

@@ -2,126 +2,426 @@
 
 #include <algorithm>
 #include <cassert>
+#include <future>
+#include <limits>
+#include <thread>
 
-#include "trace/trace_stats.h"
+#include "common/thread_pool.h"
 
 namespace ecostore::core {
+
+PatternClassifier::PatternClassifier(const Options& options)
+    : options_(options), epoch_(1) {}
+
+PatternClassifier::~PatternClassifier() = default;
+
+void PatternClassifier::BeginPeriod(SimTime period_start) {
+  period_start_ = period_start;
+  ingested_ = 0;
+  touched_.clear();
+  if (++epoch_ == 0) {
+    // uint32 epoch wrapped (once per ~4G periods): invalidate eagerly so
+    // epoch 1 cannot collide with surviving stamps.
+    for (ItemState& st : state_) st.epoch = 0;
+    epoch_ = 1;
+  }
+  // The P3-candidate chunk pool is period-local; survivors were folded by
+  // the previous Finalize and stale per-item heads die with their epoch.
+  pool_.clear();
+  free_head_ = -1;
+}
+
+PatternClassifier::ItemState& PatternClassifier::StateFor(size_t idx) {
+  if (idx >= state_.size()) {
+    state_.resize(std::max(idx + 1, state_.size() * 2));
+  }
+  ItemState& st = state_[idx];
+  if (st.epoch != epoch_) {
+    st = ItemState{};
+    st.last_time = period_start_;
+    st.epoch = epoch_;
+    touched_.push_back(idx);
+  }
+  return st;
+}
+
+void PatternClassifier::AppendBucket(ItemState* st, int64_t bucket) {
+  auto b32 = static_cast<int32_t>(
+      std::min<int64_t>(bucket, std::numeric_limits<int32_t>::max()));
+  if (st->chunk_tail >= 0) {
+    IopsChunk& tail = pool_[static_cast<size_t>(st->chunk_tail)];
+    if (tail.n > 0 && tail.bucket[tail.n - 1] == b32) {
+      tail.count[tail.n - 1]++;
+      return;
+    }
+    if (tail.n < IopsChunk::kEntries) {
+      tail.bucket[tail.n] = b32;
+      tail.count[tail.n] = 1;
+      tail.n++;
+      return;
+    }
+  }
+  int32_t idx;
+  if (free_head_ >= 0) {
+    idx = free_head_;
+    free_head_ = pool_[static_cast<size_t>(idx)].next;
+  } else {
+    idx = static_cast<int32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  IopsChunk& chunk = pool_[static_cast<size_t>(idx)];
+  chunk.next = -1;
+  chunk.n = 1;
+  chunk.bucket[0] = b32;
+  chunk.count[0] = 1;
+  if (st->chunk_tail >= 0) {
+    pool_[static_cast<size_t>(st->chunk_tail)].next = idx;
+  } else {
+    st->chunk_head = idx;
+  }
+  st->chunk_tail = idx;
+}
+
+void PatternClassifier::ReleaseChunks(ItemState* st) {
+  if (st->chunk_head < 0) return;
+  pool_[static_cast<size_t>(st->chunk_tail)].next = free_head_;
+  free_head_ = st->chunk_head;
+  st->chunk_head = -1;
+  st->chunk_tail = -1;
+}
+
+void PatternClassifier::OnLogicalIo(const trace::LogicalIoRecord& rec) {
+  if (rec.item < 0) return;  // unknown item: not classifiable
+  ItemState& st = StateFor(static_cast<size_t>(rec.item));
+  assert(rec.time >= st.last_time);
+  SimDuration gap = rec.time - st.last_time;
+  bool long_gap = gap > options_.break_even;
+  if (long_gap) {
+    st.long_intervals++;
+    st.long_interval_sum += gap;
+    // The item can no longer classify P3 this period; its bucket runs are
+    // dead weight, so recycle them now (memory stays O(live candidates)).
+    ReleaseChunks(&st);
+  }
+  // A new I/O Sequence starts at the item's first I/O and after every
+  // Long Interval (the two coincide when the leading gap is long).
+  if (st.reads + st.writes == 0 || long_gap) {
+    st.sequences++;
+  }
+  if (rec.is_read()) {
+    st.reads++;
+    st.read_bytes += rec.size;
+  } else {
+    st.writes++;
+    st.write_bytes += rec.size;
+  }
+  st.last_time = rec.time;
+  if (st.long_intervals == 0) {
+    // Still a P3 candidate: bucket this I/O for the I_max series.
+    AppendBucket(&st, (rec.time - period_start_) / options_.iops_bucket);
+  }
+  ingested_++;
+}
+
+void PatternClassifier::WriteQuietRow(
+    size_t i, const storage::DataItemCatalog& catalog) {
+  ItemClassification& cls = result_.items[i];
+  cls.item = static_cast<DataItemId>(i);
+  // Item sizes are immutable after AddItem (storage/data_item.cc), so a
+  // quiet row never goes stale — the whole persistent-row design leans on
+  // this.
+  cls.size_bytes = catalog.item(cls.item).size_bytes;
+  cls.reads = 0;
+  cls.writes = 0;
+  cls.read_bytes = 0;
+  cls.write_bytes = 0;
+  cls.io_sequences = 0;
+  cls.avg_iops = 0.0;
+  cls.long_interval_count = 1;
+  cls.pattern = IoPattern::kP0;
+}
+
+void PatternClassifier::FinalizeRange(
+    const size_t* idxs, size_t count, SimTime period_end,
+    double period_seconds, size_t n_buckets, bool track_dirty,
+    ShardAccum* accum) {
+  const SimDuration full_period = period_end - period_start_;
+  for (size_t k = 0; k < count; ++k) {
+    const size_t i = idxs[k];
+    ItemClassification& cls = result_.items[i];
+    const ItemState& st = state_[i];
+    IoPattern pattern;
+    if (st.epoch != epoch_ || st.reads + st.writes == 0) {
+      // Resident last period, quiet now: the row returns to its quiet
+      // form (single full-period Long Interval, P0) and leaves the
+      // frontier after this finalise.
+      cls.reads = 0;
+      cls.writes = 0;
+      cls.read_bytes = 0;
+      cls.write_bytes = 0;
+      cls.io_sequences = 0;
+      cls.avg_iops = 0.0;
+      cls.long_interval_count = 1;
+      accum->long_interval_sum += full_period;
+      accum->long_interval_count++;
+      pattern = IoPattern::kP0;
+    } else {
+      cls.reads = st.reads;
+      cls.writes = st.writes;
+      cls.read_bytes = st.read_bytes;
+      cls.write_bytes = st.write_bytes;
+      cls.io_sequences = st.sequences;
+      int64_t li_count = st.long_intervals;
+      int64_t li_sum = st.long_interval_sum;
+      SimDuration trailing = period_end - st.last_time;
+      if (trailing > options_.break_even) {
+        li_count++;
+        li_sum += trailing;
+      }
+      cls.long_interval_count = li_count;
+      cls.avg_iops =
+          period_seconds > 0
+              ? static_cast<double>(cls.total_ios()) / period_seconds
+              : 0.0;
+      accum->long_interval_sum += li_sum;
+      accum->long_interval_count += li_count;
+      // Paper §IV-B Step 3.
+      if (li_count == 0) {
+        pattern = IoPattern::kP3;
+        if (!accum->any_p3) {
+          accum->any_p3 = true;
+          accum->p3_buckets.assign(n_buckets, 0);
+        }
+        for (int32_t c = st.chunk_head; c >= 0;
+             c = pool_[static_cast<size_t>(c)].next) {
+          const IopsChunk& chunk = pool_[static_cast<size_t>(c)];
+          for (int32_t k = 0; k < chunk.n; ++k) {
+            auto b = static_cast<size_t>(chunk.bucket[k]);
+            if (b >= n_buckets) b = n_buckets - 1;
+            accum->p3_buckets[b] += chunk.count[k];
+          }
+        }
+      } else if (cls.reads * 2 > cls.total_ios()) {
+        pattern = IoPattern::kP1;
+      } else {
+        pattern = IoPattern::kP2;
+      }
+    }
+    cls.pattern = pattern;
+    accum->pattern_counts[static_cast<size_t>(pattern)]++;
+    auto pb = static_cast<uint8_t>(pattern);
+    if (track_dirty && prev_patterns_[i] != pb) {
+      accum->dirty.push_back(static_cast<DataItemId>(i));
+    }
+    prev_patterns_[i] = pb;
+  }
+}
+
+const ClassificationResult& PatternClassifier::Finalize(
+    const storage::DataItemCatalog& catalog, SimTime period_end) {
+  assert(period_end >= period_start_);
+  const size_t n_items = catalog.item_count();
+  if (state_.size() < n_items) state_.resize(n_items);
+
+  // Dirty tracking mirrors the pre-streaming classifier: disabled for the
+  // period in which the catalog changed size (evaluated before the row
+  // table catches up).
+  const bool track_dirty = has_previous_ && prev_patterns_.size() == n_items;
+
+  if (n_items < init_items_) {
+    // Catalog shrank (no current workload does this): rebuild the rows.
+    result_.items.clear();
+    resident_.clear();
+    init_items_ = 0;
+  }
+  if (init_items_ < n_items) {
+    // First finalise, or the catalog grew: write quiet rows once for the
+    // new range. This is the only O(catalog) pass the classifier ever
+    // does; quiet rows have no period-dependent field, so they are
+    // carried verbatim until the item shows activity.
+    result_.items.resize(n_items);
+    prev_patterns_.resize(n_items, static_cast<uint8_t>(IoPattern::kP0));
+    for (size_t i = init_items_; i < n_items; ++i) WriteQuietRow(i, catalog);
+    init_items_ = n_items;
+  }
+  prev_patterns_.resize(n_items);
+
+  result_.pattern_counts = {0, 0, 0, 0};
+  result_.p3_max_iops = 0.0;
+  result_.mean_long_interval = 0;
+
+  const double period_seconds = ToSeconds(period_end - period_start_);
+  const SimDuration width = options_.iops_bucket;
+  // Bucket count of the legacy IopsSeries(start, max(end, start+1), w).
+  auto n_buckets = static_cast<size_t>(
+      (std::max(period_end, period_start_ + 1) - period_start_ + width - 1) /
+      width);
+  if (n_buckets < 1) n_buckets = 1;
+
+  // The frontier: items touched this period plus rows still carrying
+  // last period's activity (they must be reset to quiet form). Sorted
+  // merge keeps every downstream artifact — rows, dirty set, shard
+  // slices — in ascending item order. Ingest may have touched indices
+  // beyond the catalog (unknown items); they stay out of the frontier
+  // until the catalog covers them.
+  std::sort(touched_.begin(), touched_.end());
+  auto ta = touched_.begin();
+  auto te = std::lower_bound(touched_.begin(), touched_.end(), n_items);
+  auto ra = resident_.begin();
+  auto re = resident_.end();
+  frontier_.clear();
+  while (ta != te && ra != re) {
+    if (*ta < *ra) {
+      frontier_.push_back(*ta++);
+    } else if (*ra < *ta) {
+      frontier_.push_back(*ra++);
+    } else {
+      frontier_.push_back(*ta++);
+      ++ra;
+    }
+  }
+  frontier_.insert(frontier_.end(), ta, te);
+  frontier_.insert(frontier_.end(), ra, re);
+  const size_t n_front = frontier_.size();
+
+  int shards = options_.finalize_shards;
+  if (shards <= 0) {
+    shards = static_cast<int>((static_cast<int64_t>(n_front) +
+                               options_.items_per_shard - 1) /
+                              options_.items_per_shard);
+  }
+  shards = std::clamp(shards, 1, 16);
+
+  shard_accums_.resize(static_cast<size_t>(shards));
+  for (ShardAccum& a : shard_accums_) {
+    a.pattern_counts = {0, 0, 0, 0};
+    a.long_interval_sum = 0;
+    a.long_interval_count = 0;
+    a.any_p3 = false;
+    a.dirty.clear();
+    a.p3_buckets.clear();
+  }
+
+  const size_t per_shard =
+      shards > 1 ? (n_front + static_cast<size_t>(shards) - 1) /
+                       static_cast<size_t>(shards)
+                 : n_front;
+  if (shards > 1) {
+    if (finalize_pool_ == nullptr) {
+      auto hw = std::max(1u, std::thread::hardware_concurrency());
+      int threads = static_cast<int>(
+          std::min<unsigned>(static_cast<unsigned>(shards - 1), hw));
+      finalize_pool_ = std::make_unique<ThreadPool>(threads);
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(static_cast<size_t>(shards) - 1);
+    for (int s = 1; s < shards; ++s) {
+      size_t lo = static_cast<size_t>(s) * per_shard;
+      size_t hi = std::min(n_front, lo + per_shard);
+      if (lo >= hi) break;
+      futures.push_back(finalize_pool_->Submit(
+          [this, lo, hi, period_end, period_seconds, n_buckets, track_dirty,
+           s] {
+            FinalizeRange(frontier_.data() + lo, hi - lo, period_end,
+                          period_seconds, n_buckets, track_dirty,
+                          &shard_accums_[static_cast<size_t>(s)]);
+          }));
+    }
+    FinalizeRange(frontier_.data(), std::min(n_front, per_shard), period_end,
+                  period_seconds, n_buckets, track_dirty, &shard_accums_[0]);
+    for (std::future<void>& f : futures) f.get();
+  } else {
+    FinalizeRange(frontier_.data(), n_front, period_end, period_seconds,
+                  n_buckets, track_dirty, &shard_accums_[0]);
+  }
+
+  // Deterministic merge: shards cover ascending frontier slices and every
+  // cross-shard reduction below is integral, so the result is identical
+  // for any shard/worker count — and to the serial (1-shard) pass. The
+  // quiet remainder (rows outside the frontier) contributes in closed
+  // form: n_quiet single full-period Long Intervals and n_quiet P0s,
+  // the same integers a per-item pass would add one by one.
+  const auto n_quiet = static_cast<int64_t>(n_items - n_front);
+  result_.pattern_counts[static_cast<size_t>(IoPattern::kP0)] += n_quiet;
+  int64_t li_sum = n_quiet * (period_end - period_start_);
+  int64_t li_count = n_quiet;
+  dirty_.clear();
+  std::vector<int64_t>* p3_total = nullptr;
+  for (ShardAccum& a : shard_accums_) {
+    for (size_t p = 0; p < result_.pattern_counts.size(); ++p) {
+      result_.pattern_counts[p] += a.pattern_counts[p];
+    }
+    li_sum += a.long_interval_sum;
+    li_count += a.long_interval_count;
+    dirty_.insert(dirty_.end(), a.dirty.begin(), a.dirty.end());
+    if (a.any_p3) {
+      if (p3_total == nullptr) {
+        p3_total = &a.p3_buckets;
+      } else {
+        for (size_t b = 0; b < n_buckets; ++b) {
+          (*p3_total)[b] += a.p3_buckets[b];
+        }
+      }
+    }
+  }
+  if (li_count > 0) {
+    // Long-Interval sums are exact in int64 µs and below 2^53 in every
+    // supported domain, so this division reproduces the legacy flat
+    // double accumulation bit-for-bit (DESIGN.md §13).
+    result_.mean_long_interval = static_cast<SimDuration>(
+        static_cast<double>(li_sum) / static_cast<double>(li_count));
+  }
+  if (p3_total != nullptr) {
+    int64_t best = 0;
+    for (int64_t c : *p3_total) best = std::max(best, c);
+    result_.p3_max_iops = static_cast<double>(best) / ToSeconds(width);
+  }
+
+  // Next period's frontier seed: exactly the rows left non-quiet, which
+  // are the touched in-catalog items (an ingested I/O always leaves
+  // reads+writes > 0).
+  resident_.assign(touched_.begin(), te);
+
+  has_previous_ = true;
+  NotePeak();
+  return result_;
+}
+
+void PatternClassifier::Finalize(const storage::DataItemCatalog& catalog,
+                                 SimTime period_end,
+                                 ClassificationResult* result) {
+  *result = Finalize(catalog, period_end);
+}
 
 ClassificationResult PatternClassifier::Classify(
     const trace::LogicalTraceBuffer& buffer,
     const storage::DataItemCatalog& catalog, SimTime period_start,
-    SimTime period_end) const {
-  assert(period_end >= period_start);
-  ClassificationResult result;
-  const size_t n_items = catalog.item_count();
-  result.items.resize(n_items);
-
-  // One streaming pass over the trace, which must be time-ordered per
-  // item (the monitor appends it in global time order). Per item, a gap
-  // between consecutive I/Os (including the leading gap from the period
-  // start) strictly longer than the break-even time is a Long Interval
-  // (paper §IV-B Steps 1-2). The read/write counters double as the I/O
-  // Sequence totals because every I/O belongs to some sequence, so no
-  // per-item copy of the trace is ever materialised.
-  Scratch& s = scratch_;
-  s.state.assign(n_items, ItemState{period_start, 0, 0, 0, 0, 0});
+    SimTime period_end) {
+  BeginPeriod(period_start);
   for (const trace::LogicalIoRecord& rec : buffer.records()) {
-    if (rec.item < 0 || static_cast<size_t>(rec.item) >= n_items) {
-      continue;  // unknown item: not classifiable
-    }
-    auto idx = static_cast<size_t>(rec.item);
-    ItemState& st = s.state[idx];
-    assert(rec.time >= st.last_time);
-    SimDuration gap = rec.time - st.last_time;
-    if (gap > options_.break_even) {
-      result.items[idx].long_intervals.push_back(gap);
-    }
-    // A new I/O Sequence starts at the item's first I/O and after every
-    // Long Interval (the two coincide when the leading gap is long).
-    if (st.reads + st.writes == 0 || gap > options_.break_even) {
-      st.sequences++;
-    }
-    if (rec.is_read()) {
-      st.reads++;
-      st.read_bytes += rec.size;
-    } else {
-      st.writes++;
-      st.write_bytes += rec.size;
-    }
-    st.last_time = rec.time;
+    OnLogicalIo(rec);
   }
+  return Finalize(catalog, period_end);
+}
 
-  double period_seconds = ToSeconds(period_end - period_start);
-  double long_interval_sum = 0.0;
-  int64_t long_interval_count = 0;
-  s.is_p3.assign(n_items, 0);
-  bool any_p3 = false;
-
-  for (size_t i = 0; i < n_items; ++i) {
-    const ItemState& st = s.state[i];
-    ItemClassification& cls = result.items[i];
-    cls.item = static_cast<DataItemId>(i);
-    cls.size_bytes = catalog.item(cls.item).size_bytes;
-    cls.reads = st.reads;
-    cls.writes = st.writes;
-    cls.read_bytes = st.read_bytes;
-    cls.write_bytes = st.write_bytes;
-    cls.io_sequences = st.sequences;
-
-    if (cls.total_ios() == 0) {
-      // An untouched item has the single full-period Long Interval.
-      cls.long_intervals.push_back(period_end - period_start);
-    } else {
-      SimDuration trailing = period_end - st.last_time;
-      if (trailing > options_.break_even) {
-        cls.long_intervals.push_back(trailing);
-      }
-    }
-    cls.avg_iops = period_seconds > 0
-                       ? static_cast<double>(cls.total_ios()) / period_seconds
-                       : 0.0;
-
-    for (SimDuration li : cls.long_intervals) {
-      long_interval_sum += static_cast<double>(li);
-      long_interval_count++;
-    }
-
-    // Paper §IV-B Step 3.
-    if (cls.total_ios() == 0) {
-      cls.pattern = IoPattern::kP0;
-    } else if (cls.long_intervals.empty()) {
-      cls.pattern = IoPattern::kP3;
-      s.is_p3[i] = 1;
-      any_p3 = true;
-    } else if (cls.reads * 2 > cls.total_ios()) {
-      cls.pattern = IoPattern::kP1;
-    } else {
-      cls.pattern = IoPattern::kP2;
-    }
-    result.pattern_counts[static_cast<size_t>(cls.pattern)]++;
+size_t PatternClassifier::state_bytes() const {
+  size_t bytes = state_.capacity() * sizeof(ItemState) +
+                 pool_.capacity() * sizeof(IopsChunk) +
+                 prev_patterns_.capacity() * sizeof(uint8_t) +
+                 dirty_.capacity() * sizeof(DataItemId) +
+                 result_.items.capacity() * sizeof(ItemClassification) +
+                 (touched_.capacity() + resident_.capacity() +
+                  frontier_.capacity()) *
+                     sizeof(size_t);
+  for (const ShardAccum& a : shard_accums_) {
+    bytes += sizeof(ShardAccum) + a.dirty.capacity() * sizeof(DataItemId) +
+             a.p3_buckets.capacity() * sizeof(int64_t);
   }
+  return bytes;
+}
 
-  if (long_interval_count > 0) {
-    result.mean_long_interval = static_cast<SimDuration>(
-        long_interval_sum / static_cast<double>(long_interval_count));
-  }
-
-  // Aggregate IOPS series of the P3 items -> I_max (paper §IV-C Step 1).
-  // Second pass over the trace; AddOrdered exploits the usual global
-  // time order but stays correct for merely per-item-ordered input.
-  if (any_p3) {
-    trace::IopsSeries p3_series(
-        period_start, std::max(period_end, period_start + 1),
-        options_.iops_bucket);
-    for (const trace::LogicalIoRecord& rec : buffer.records()) {
-      if (rec.item < 0 || static_cast<size_t>(rec.item) >= n_items) continue;
-      if (s.is_p3[static_cast<size_t>(rec.item)]) {
-        p3_series.AddOrdered(rec.time);
-      }
-    }
-    result.p3_max_iops = p3_series.MaxIops();
-  }
-  return result;
+void PatternClassifier::NotePeak() {
+  peak_state_bytes_ = std::max(peak_state_bytes_, state_bytes());
 }
 
 }  // namespace ecostore::core

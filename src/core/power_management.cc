@@ -1,6 +1,7 @@
 #include "core/power_management.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ecostore::core {
 
@@ -63,18 +64,31 @@ PowerManagementFunction::PowerManagementFunction(
 ManagementPlan PowerManagementFunction::Run(
     const monitor::MonitorSnapshot& snapshot,
     const storage::StorageSystem& system,
-    SimDuration current_period, bool force_full) {
+    SimDuration current_period, bool force_full, bool streaming_ingest) {
   ManagementPlan plan;
   const storage::BlockVirtualization& virt = system.virtualization();
 
-  // Algorithm 1 line: determine Logical I/O pattern of data items.
-  plan.classification = classifier_.Classify(
-      snapshot.application->buffer(), virt.catalog(), snapshot.period_start,
-      snapshot.period_end);
+  // Algorithm 1 line: determine Logical I/O pattern of data items. With
+  // streaming ingest the interval analysis already happened as the I/Os
+  // arrived; the period end only finalises (DESIGN.md §13). The replay
+  // path feeds the captured trace through the same state machine, so
+  // both produce bit-identical classifications.
+  if (streaming_ingest) {
+    assert(classifier_.period_start() == snapshot.period_start);
+  } else {
+    classifier_.BeginPeriod(snapshot.period_start);
+    for (const trace::LogicalIoRecord& rec :
+         snapshot.application->buffer().records()) {
+      classifier_.OnLogicalIo(rec);
+    }
+  }
+  const ClassificationResult& classification =
+      classifier_.Finalize(virt.catalog(), snapshot.period_end);
+  plan.classification = &classification;
 
   // Determine hot/cold enclosures + data placement.
   if (config_.enable_placement) {
-    const size_t n_items = plan.classification.items.size();
+    const size_t n_items = classification.items.size();
     bool planned = false;
 
     // Incremental path (DESIGN.md §12). Sound because every item that can
@@ -87,15 +101,14 @@ ManagementPlan PowerManagementFunction::Run(
     // hot. A partition shift invalidates that last step, so it falls back
     // to the full plan.
     if (config_.enable_incremental_replan && !force_full && have_prev_ &&
-        prev_patterns_.size() == n_items &&
+        classifier_.has_previous() &&
+        classifier_.patterns().size() == n_items &&
         journal_cursor_ <= virt.move_log_size()) {
-      candidate_scratch_.clear();
-      for (size_t i = 0; i < n_items; ++i) {
-        if (static_cast<uint8_t>(plan.classification.items[i].pattern) !=
-            prev_patterns_[i]) {
-          candidate_scratch_.push_back(static_cast<DataItemId>(i));
-        }
-      }
+      // The dirty set (pattern-changed items, including newly-quiet P3s)
+      // fell out of the classifier's finalisation — activity-sized, no
+      // full-catalog diff (DESIGN.md §13).
+      const std::vector<DataItemId>& dirty = classifier_.dirty_items();
+      candidate_scratch_.assign(dirty.begin(), dirty.end());
       plan.dirty_items = static_cast<int64_t>(candidate_scratch_.size());
       const std::vector<DataItemId>& log = virt.move_log();
       candidate_scratch_.insert(candidate_scratch_.end(),
@@ -111,7 +124,7 @@ ManagementPlan PowerManagementFunction::Run(
       plan.replan_candidates =
           static_cast<int64_t>(candidate_scratch_.size());
 
-      HotColdPartition fresh = hot_cold_.Plan(plan.classification, virt);
+      HotColdPartition fresh = hot_cold_.Plan(classification, virt);
       if (SamePartition(fresh, prev_partition_)) {
         if (candidate_scratch_.empty()) {
           // Fast path: nothing can have become P3-on-cold, so the full
@@ -124,7 +137,7 @@ ManagementPlan PowerManagementFunction::Run(
           planned = true;
         } else {
           PlacementPlan placement =
-              placement_.Plan(plan.classification, virt,
+              placement_.Plan(classification, virt,
                               &candidate_scratch_, &prev_p3_cold_);
           plan.partition = std::move(placement.partition);
           plan.migrations = std::move(placement.migrations);
@@ -136,28 +149,24 @@ ManagementPlan PowerManagementFunction::Run(
 
     if (!planned) {
       PlacementPlan placement =
-          placement_.Plan(plan.classification, virt, nullptr,
+          placement_.Plan(classification, virt, nullptr,
                           &prev_p3_cold_);
       plan.partition = std::move(placement.partition);
       plan.migrations = std::move(placement.migrations);
     }
 
     // Snapshot the state the next period's incremental decision needs:
-    // the settled partition *before* the safety net below mutates it,
-    // the pattern table, and the consumed journal prefix.
+    // the settled partition *before* the safety net below mutates it and
+    // the consumed journal prefix (the pattern table already lives in
+    // the classifier).
     prev_partition_ = plan.partition;
-    prev_patterns_.resize(n_items);
-    for (size_t i = 0; i < n_items; ++i) {
-      prev_patterns_[i] =
-          static_cast<uint8_t>(plan.classification.items[i].pattern);
-    }
     journal_cursor_ = virt.move_log_size();
     have_prev_ = true;
   } else {
-    plan.partition = hot_cold_.Plan(plan.classification, virt);
+    plan.partition = hot_cold_.Plan(classification, virt);
     // Items stay put; cold enclosures may still hold P3 items. Such
     // enclosures must not power off, so mark them hot.
-    for (const ItemClassification& cls : plan.classification.items) {
+    for (const ItemClassification& cls : classification.items) {
       if (cls.pattern == IoPattern::kP3) {
         auto enc = static_cast<size_t>(virt.EnclosureOf(cls.item));
         if (!plan.partition.is_hot[enc]) {
@@ -169,8 +178,8 @@ ManagementPlan PowerManagementFunction::Run(
   }
 
   // Final placement after migrations for the cache planner.
-  std::vector<EnclosureId> final_enclosure(plan.classification.items.size());
-  for (const ItemClassification& cls : plan.classification.items) {
+  std::vector<EnclosureId> final_enclosure(classification.items.size());
+  for (const ItemClassification& cls : classification.items) {
     final_enclosure[static_cast<size_t>(cls.item)] =
         virt.EnclosureOf(cls.item);
   }
@@ -181,7 +190,7 @@ ManagementPlan PowerManagementFunction::Run(
   // Safety net: any P3 item that ends up on a cold enclosure (pinned, or
   // unplaceable) forces that enclosure hot — powering it off would stall
   // the application.
-  for (const ItemClassification& cls : plan.classification.items) {
+  for (const ItemClassification& cls : classification.items) {
     if (cls.pattern != IoPattern::kP3) continue;
     auto enc = static_cast<size_t>(
         final_enclosure[static_cast<size_t>(cls.item)]);
@@ -193,7 +202,7 @@ ManagementPlan PowerManagementFunction::Run(
 
   // Determine write delay first, then preload (paper §IV-A rationale).
   CachePlan cache_plan =
-      cache_.Plan(plan.classification, plan.partition, final_enclosure);
+      cache_.Plan(classification, plan.partition, final_enclosure);
   if (config_.enable_write_delay) {
     plan.cache.write_delay = std::move(cache_plan.write_delay);
   }
@@ -210,7 +219,7 @@ ManagementPlan PowerManagementFunction::Run(
 
   // Determine the length of the next monitoring period (paper §IV-H).
   plan.next_period = config_.enable_adaptive_period
-                         ? period_.Next(plan.classification, current_period)
+                         ? period_.Next(classification, current_period)
                          : current_period;
   return plan;
 }

@@ -59,7 +59,13 @@ struct PowerManagementConfig {
 /// The complete decision of one power-management invocation (the body of
 /// paper Algorithm 1).
 struct ManagementPlan {
-  ClassificationResult classification;
+  /// The period's classification, aliasing the classifier-owned table
+  /// inside PowerManagementFunction (valid until its next Run — every
+  /// in-repo consumer reads the plan before then). A pointer, not a
+  /// copy: at fleet scale the table is the plan's only O(catalog) part,
+  /// and copying it would put the catalog back into the period-end cost
+  /// that the streaming classifier just removed (DESIGN.md §13).
+  const ClassificationResult* classification = nullptr;
   HotColdPartition partition;
   std::vector<Migration> migrations;
   CachePlan cache;
@@ -100,9 +106,20 @@ class PowerManagementFunction {
   /// \param force_full bypass the incremental path for this invocation
   ///        (the §V-D sudden-change triggers request this: the trigger
   ///        itself is evidence the pattern landscape shifted).
+  /// \param streaming_ingest the period's I/O already reached the
+  ///        classifier through the monitor sink (DESIGN.md §13): only
+  ///        finalise — never replay snapshot.application->buffer(). The
+  ///        caller owns the BeginPeriod()/ingest lifecycle. When false,
+  ///        the captured trace buffer is replayed into the classifier,
+  ///        which yields the identical result.
   ManagementPlan Run(const monitor::MonitorSnapshot& snapshot,
                      const storage::StorageSystem& system,
-                     SimDuration current_period, bool force_full = false);
+                     SimDuration current_period, bool force_full = false,
+                     bool streaming_ingest = false);
+
+  /// The streaming classifier: policies attach it as the monitor's
+  /// logical I/O sink and drive BeginPeriod() around Run().
+  PatternClassifier* classifier() { return &classifier_; }
 
  private:
   PowerManagementConfig config_;
@@ -113,9 +130,10 @@ class PowerManagementFunction {
   MonitoringPeriodController period_;
 
   // ---- incremental re-plan state (DESIGN.md §12) ----
+  // The pattern table and its period-over-period diff live in the
+  // classifier, which emits the dirty set as a finalisation by-product —
+  // no O(catalog) diff here (DESIGN.md §13).
   bool have_prev_ = false;
-  /// Pattern of every item at the last plan (IoPattern as uint8_t).
-  std::vector<uint8_t> prev_patterns_;
   /// Partition the last placement settled on (pre safety-net).
   HotColdPartition prev_partition_;
   /// Residue: items that were P3-on-cold at the last placement (their

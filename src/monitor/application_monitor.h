@@ -2,28 +2,42 @@
 #define ECOSTORE_MONITOR_APPLICATION_MONITOR_H_
 
 #include "common/sim_time.h"
+#include "monitor/io_sink.h"
 #include "trace/io_record.h"
 #include "trace/trace_buffer.h"
 
 namespace ecostore::monitor {
 
-/// \brief The Application Monitor (paper §III-A): captures the logical I/O
-/// trace of the current monitoring period on the file/record layer.
+/// \brief The Application Monitor (paper §III-A): observes the logical I/O
+/// stream of the current monitoring period on the file/record layer.
 ///
 /// The logical mapping information (data item <-> volume) lives in the
-/// DataItemCatalog; this class holds the per-period trace repository.
+/// DataItemCatalog. Each record is forwarded to an optional streaming sink
+/// (DESIGN.md §13) and, when capture is enabled, appended to the per-period
+/// trace repository. Policies that ingest via the sink can disable capture
+/// so a fleet-scale period never materialises an unbounded trace buffer.
 class ApplicationMonitor {
  public:
   /// Records one logical I/O. Records must arrive in time order.
   void Record(const trace::LogicalIoRecord& rec) {
-    buffer_.Append(rec);
+    if (capture_) buffer_.Append(rec);
+    if (sink_ != nullptr) sink_->OnLogicalIo(rec);
     total_records_++;
   }
 
-  /// Trace of the current period.
+  /// Trace of the current period (empty while capture is disabled).
   const trace::LogicalTraceBuffer& buffer() const { return buffer_; }
 
   SimTime period_start() const { return period_start_; }
+
+  /// Attaches (or detaches, with nullptr) the streaming sink. Not owned.
+  void SetSink(LogicalIoSink* sink) { sink_ = sink; }
+  LogicalIoSink* sink() const { return sink_; }
+
+  /// Enables or disables trace-buffer capture. Default on; a policy that
+  /// streams via the sink turns it off through the replay engine.
+  void SetCapture(bool capture) { capture_ = capture; }
+  bool capture() const { return capture_; }
 
   /// Clears the period trace and starts a new period at `now`.
   void ResetPeriod(SimTime now) {
@@ -36,6 +50,8 @@ class ApplicationMonitor {
 
  private:
   trace::LogicalTraceBuffer buffer_;
+  LogicalIoSink* sink_ = nullptr;
+  bool capture_ = true;
   SimTime period_start_ = 0;
   int64_t total_records_ = 0;
 };

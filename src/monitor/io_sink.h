@@ -1,0 +1,28 @@
+#ifndef ECOSTORE_MONITOR_IO_SINK_H_
+#define ECOSTORE_MONITOR_IO_SINK_H_
+
+#include "trace/io_record.h"
+
+namespace ecostore::monitor {
+
+/// \brief Consumer of the logical I/O stream as the Application Monitor
+/// observes it (DESIGN.md §13).
+///
+/// A sink receives every logical I/O in global time order, on the thread
+/// that drives the monitor (the serial replay loop, or the sharded
+/// coordinator's scatter phase — never a lane worker). A policy that
+/// attaches a sink via PolicyActuator::AttachLogicalIoSink() can fold its
+/// period analysis into ingest and then declare, through
+/// StoragePolicy::wants_logical_trace(), that the per-period trace buffer
+/// need not be retained — the fleet-scale monitoring mode.
+class LogicalIoSink {
+ public:
+  virtual ~LogicalIoSink() = default;
+
+  /// One logical I/O. Records arrive in non-decreasing time order.
+  virtual void OnLogicalIo(const trace::LogicalIoRecord& rec) = 0;
+};
+
+}  // namespace ecostore::monitor
+
+#endif  // ECOSTORE_MONITOR_IO_SINK_H_

@@ -8,6 +8,7 @@
 
 #include "common/sim_time.h"
 #include "common/types.h"
+#include "monitor/io_sink.h"
 #include "monitor/snapshot.h"
 #include "storage/storage_system.h"
 #include "trace/io_record.h"
@@ -62,6 +63,16 @@ class PolicyActuator {
                            const std::vector<uint8_t>& item_patterns) {
     (void)plan_id;
     (void)item_patterns;
+  }
+
+  /// Attaches `sink` to the Application Monitor's logical I/O stream so
+  /// the policy can fold its period analysis into ingest (DESIGN.md §13).
+  /// Returns true when the runtime supports streaming ingest; the default
+  /// (false) keeps the policy on the captured-trace path. Call from
+  /// StoragePolicy::Start(); the sink must outlive the run.
+  virtual bool AttachLogicalIoSink(monitor::LogicalIoSink* sink) {
+    (void)sink;
+    return false;
   }
 
   /// Event recorder for the run, or nullptr when telemetry is off.
@@ -119,6 +130,13 @@ class StoragePolicy {
   /// Number of data-placement determinations executed so far (the paper's
   /// §VII-D CPU-cost metric).
   virtual int64_t placement_determinations() const { return 0; }
+
+  /// Whether the policy reads the per-period logical trace buffer from
+  /// the snapshot. Queried after Start(): a policy that attached a
+  /// logical I/O sink returns false and the replay engine stops retaining
+  /// the per-period trace — period memory then scales with activity, not
+  /// I/O volume (DESIGN.md §13).
+  virtual bool wants_logical_trace() const { return true; }
 };
 
 }  // namespace ecostore::policies

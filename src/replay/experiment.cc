@@ -51,9 +51,14 @@ Result<ExperimentMetrics> Experiment::Run() {
 
   workload_->Reset();
   period_index_ = 0;
+  app_monitor_.SetSink(nullptr);
   app_monitor_.ResetPeriod(0);
   storage_monitor_->ResetPeriod(0);
   policy_->Start(*system_, this);
+  // A policy that attached a streaming sink in Start() may also have
+  // declared the per-period trace buffer unnecessary — then the monitor
+  // stops retaining it and period memory scales with activity.
+  app_monitor_.SetCapture(policy_->wants_logical_trace());
   SchedulePeriodEnd(policy_->initial_period());
 
   std::unique_ptr<storage::PowerMeter> meter;

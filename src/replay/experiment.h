@@ -83,12 +83,21 @@ class Experiment : public storage::StorageObserver,
   void TriggerImmediatePeriodEnd() override;
   void PublishPlan(int32_t plan_id,
                    const std::vector<uint8_t>& item_patterns) override;
+  bool AttachLogicalIoSink(monitor::LogicalIoSink* sink) override {
+    app_monitor_.SetSink(sink);
+    return true;
+  }
   telemetry::Recorder* telemetry() const override {
     return config_.telemetry;
   }
 
   /// The storage system under test (valid during and after Run()).
   storage::StorageSystem* system() { return system_.get(); }
+
+  /// The application monitor (inspection: trace capture mode, totals).
+  const monitor::ApplicationMonitor& application_monitor() const {
+    return app_monitor_;
+  }
 
  private:
   void SchedulePeriodEnd(SimDuration period);

@@ -308,10 +308,12 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
   plan_epoch_ = 0;
   in_period_end_ = false;
   trigger_pending_ = false;
+  app_monitor_.SetSink(nullptr);
   app_monitor_.ResetPeriod(0);
   storage_monitor_->ResetPeriod(0);
 
   policy_->Start(*master_, this);
+  app_monitor_.SetCapture(policy_->wants_logical_trace());
   SchedulePeriodEnd(policy_->initial_period());
   // Start() may have seeded preloads or spin-down flags; deliver the
   // resulting observer callbacks now, as the serial engine would inline.

@@ -86,6 +86,13 @@ class ShardedExperiment : public policies::PolicyActuator {
   void TriggerImmediatePeriodEnd() override;
   void PublishPlan(int32_t plan_id,
                    const std::vector<uint8_t>& item_patterns) override;
+  bool AttachLogicalIoSink(monitor::LogicalIoSink* sink) override {
+    // The scatter phase feeds the monitor in global time order on the
+    // coordinator thread, so streaming ingest observes the exact record
+    // sequence the serial engine would.
+    app_monitor_.SetSink(sink);
+    return true;
+  }
   telemetry::Recorder* telemetry() const override {
     return config_.telemetry;
   }

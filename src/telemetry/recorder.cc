@@ -69,18 +69,43 @@ void Recorder::Record(const Event& event) {
   } else {
     buffer = BindThisThread();
   }
-  recorded_.fetch_add(1, std::memory_order_relaxed);
-  Event stamped = event;
-  stamped.shard = t_shard;
+  // Single-writer counter: plain load + store, no locked RMW — only the
+  // owning thread writes it, and readers sum through the atomic.
+  buffer->recorded.store(
+      buffer->recorded.load(std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
   if (buffer->events.size() < options_.thread_buffer_capacity) {
-    buffer->events.push_back(stamped);
+    buffer->events.push_back(event);
+    buffer->events.back().shard = t_shard;
     return;
   }
-  // Ring is at capacity: overwrite the oldest entry.
-  buffer->events[buffer->head] = stamped;
-  buffer->head = (buffer->head + 1) % buffer->events.size();
+  // Ring is at capacity: overwrite the oldest entry in place. Wrap with a
+  // predictable branch — a 64-bit divide has no business in this path.
+  Event& slot = buffer->events[buffer->head];
+  slot = event;
+  slot.shard = t_shard;
+  if (++buffer->head == buffer->events.size()) buffer->head = 0;
   buffer->wrapped = true;
-  dropped_.fetch_add(1, std::memory_order_relaxed);
+  buffer->dropped.store(buffer->dropped.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+}
+
+uint64_t Recorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->recorded.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Recorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 std::vector<Event> Recorder::Drain() {

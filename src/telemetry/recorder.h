@@ -166,11 +166,9 @@ class Recorder : public LogSink {
   void Record(const Event& event);
 
   /// Events overwritten because a ring wrapped, summed over all threads.
-  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const;
   /// Events successfully recorded (still resident or overwritten).
-  uint64_t recorded() const {
-    return recorded_.load(std::memory_order_relaxed);
-  }
+  uint64_t recorded() const;
 
   /// Merges all thread buffers into one stream ordered by simulated time
   /// (stable: same-time events keep their per-thread record order) and
@@ -195,20 +193,23 @@ class Recorder : public LogSink {
 
  private:
   /// One thread's ring. `events` grows geometrically up to `capacity`;
-  /// after that `head` wraps and overwrites the oldest entry.
+  /// after that `head` wraps and overwrites the oldest entry. The
+  /// counters are single-writer (only the owning thread updates them, via
+  /// plain load+store — no locked RMW in the record path); readers sum
+  /// them through the atomic in recorded()/dropped().
   struct ThreadBuffer {
     std::thread::id owner;
     std::vector<Event> events;
     size_t head = 0;
     bool wrapped = false;
+    std::atomic<uint64_t> recorded{0};
+    std::atomic<uint64_t> dropped{0};
   };
 
   ThreadBuffer* BindThisThread();
 
   Options options_;
   std::atomic<uint32_t> mask_;
-  std::atomic<uint64_t> dropped_{0};
-  std::atomic<uint64_t> recorded_{0};
 
   mutable std::mutex mu_;  ///< guards buffers_, registries and logs
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

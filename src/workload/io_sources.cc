@@ -9,30 +9,54 @@ namespace ecostore::workload {
 // SourceMixer
 // ---------------------------------------------------------------------------
 
+void SourceMixer::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  HeapEntry moving = heap_[i];
+  for (;;) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Earlier(heap_[child + 1], heap_[child])) child++;
+    if (!Earlier(heap_[child], moving)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = moving;
+}
+
+void SourceMixer::PopRoot() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
 void SourceMixer::Add(std::unique_ptr<IoSource> source) {
   SimTime t = source->next_time();
   sources_.push_back(std::move(source));
-  if (t != kNoMoreIo) {
-    heap_.push(HeapEntry{t, sources_.size() - 1});
+  if (t == kNoMoreIo) return;
+  // Sift up the new leaf.
+  size_t i = heap_.size();
+  heap_.push_back(HeapEntry{t, sources_.size() - 1});
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!Earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
 }
 
 bool SourceMixer::Next(trace::LogicalIoRecord* rec) {
   while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
+    HeapEntry top = heap_[0];
     IoSource& src = *sources_[top.index];
-    if (src.next_time() != top.time) {
-      // Stale entry (source advanced past it); reinsert at its real time.
-      if (src.next_time() != kNoMoreIo) {
-        heap_.push(HeapEntry{src.next_time(), top.index});
-      }
+    SimTime t = src.next_time();
+    if (t != top.time) {
+      // Stale entry (source advanced past it); re-time it in place.
+      if (t == kNoMoreIo) PopRoot(); else ReplaceRoot(t);
       continue;
     }
     *rec = src.Emit();
-    if (src.next_time() != kNoMoreIo) {
-      heap_.push(HeapEntry{src.next_time(), top.index});
-    }
+    t = src.next_time();
+    if (t == kNoMoreIo) PopRoot(); else ReplaceRoot(t);
     return true;
   }
   return false;
@@ -41,26 +65,50 @@ bool SourceMixer::Next(trace::LogicalIoRecord* rec) {
 size_t SourceMixer::NextBatch(std::vector<trace::LogicalIoRecord>* out,
                               size_t max_records) {
   out->clear();
+  if (out->capacity() < max_records) out->reserve(max_records);
   while (out->size() < max_records && !heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
+    HeapEntry top = heap_[0];
     IoSource& src = *sources_[top.index];
     SimTime t = src.next_time();
     if (t != top.time) {
-      // Stale entry (source advanced past it); reinsert at its real time.
-      if (t != kNoMoreIo) heap_.push(HeapEntry{t, top.index});
+      // Stale entry (source advanced past it); re-time it in place.
+      if (t == kNoMoreIo) PopRoot(); else ReplaceRoot(t);
       continue;
     }
-    out->push_back(src.Emit());
-    t = src.next_time();
-    if (t != kNoMoreIo) heap_.push(HeapEntry{t, top.index});
+    // Run extraction: keep emitting from the root's source while it
+    // stays strictly earliest — i.e. earlier (by the total (time, index)
+    // order) than both children of the root. A dense source then costs
+    // one comparison per record instead of a full sift, and the emitted
+    // order is exactly the repeated-Next() order.
+    for (;;) {
+      out->push_back(src.Emit());
+      t = src.next_time();
+      if (t == kNoMoreIo) {
+        PopRoot();
+        break;
+      }
+      if (out->size() >= max_records) {
+        ReplaceRoot(t);
+        break;
+      }
+      HeapEntry cur{t, top.index};
+      size_t best = 1;
+      if (best + 1 < heap_.size() && Earlier(heap_[best + 1], heap_[best])) {
+        best++;
+      }
+      if (best < heap_.size() && Earlier(heap_[best], cur)) {
+        ReplaceRoot(t);
+        break;
+      }
+      heap_[0].time = t;  // still the root; heap order holds
+    }
   }
   return out->size();
 }
 
 void SourceMixer::Clear() {
   sources_.clear();
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
 }
 
 // ---------------------------------------------------------------------------

@@ -3,7 +3,6 @@
 
 #include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/random.h"
@@ -48,19 +47,30 @@ class SourceMixer {
   size_t source_count() const { return sources_.size(); }
 
  private:
+  /// (time, index) is a strict total order (indices are unique), so the
+  /// extraction order — and therefore the merged stream — is independent
+  /// of the heap's internal arrangement.
   struct HeapEntry {
     SimTime time;
     size_t index;
-    bool operator>(const HeapEntry& o) const {
-      if (time != o.time) return time > o.time;
-      return index > o.index;
-    }
   };
 
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.index < b.index;
+  }
+
+  /// Re-times the root in place (the source advanced) and restores the
+  /// heap with a single sift-down — half the work of a pop + push.
+  void ReplaceRoot(SimTime t) {
+    heap_[0].time = t;
+    SiftDown(0);
+  }
+  void PopRoot();
+  void SiftDown(size_t i);
+
   std::vector<std::unique_ptr<IoSource>> sources_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap_;
+  std::vector<HeapEntry> heap_;
 };
 
 /// \brief Continuous random I/O with two-phase rate modulation — the

@@ -84,7 +84,7 @@ TEST_F(ClassifierFixture, ContinuousTrafficIsP3) {
   }
   auto result = Classify();
   EXPECT_EQ(result.items[0].pattern, IoPattern::kP3);
-  EXPECT_TRUE(result.items[0].long_intervals.empty());
+  EXPECT_EQ(result.items[0].long_interval_count, 0);
 }
 
 TEST_F(ClassifierFixture, AvgIopsComputed) {
@@ -174,8 +174,8 @@ TEST_P(ClassifierPropertyTest, DefinitionInvariants) {
     EXPECT_EQ(cls.total_ios(), counts[static_cast<size_t>(i)]);
     if (counts[static_cast<size_t>(i)] == 0) {
       EXPECT_EQ(cls.pattern, IoPattern::kP0);
-      ASSERT_EQ(cls.long_intervals.size(), 1u);
-    } else if (cls.long_intervals.empty()) {
+      ASSERT_EQ(cls.long_interval_count, 1);
+    } else if (cls.long_interval_count == 0) {
       EXPECT_EQ(cls.pattern, IoPattern::kP3);
     } else if (cls.reads * 2 > cls.total_ios()) {
       EXPECT_EQ(cls.pattern, IoPattern::kP1);

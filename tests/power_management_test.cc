@@ -138,7 +138,7 @@ TEST_F(PowerManagementTest, EmptyPeriodYieldsAllP0AllCold) {
   PowerManagementFunction function(PowerManagementConfig{}, *system_);
   ManagementPlan plan =
       function.Run(Snapshot(520 * kSecond), *system_, 520 * kSecond);
-  EXPECT_EQ(plan.classification.pattern_counts[0], 4);  // all P0
+  EXPECT_EQ(plan.classification->pattern_counts[0], 4);  // all P0
   EXPECT_EQ(plan.partition.n_hot, 0);
   for (bool allowed : plan.spin_down_allowed) EXPECT_TRUE(allowed);
   // Period adapts from the P0 full-period intervals: 520 s * 1.2.
