@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   const std::string summary_path =
       bench::ParseTelemetrySummaryFlag(argc, argv);
+  // --rolling-summary=<path> streams live rolling windows from the
+  // instrumented capture run (tailable mid-run via `eco_report tail`).
+  const std::string rolling_path = bench::ParseRollingSummaryFlag(argc, argv);
+  const SimDuration rolling_window = bench::ParseRollingWindowFlag(argc, argv);
   // --shards=S replays each policy run on the sharded intra-run engine
   // (one experiment spread over S lanes); default 1 keeps the serial
   // engine and the original shared-workload replay.
@@ -52,7 +56,8 @@ int main(int argc, char** argv) {
     job.policy = replay::PaperPolicySet(pm)[1];
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
-                                   summary_path);
+                                   summary_path, 1u << 21, rolling_path,
+                                   rolling_window);
   }
 
   auto workload = workload::FileServerWorkload::Create(wl_config);
@@ -123,7 +128,8 @@ int main(int argc, char** argv) {
     job.policy = replay::PaperPolicySet(pm)[1];
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
-                                   summary_path);
+                                   summary_path, 1u << 21, rolling_path,
+                                   rolling_window);
   }
   return 0;
 }

@@ -42,6 +42,10 @@ int main(int argc, char** argv) {
   const std::string telemetry_base = bench::ParseTelemetryFlag(argc, argv);
   const std::string summary_path =
       bench::ParseTelemetrySummaryFlag(argc, argv);
+  // --rolling-summary=<path> streams live rolling windows from the
+  // instrumented capture run (tailable mid-run via `eco_report tail`).
+  const std::string rolling_path = bench::ParseRollingSummaryFlag(argc, argv);
+  const SimDuration rolling_window = bench::ParseRollingWindowFlag(argc, argv);
   const bool capture_only =
       bench::HasFlag(argc, argv, "--capture-only") && !telemetry_base.empty();
   bench::PrintHeader(
@@ -71,7 +75,8 @@ int main(int argc, char** argv) {
     job.policy = replay::PaperPolicySet(pm)[1];
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
-                                   summary_path, 1u << 22);
+                                   summary_path, 1u << 22, rolling_path,
+                                   rolling_window);
   }
 
   auto workload = workload::CloudBlockWorkload::Create(wl_config);

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -525,10 +526,23 @@ struct ReplayFigure {
   int64_t logical_ios = 0;
   double lios_per_sec = 0.0;
   uint64_t fingerprint = 0;
+  int64_t rolling_windows = 0;  ///< kLiveConsumer runs: windows folded
 };
 
-ReplayFigure MeasureReplayThroughput(bool eco,
-                                     telemetry::Recorder* recorder = nullptr) {
+/// How MeasureReplayThroughput instruments the replay. The two kLive*
+/// modes construct a fresh recorder (and, for kLiveConsumer, a fresh
+/// StreamDispatcher + RollingSummary) inside every timed run so the
+/// only difference between the live_ledger_overhead arms is the
+/// streaming consumer itself.
+enum class ReplayInstrument {
+  kPassedRecorder,  ///< attach `recorder` (may be null): legacy behaviour
+  kLiveRecorder,    ///< fresh per-run recorder, no stream consumer
+  kLiveConsumer,    ///< fresh per-run recorder + dispatcher + RollingSummary
+};
+
+ReplayFigure MeasureReplayThroughput(
+    bool eco, telemetry::Recorder* recorder = nullptr,
+    ReplayInstrument instrument = ReplayInstrument::kPassedRecorder) {
   workload::FileServerConfig wl;
   wl.duration = 20 * kMinute;
   auto workload = workload::FileServerWorkload::Create(wl);
@@ -548,7 +562,26 @@ ReplayFigure MeasureReplayThroughput(bool eco,
       policy = std::make_unique<policies::NoPowerSavingPolicy>();
     }
     replay::ExperimentConfig config;
-    config.telemetry = recorder;
+    telemetry::Recorder local_recorder;
+    telemetry::StreamDispatcher dispatcher;
+    std::unique_ptr<telemetry::analysis::RollingSummary> rolling;
+    if (instrument == ReplayInstrument::kPassedRecorder) {
+      config.telemetry = recorder;
+    } else {
+      config.telemetry = &local_recorder;
+      if (instrument == ReplayInstrument::kLiveConsumer) {
+        telemetry::ExportMeta pre_meta;
+        pre_meta.duration = wl.duration;
+        telemetry::analysis::RollingSummary::Options ropt;
+        ropt.window_us = kMinute;
+        ropt.retention = 4;
+        rolling = std::make_unique<telemetry::analysis::RollingSummary>(
+            pre_meta, ropt);
+        dispatcher.AddConsumer(rolling.get());
+        config.stream = &dispatcher;
+        config.stream_window_us = ropt.window_us;
+      }
+    }
     replay::Experiment experiment(workload.value().get(), policy.get(),
                                   config);
     auto metrics = experiment.Run();
@@ -559,6 +592,8 @@ ReplayFigure MeasureReplayThroughput(bool eco,
     }
     figure.logical_ios = metrics.value().logical_ios;
     figure.fingerprint = bench::MetricsFingerprint(metrics.value());
+    figure.rolling_windows =
+        rolling != nullptr ? rolling->windows_closed() : 0;
   };
 
   using Clock = std::chrono::steady_clock;
@@ -1200,15 +1235,27 @@ void WriteBenchPerfJson(const char* path_override) {
   // linear drift cancels inside the bracket, and the published figure is
   // the MEDIAN of the repetitions — a real regression shifts the whole
   // distribution, residual noise only its tails.
+  // The raw median can still land slightly NEGATIVE on a healthy build
+  // (the previously recorded -2.44% read as if attaching a recorder sped
+  // the replay up — physically impossible, pure measurement noise). The
+  // published figure is therefore clamped at the measured noise floor:
+  // the bracket's own off-vs-off drift tells us the resolution of the
+  // harness, and any raw median at or below that floor publishes as
+  // 0.00%. The raw median and every per-pair delta are recorded
+  // alongside, and the one-sided <2% gate stays on the raw median.
   constexpr double kTelemetryGatePct = 2.0;
   constexpr int kTelemetryPairs = 5;
   double telemetry_off_rate = 0.0;
   double telemetry_on_rate = 0.0;
   double telemetry_overhead_pct = 0.0;
+  double telemetry_overhead_pct_raw = 0.0;
+  double telemetry_noise_floor_pct = 0.0;
+  std::vector<double> telemetry_pair_pcts;
   uint64_t telemetry_recorded = 0;
   {
     struct OverheadRep {
       double overhead_pct;
+      double drift_pct;  ///< |off_before - off_after| / off_rate: noise
       double off_rate;
       double on_rate;
       uint64_t recorded;
@@ -1231,27 +1278,131 @@ void WriteBenchPerfJson(const char* path_override) {
       }
       double off_rate =
           0.5 * (off_before.lios_per_sec + off_after.lios_per_sec);
-      reps.push_back(OverheadRep{
-          (off_rate - on.lios_per_sec) / off_rate * 100.0, off_rate,
-          on.lios_per_sec, recorder.recorded()});
+      OverheadRep rep;
+      rep.overhead_pct = (off_rate - on.lios_per_sec) / off_rate * 100.0;
+      rep.drift_pct =
+          std::abs(off_before.lios_per_sec - off_after.lios_per_sec) /
+          off_rate * 100.0;
+      rep.off_rate = off_rate;
+      rep.on_rate = on.lios_per_sec;
+      rep.recorded = recorder.recorded();
+      telemetry_pair_pcts.push_back(rep.overhead_pct);
+      reps.push_back(rep);
     }
     std::sort(reps.begin(), reps.end(),
               [](const OverheadRep& a, const OverheadRep& b) {
                 return a.overhead_pct < b.overhead_pct;
               });
     const OverheadRep& median = reps[kTelemetryPairs / 2];
-    telemetry_overhead_pct = median.overhead_pct;
+    telemetry_overhead_pct_raw = median.overhead_pct;
     telemetry_off_rate = median.off_rate;
     telemetry_on_rate = median.on_rate;
     telemetry_recorded = median.recorded;
-    if (telemetry_overhead_pct >= kTelemetryGatePct) {
+    std::vector<double> drifts;
+    for (const OverheadRep& rep : reps) drifts.push_back(rep.drift_pct);
+    std::sort(drifts.begin(), drifts.end());
+    telemetry_noise_floor_pct = drifts[kTelemetryPairs / 2];
+    telemetry_overhead_pct =
+        telemetry_overhead_pct_raw > telemetry_noise_floor_pct
+            ? telemetry_overhead_pct_raw
+            : 0.0;
+    if (telemetry_overhead_pct_raw >= kTelemetryGatePct) {
       std::fprintf(stderr,
                    "BENCH_perf: telemetry overhead %.2f%% (median of %d "
                    "bracketed repetitions) exceeds the %.1f%% budget "
                    "(on %.0f vs off %.0f lios/s)\n",
-                   telemetry_overhead_pct, kTelemetryPairs,
+                   telemetry_overhead_pct_raw, kTelemetryPairs,
                    kTelemetryGatePct, telemetry_on_rate,
                    telemetry_off_rate);
+      std::exit(1);
+    }
+  }
+
+  // Live-ledger overhead: the instrumented eco replay with the streaming
+  // pipeline attached (StreamDispatcher + RollingSummary folding 1-minute
+  // windows, the --rolling-summary configuration minus file I/O) vs the
+  // same replay with only the recorder. Both arms construct their
+  // instruments fresh inside every timed run, so the delta isolates the
+  // consumer: the per-window recorder pumps, the incremental ledger fold
+  // and the window closes. Same bracketed median-of-five protocol and
+  // the same clamp-at-noise-floor reporting as the telemetry gate.
+  constexpr double kLiveLedgerGatePct = 2.0;
+  double live_off_rate = 0.0;
+  double live_on_rate = 0.0;
+  double live_overhead_pct = 0.0;
+  double live_overhead_pct_raw = 0.0;
+  double live_noise_floor_pct = 0.0;
+  std::vector<double> live_pair_pcts;
+  int64_t live_windows = 0;
+  {
+    struct OverheadRep {
+      double overhead_pct;
+      double drift_pct;
+      double off_rate;
+      double on_rate;
+      int64_t windows;
+    };
+    std::vector<OverheadRep> reps;
+    reps.reserve(kTelemetryPairs);
+    for (int attempt = 0; attempt < kTelemetryPairs; ++attempt) {
+      ReplayFigure off_before = MeasureReplayThroughput(
+          true, nullptr, ReplayInstrument::kLiveRecorder);
+      ReplayFigure on = MeasureReplayThroughput(
+          true, nullptr, ReplayInstrument::kLiveConsumer);
+      ReplayFigure off_after = MeasureReplayThroughput(
+          true, nullptr, ReplayInstrument::kLiveRecorder);
+      if (on.fingerprint != kSeedReplayEcoFingerprint) {
+        std::fprintf(stderr,
+                     "BENCH_perf: live-consumer replay diverged from the "
+                     "seed outcome (fp %016llx want %016llx) — attaching "
+                     "the streaming pipeline changed the replay\n",
+                     static_cast<unsigned long long>(on.fingerprint),
+                     static_cast<unsigned long long>(
+                         kSeedReplayEcoFingerprint));
+        std::exit(1);
+      }
+      if (telemetry::Recorder::kEnabled && on.rolling_windows <= 0) {
+        std::fprintf(stderr,
+                     "BENCH_perf: live consumer closed no rolling windows "
+                     "— the stream pump is not wired\n");
+        std::exit(1);
+      }
+      double off_rate =
+          0.5 * (off_before.lios_per_sec + off_after.lios_per_sec);
+      OverheadRep rep;
+      rep.overhead_pct = (off_rate - on.lios_per_sec) / off_rate * 100.0;
+      rep.drift_pct =
+          std::abs(off_before.lios_per_sec - off_after.lios_per_sec) /
+          off_rate * 100.0;
+      rep.off_rate = off_rate;
+      rep.on_rate = on.lios_per_sec;
+      rep.windows = on.rolling_windows;
+      live_pair_pcts.push_back(rep.overhead_pct);
+      reps.push_back(rep);
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const OverheadRep& a, const OverheadRep& b) {
+                return a.overhead_pct < b.overhead_pct;
+              });
+    const OverheadRep& median = reps[kTelemetryPairs / 2];
+    live_overhead_pct_raw = median.overhead_pct;
+    live_off_rate = median.off_rate;
+    live_on_rate = median.on_rate;
+    live_windows = median.windows;
+    std::vector<double> drifts;
+    for (const OverheadRep& rep : reps) drifts.push_back(rep.drift_pct);
+    std::sort(drifts.begin(), drifts.end());
+    live_noise_floor_pct = drifts[kTelemetryPairs / 2];
+    live_overhead_pct = live_overhead_pct_raw > live_noise_floor_pct
+                            ? live_overhead_pct_raw
+                            : 0.0;
+    if (live_overhead_pct_raw >= kLiveLedgerGatePct) {
+      std::fprintf(stderr,
+                   "BENCH_perf: live-ledger overhead %.2f%% (median of %d "
+                   "bracketed repetitions) exceeds the %.1f%% budget "
+                   "(on %.0f vs off %.0f lios/s)\n",
+                   live_overhead_pct_raw, kTelemetryPairs,
+                   kLiveLedgerGatePct, live_on_rate, live_off_rate);
       std::exit(1);
     }
   }
@@ -1370,9 +1521,41 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"off_lios_per_sec\": %.0f,\n", telemetry_off_rate);
   std::fprintf(out, "    \"on_lios_per_sec\": %.0f,\n", telemetry_on_rate);
   std::fprintf(out, "    \"overhead_pct\": %.2f,\n", telemetry_overhead_pct);
+  std::fprintf(out, "    \"overhead_pct_raw\": %.2f,\n",
+               telemetry_overhead_pct_raw);
+  std::fprintf(out, "    \"noise_floor_pct\": %.2f,\n",
+               telemetry_noise_floor_pct);
+  std::fprintf(out, "    \"pair_overhead_pct\": [");
+  for (size_t i = 0; i < telemetry_pair_pcts.size(); ++i) {
+    std::fprintf(out, "%s%.2f", i == 0 ? "" : ", ", telemetry_pair_pcts[i]);
+  }
+  std::fprintf(out, "],\n");
   std::fprintf(out, "    \"statistic\": \"median\",\n");
   std::fprintf(out, "    \"pairs\": %d,\n", kTelemetryPairs);
   std::fprintf(out, "    \"gate_pct\": %.1f\n", kTelemetryGatePct);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"live_ledger_overhead\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
+  std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
+  std::fprintf(out, "    \"enabled\": %s,\n",
+               telemetry::Recorder::kEnabled ? "true" : "false");
+  std::fprintf(out, "    \"rolling_windows\": %lld,\n",
+               static_cast<long long>(live_windows));
+  std::fprintf(out, "    \"off_lios_per_sec\": %.0f,\n", live_off_rate);
+  std::fprintf(out, "    \"on_lios_per_sec\": %.0f,\n", live_on_rate);
+  std::fprintf(out, "    \"overhead_pct\": %.2f,\n", live_overhead_pct);
+  std::fprintf(out, "    \"overhead_pct_raw\": %.2f,\n",
+               live_overhead_pct_raw);
+  std::fprintf(out, "    \"noise_floor_pct\": %.2f,\n",
+               live_noise_floor_pct);
+  std::fprintf(out, "    \"pair_overhead_pct\": [");
+  for (size_t i = 0; i < live_pair_pcts.size(); ++i) {
+    std::fprintf(out, "%s%.2f", i == 0 ? "" : ", ", live_pair_pcts[i]);
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "    \"statistic\": \"median\",\n");
+  std::fprintf(out, "    \"pairs\": %d,\n", kTelemetryPairs);
+  std::fprintf(out, "    \"gate_pct\": %.1f\n", kLiveLedgerGatePct);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"planner_scale\": {\n");
   std::fprintf(out, "    \"cases\": [\n");
@@ -1453,11 +1636,20 @@ void WriteBenchPerfJson(const char* path_override) {
               shard8.lios_per_sec / shard1.lios_per_sec);
   std::printf("telemetry overhead (eco replay, %llu events/run, median "
               "of %d bracketed reps): on %.2fM vs off %.2fM lios/s = "
-              "%.2f%% (budget %.1f%%)\n",
+              "%.2f%% (raw %.2f%%, noise floor %.2f%%, budget %.1f%%)\n",
               static_cast<unsigned long long>(telemetry_recorded),
               kTelemetryPairs, telemetry_on_rate / 1e6,
               telemetry_off_rate / 1e6, telemetry_overhead_pct,
+              telemetry_overhead_pct_raw, telemetry_noise_floor_pct,
               kTelemetryGatePct);
+  std::printf("live-ledger overhead (eco replay, %lld rolling windows, "
+              "median of %d bracketed reps): on %.2fM vs off %.2fM "
+              "lios/s = %.2f%% (raw %.2f%%, noise floor %.2f%%, budget "
+              "%.1f%%)\n",
+              static_cast<long long>(live_windows), kTelemetryPairs,
+              live_on_rate / 1e6, live_off_rate / 1e6, live_overhead_pct,
+              live_overhead_pct_raw, live_noise_floor_pct,
+              kLiveLedgerGatePct);
   for (int i = 0; i < 2; ++i) {
     const PlannerScaleCase& c = *planner_cases[i];
     std::printf("planner scale (%d enclosures, %d items, %lld movers): "

@@ -81,6 +81,24 @@ inline std::string ParseTelemetrySummaryFlag(int argc, char** argv) {
   return ParseFlagValue(argc, argv, "--telemetry-summary=");
 }
 
+/// Parses `--rolling-summary=<path>`: the append-only rolling-window
+/// JSONL the instrumented capture run streams while it executes
+/// (followed live by `eco_report tail <path>`). Empty when absent —
+/// rolling mode off. Requires --telemetry as the event source.
+inline std::string ParseRollingSummaryFlag(int argc, char** argv) {
+  return ParseFlagValue(argc, argv, "--rolling-summary=");
+}
+
+/// Parses `--rolling-window=<sec>`: the rolling-window length in sim
+/// seconds (default 60 s). Values <= 0 fall back to the default.
+inline SimDuration ParseRollingWindowFlag(int argc, char** argv) {
+  const std::string v = ParseFlagValue(argc, argv, "--rolling-window=");
+  if (v.empty()) return kMinute;
+  const double sec = std::atof(v.c_str());
+  if (sec <= 0) return kMinute;
+  return static_cast<SimDuration>(sec * static_cast<double>(kSecond));
+}
+
 /// True when ECOSTORE_QUICK=1: benchmarks run shortened workloads (for CI
 /// and smoke runs); otherwise the paper's full durations are used.
 inline bool QuickMode() {

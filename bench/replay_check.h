@@ -37,7 +37,9 @@
 #include "replay/metrics.h"
 #include "replay/suite.h"
 #include "telemetry/analysis/latency_histogram.h"
+#include "telemetry/analysis/rolling_summary.h"
 #include "telemetry/recorder.h"
+#include "telemetry/stream_consumer.h"
 
 namespace ecostore::bench {
 
@@ -214,10 +216,21 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite(
   // the same way, and observation must never change the outcome. In an
   // ECOSTORE_TELEMETRY=OFF build the recorders are empty stubs and the
   // same fingerprints must still come out.
+  //
+  // Each job additionally attaches the live streaming pipeline (a
+  // StreamDispatcher feeding a RollingSummary consumer): the engine pumps
+  // the recorder mid-run, the incremental ledger folds every window, and
+  // the fingerprints must STILL match goldens recorded without any
+  // consumer — the acceptance bar for live observability is that
+  // watching a replay cannot change it.
   std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
   std::vector<std::unique_ptr<telemetry::analysis::LatencyBook>> books;
+  std::vector<std::unique_ptr<telemetry::StreamDispatcher>> streams;
+  std::vector<std::unique_ptr<telemetry::analysis::RollingSummary>> rollers;
   recorders.reserve(jobs.size());
   books.reserve(jobs.size());
+  streams.reserve(jobs.size());
+  rollers.reserve(jobs.size());
   for (replay::ExperimentJob& job : jobs) {
     telemetry::Recorder::Options options;
     options.mask = telemetry::kClassAll;
@@ -225,6 +238,18 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite(
     books.push_back(std::make_unique<telemetry::analysis::LatencyBook>());
     job.config.telemetry = recorders.back().get();
     job.config.latency_book = books.back().get();
+
+    telemetry::ExportMeta pre_meta;  // identity filled post-run; unused here
+    pre_meta.duration = kReplayCheckDuration;
+    telemetry::analysis::RollingSummary::Options ropt;
+    ropt.window_us = 5 * kMinute;
+    ropt.retention = 4;  // bounded on purpose: the gate only needs folding
+    rollers.push_back(std::make_unique<telemetry::analysis::RollingSummary>(
+        pre_meta, ropt));
+    streams.push_back(std::make_unique<telemetry::StreamDispatcher>());
+    streams.back()->AddConsumer(rollers.back().get());
+    job.config.stream = streams.back().get();
+    job.config.stream_window_us = ropt.window_us;
   }
 
   // One suite worker on purpose: the gate compares bit-exact

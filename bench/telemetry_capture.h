@@ -16,17 +16,39 @@
 // writes that summary JSON directly.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "replay/experiment.h"
 #include "replay/suite.h"
+#include "telemetry/analysis/rolling_summary.h"
 #include "telemetry/analysis/summary.h"
 #include "telemetry/export.h"
 #include "telemetry/recorder.h"
+#include "telemetry/stream_consumer.h"
 
 namespace ecostore::bench {
+
+/// Copies the power / cache model out of a storage config (shared by the
+/// post-run capture meta and the pre-run meta the live rolling consumer
+/// needs before any energy is measured).
+inline void FillPowerModel(telemetry::ExportMeta* meta,
+                           const storage::StorageConfig& cfg) {
+  meta->has_power_model = true;
+  meta->idle_power_w = cfg.enclosure.idle_power;
+  meta->active_power_w = cfg.enclosure.active_power;
+  meta->off_power_w = cfg.enclosure.off_power;
+  meta->spinup_power_w = cfg.enclosure.spinup_power;
+  meta->controller_power_w = cfg.controller.base_power;
+  meta->spinup_time_us = cfg.enclosure.spinup_time;
+  meta->break_even_us = cfg.enclosure.BreakEvenTime();
+  meta->spindown_timeout_us = cfg.enclosure.spindown_timeout;
+  meta->cache_total_bytes = cfg.cache.total_bytes;
+  meta->preload_area_bytes = cfg.cache.preload_area_bytes;
+  meta->write_delay_area_bytes = cfg.cache.write_delay_area_bytes;
+}
 
 /// Fills the self-describing capture meta from a finished run: identity,
 /// the power/cache model the analyzer prices decisions with, the final
@@ -40,19 +62,7 @@ inline telemetry::ExportMeta BuildCaptureMeta(
   meta.policy = metrics.policy;
   meta.num_enclosures = system.num_enclosures();
   meta.duration = metrics.duration;
-  const storage::StorageConfig& cfg = system.config();
-  meta.has_power_model = true;
-  meta.idle_power_w = cfg.enclosure.idle_power;
-  meta.active_power_w = cfg.enclosure.active_power;
-  meta.off_power_w = cfg.enclosure.off_power;
-  meta.spinup_power_w = cfg.enclosure.spinup_power;
-  meta.controller_power_w = cfg.controller.base_power;
-  meta.spinup_time_us = cfg.enclosure.spinup_time;
-  meta.break_even_us = cfg.enclosure.BreakEvenTime();
-  meta.spindown_timeout_us = cfg.enclosure.spindown_timeout;
-  meta.cache_total_bytes = cfg.cache.total_bytes;
-  meta.preload_area_bytes = cfg.cache.preload_area_bytes;
-  meta.write_delay_area_bytes = cfg.cache.write_delay_area_bytes;
+  FillPowerModel(&meta, system.config());
   meta.enclosure_energy_j = metrics.enclosure_energy;
   meta.controller_energy_j = metrics.controller_energy;
   if (book != nullptr) {
@@ -78,11 +88,18 @@ inline telemetry::ExportMeta BuildCaptureMeta(
 /// JSON there. `ring_capacity` sizes the recorder ring (events are 48
 /// bytes, so even the 8M-entry ring the OLTP/DSS captures need is only
 /// ~400 MB); a too-small ring drops the oldest events deterministically
-/// but starves the ledger. Returns a process exit code (0 on success) so
-/// bench mains can propagate it.
+/// but starves the ledger. When `rolling_path` is non-empty the run also
+/// attaches the live streaming pipeline (StreamDispatcher + CaptureBuffer
+/// + RollingSummary): per-window progress lines go to stdout and the
+/// append-only rolling-summary JSONL (tailable via `eco_report tail`) is
+/// written to `rolling_path`, with `rolling_window_us` windows (0 = 1
+/// minute). Returns a process exit code (0 on success) so bench mains
+/// can propagate it.
 inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
                             const std::string& summary_path = "",
-                            uint32_t ring_capacity = 1u << 21) {
+                            uint32_t ring_capacity = 1u << 21,
+                            const std::string& rolling_path = "",
+                            SimDuration rolling_window_us = 0) {
   // Record every class including per-I/O detail: the ledger uses the
   // kPhysicalIo events to tie a mispredicted spin-down to the item whose
   // demand I/O forced the wake-up. The detail classes multiply event
@@ -102,10 +119,50 @@ inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
     return 1;
   }
   auto policy = job.policy();
+
+  // --rolling-summary: attach the live streaming pipeline alongside the
+  // capture. The dispatcher pumps the recorder every window, a
+  // CaptureBuffer re-materializes the full capture (pumps reset the
+  // rings), and a RollingSummary folds the stream into fixed windows,
+  // printing progress lines and appending a tailable JSONL.
+  const bool rolling_on = !rolling_path.empty();
+  telemetry::StreamDispatcher dispatcher;
+  telemetry::CaptureBuffer capture_buffer;
+  std::unique_ptr<telemetry::analysis::RollingSummary> rolling;
+  std::FILE* rolling_file = nullptr;
+  if (rolling_on) {
+    rolling_file = std::fopen(rolling_path.c_str(), "w");
+    if (rolling_file == nullptr) {
+      std::fprintf(stderr, "rolling summary: cannot write %s\n",
+                   rolling_path.c_str());
+      return 1;
+    }
+    telemetry::ExportMeta pre_meta;
+    pre_meta.workload = workload.value()->info().name;
+    pre_meta.policy = policy->name();
+    pre_meta.num_enclosures = workload.value()->info().num_enclosures;
+    pre_meta.duration = job.config.duration > 0
+                            ? job.config.duration
+                            : workload.value()->info().duration;
+    FillPowerModel(&pre_meta, job.config.storage);
+    telemetry::analysis::RollingSummary::Options ropt;
+    ropt.window_us = rolling_window_us > 0 ? rolling_window_us : kMinute;
+    ropt.book = &book;
+    ropt.jsonl = rolling_file;
+    ropt.progress = stdout;
+    rolling = std::make_unique<telemetry::analysis::RollingSummary>(pre_meta,
+                                                                    ropt);
+    dispatcher.AddConsumer(&capture_buffer);
+    dispatcher.AddConsumer(rolling.get());
+    job.config.stream = &dispatcher;
+    job.config.stream_window_us = ropt.window_us;
+  }
+
   replay::Experiment experiment(workload.value().get(), policy.get(),
                                 job.config);
   auto metrics = experiment.Run();
   if (!metrics.ok()) {
+    if (rolling_file != nullptr) std::fclose(rolling_file);
     std::fprintf(stderr, "telemetry capture run: %s\n",
                  metrics.status().ToString().c_str());
     return 1;
@@ -113,7 +170,16 @@ inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
 
   telemetry::ExportMeta meta =
       BuildCaptureMeta(metrics.value(), *experiment.system(), &book);
-  std::vector<telemetry::Event> events = recorder.Drain();
+  std::vector<telemetry::Event> events =
+      rolling_on ? capture_buffer.Take() : recorder.Drain();
+  if (rolling_file != nullptr) {
+    std::fclose(rolling_file);
+    rolling_file = nullptr;
+    std::printf("rolling summary: %lld windows (%.0fs each) -> %s\n",
+                static_cast<long long>(rolling->windows_closed()),
+                ToSeconds(job.config.stream_window_us),
+                rolling_path.c_str());
+  }
   Status st = telemetry::ExportAll(base, meta, events);
   if (!st.ok()) {
     std::fprintf(stderr, "telemetry export: %s\n", st.ToString().c_str());

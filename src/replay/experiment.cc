@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -68,6 +69,22 @@ Result<ExperimentMetrics> Experiment::Run() {
     ECOSTORE_RETURN_NOT_OK(meter->Start());
   }
 
+  // Streaming pump: one compare per record against the next window mark;
+  // when the trace crosses it, the recorder drains into the dispatcher at
+  // the largest window boundary at or below the record time. The pump
+  // runs after the simulator has advanced to rec.time, so every event
+  // below the frontier has been recorded and none can appear later (sim
+  // time is monotonic) — the frontier contract of StreamDispatcher.
+  telemetry::StreamDispatcher* stream =
+      config_.stream != nullptr && config_.stream->has_consumers()
+          ? config_.stream
+          : nullptr;
+  const SimDuration stream_window =
+      config_.stream_window_us > 0 ? config_.stream_window_us : kMinute;
+  SimTime next_stream_mark = stream != nullptr
+                                 ? stream_window
+                                 : std::numeric_limits<SimTime>::max();
+
   // The hot loop consumes the workload in batches (one virtual call per
   // kReplayBatch records instead of one per logical I/O) and only enters
   // RunUntil() when an event is actually due before the record — the
@@ -88,6 +105,12 @@ Result<ExperimentMetrics> Experiment::Run() {
         sim_.AdvanceTo(rec.time);
       } else {
         sim_.RunUntil(rec.time);
+      }
+
+      if (rec.time >= next_stream_mark) {
+        const SimTime frontier = rec.time - rec.time % stream_window;
+        stream->Pump(config_.telemetry, frontier);
+        next_stream_mark = frontier + stream_window;
       }
 
       app_monitor_.Record(rec);
@@ -167,6 +190,18 @@ Result<ExperimentMetrics> Experiment::Run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // Final streaming pump: drain the horizon-time events (kEnergyFinal et
+  // al recorded by FinalizeRun) and hand consumers the measured energies.
+  if (stream != nullptr) {
+    stream->Pump(config_.telemetry, horizon_);
+    telemetry::StreamFinal fin;
+    fin.at = horizon_;
+    fin.enclosure_energy_j = metrics_.enclosure_energy;
+    fin.controller_energy_j = metrics_.controller_energy;
+    fin.has_energy = true;
+    stream->Finish(fin);
+  }
   return metrics_;
 }
 

@@ -11,6 +11,7 @@
 #include "replay/migration_engine.h"
 #include "sim/simulator.h"
 #include "storage/storage_system.h"
+#include "telemetry/stream_consumer.h"
 #include "workload/workload.h"
 
 namespace ecostore::replay {
@@ -39,6 +40,17 @@ struct ExperimentConfig {
   /// (not owned; may be nullptr). Independent of the event recorder so a
   /// run can collect latency histograms without paying for event capture.
   telemetry::analysis::LatencyBook* latency_book = nullptr;
+
+  /// Streaming consumer fan-out (not owned; may be nullptr). When set
+  /// alongside `telemetry`, the hot loop pumps the recorder into the
+  /// dispatcher at every stream_window_us sim-time boundary the trace
+  /// crosses, and once more at the horizon with the measured energies
+  /// (StreamDispatcher::Finish). Pumps reset the recorder rings, so runs
+  /// that also want the full capture attach a telemetry::CaptureBuffer.
+  telemetry::StreamDispatcher* stream = nullptr;
+
+  /// Pump cadence / rolling-window length in sim time; <= 0 uses 1 min.
+  SimDuration stream_window_us = 0;
 };
 
 /// \brief The trace-replay harness (paper §VII-A.2 / Fig. 7): streams a

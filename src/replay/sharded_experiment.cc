@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -327,6 +328,23 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
     }
   }
 
+  // Streaming pump, same contract as the serial engine but evaluated at
+  // epoch granularity: after `MergeBarrier(); sim_.RunUntil(t_stop)` every
+  // lane clock and the coordinator clock are pinned at t_stop and all lane
+  // rings have been re-recorded into the shared recorder, so no event
+  // below t_stop can appear later — t_stop is a valid exclusive frontier.
+  // Events at exactly t_stop (e.g. lane work the barrier just scheduled)
+  // stay pending in the dispatcher until a later frontier passes them.
+  telemetry::StreamDispatcher* stream =
+      config_.stream != nullptr && config_.stream->has_consumers()
+          ? config_.stream
+          : nullptr;
+  const SimDuration stream_window =
+      config_.stream_window_us > 0 ? config_.stream_window_us : kMinute;
+  SimTime next_stream_mark = stream != nullptr
+                                 ? stream_window
+                                 : std::numeric_limits<SimTime>::max();
+
   // --- Epoch loop: generate → scatter → parallel lane advance → barrier
   // merge → coordinator events, with t_stop chosen so no lane ever runs
   // past the next cross-shard effect. ---
@@ -344,6 +362,11 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
     sim_.AdvanceTo(t_stop);
     MergeBarrier();
     sim_.RunUntil(t_stop);
+
+    if (t_stop >= next_stream_mark) {
+      stream->Pump(config_.telemetry, t_stop);
+      next_stream_mark = (t_stop / stream_window + 1) * stream_window;
+    }
 
     if (t_stop >= horizon_) break;
   }
@@ -374,6 +397,19 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // Final streaming pump: the horizon-time events (per-enclosure finals
+  // from FinalizeRun, the controller final above) plus the reduced
+  // measured energies. Mirrors the serial engine's epilogue.
+  if (stream != nullptr) {
+    stream->Pump(config_.telemetry, horizon_);
+    telemetry::StreamFinal fin;
+    fin.at = horizon_;
+    fin.enclosure_energy_j = metrics.enclosure_energy;
+    fin.controller_energy_j = metrics.controller_energy;
+    fin.has_energy = true;
+    stream->Finish(fin);
+  }
   return metrics;
 }
 

@@ -54,6 +54,24 @@ class LatencyHistogram {
     max_ = std::max(max_, other.max_);
   }
 
+  /// Exact element-wise difference against an earlier snapshot of this
+  /// same growing histogram (prefix property: every earlier count is <=
+  /// the current one). Buckets, count and sum subtract exactly — the
+  /// fixed layout makes cumulative snapshots diffable — but the true max
+  /// of the difference is not recoverable, so it is re-estimated as the
+  /// lower bound of the highest non-empty bucket (the same
+  /// bucket-resolution guarantee Quantile gives).
+  void SubtractPrefix(const LatencyHistogram& earlier) {
+    int64_t est_max = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      counts_[i] -= earlier.counts_[i];
+      if (counts_[i] > 0) est_max = BucketLow(i);
+    }
+    count_ -= earlier.count_;
+    sum_ -= earlier.sum_;
+    max_ = count_ > 0 ? std::min(max_, std::max<int64_t>(est_max, 0)) : 0;
+  }
+
   int64_t count() const { return count_; }
   int64_t sum() const { return sum_; }
   int64_t max() const { return max_; }
@@ -194,6 +212,14 @@ class LatencyBook {
 
   void Merge(const LatencyBook& other) {
     for (size_t i = 0; i < cells_.size(); ++i) cells_[i].Merge(other.cells_[i]);
+  }
+
+  /// Cell-wise SubtractPrefix: turns two cumulative snapshots of one
+  /// growing book into the exact per-window delta book.
+  void SubtractPrefix(const LatencyBook& earlier) {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].SubtractPrefix(earlier.cells_[i]);
+    }
   }
 
   const LatencyHistogram& cell(uint8_t pattern, uint8_t outcome) const {

@@ -296,16 +296,131 @@ Status LineError(const std::string& path, long lineno, const char* what) {
 
 }  // namespace
 
+Status CaptureTailParser::Consume(const std::string& raw) {
+  // Defensive trim: ReadJsonlChunk and ParseJsonl both strip the line
+  // terminator, but a caller feeding raw lines should still work.
+  const std::string* linep = &raw;
+  std::string trimmed;
+  if (!raw.empty() && (raw.back() == '\n' || raw.back() == '\r')) {
+    trimmed = raw;
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == '\r')) {
+      trimmed.pop_back();
+    }
+    linep = &trimmed;
+  }
+  const std::string& line = *linep;
+  if (line.empty()) return Status::OK();
+  if (line.front() != '{') {
+    return Status::InvalidArgument("line is not a JSON object");
+  }
+  if (line.back() != '}') {
+    return Status::InvalidArgument("unterminated JSON object (truncated?)");
+  }
+  FlatJson json{line};
+  std::string type = json.Str("type");
+  if (type.empty()) {
+    return Status::InvalidArgument("missing \"type\" field");
+  }
+  if (type == "meta") {
+    have_meta_ = true;
+    if (json.Has("events")) declared_events_ = json.Int("events");
+    meta_.workload = json.Str("workload");
+    meta_.policy = json.Str("policy");
+    meta_.num_enclosures = static_cast<int>(json.Int("num_enclosures"));
+    meta_.duration = json.Int("duration_us");
+    meta_.has_power_model = json.Int("has_power_model") != 0;
+    if (meta_.has_power_model) {
+      meta_.idle_power_w = json.Dbl("idle_power_w");
+      meta_.active_power_w = json.Dbl("active_power_w");
+      meta_.off_power_w = json.Dbl("off_power_w");
+      meta_.spinup_power_w = json.Dbl("spinup_power_w");
+      meta_.controller_power_w = json.Dbl("controller_power_w");
+      meta_.spinup_time_us = json.Int("spinup_time_us");
+      meta_.break_even_us = json.Int("break_even_us");
+      meta_.spindown_timeout_us = json.Int("spindown_timeout_us");
+      meta_.cache_total_bytes = json.Int("cache_total_bytes");
+      meta_.preload_area_bytes = json.Int("preload_area_bytes");
+      meta_.write_delay_area_bytes = json.Int("write_delay_area_bytes");
+      meta_.enclosure_energy_j = json.Dbl("enclosure_energy_j");
+      meta_.controller_energy_j = json.Dbl("controller_energy_j");
+    }
+    return Status::OK();
+  }
+  if (type == "latency") {
+    LatencySlot slot;
+    slot.pattern = static_cast<uint8_t>(json.Int("pattern"));
+    slot.outcome = static_cast<uint8_t>(json.Int("outcome"));
+    slot.hist.DecodeBuckets(json.Str("buckets"), json.Int("sum_us"),
+                            json.Int("max_us"));
+    if (slot.hist.count() != json.Int("count")) {
+      return Status::InvalidArgument(
+          "latency bucket counts disagree with \"count\"");
+    }
+    meta_.latency.push_back(std::move(slot));
+    return Status::OK();
+  }
+  if (type == "event") {
+    EventKind kind = KindFromName(json.Str("kind"));
+    if (kind == EventKind::kNone) {
+      return Status::InvalidArgument("unknown event kind");
+    }
+    events_.push_back(EventFromJson(json, kind));
+    consumed_events_++;
+    return Status::OK();
+  }
+  // Unknown "type" values are skipped so the format can grow.
+  return Status::OK();
+}
+
+std::vector<Event> CaptureTailParser::TakeEvents() {
+  std::vector<Event> out = std::move(events_);
+  events_.clear();
+  return out;
+}
+
+Status ReadJsonlChunk(const std::string& path, int64_t offset,
+                      JsonlChunk* chunk) {
+  chunk->lines.clear();
+  chunk->next_offset = offset;
+  chunk->partial_tail = false;
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::IoError("cannot read " + path);
+  if (offset > 0 &&
+      std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("cannot seek in " + path);
+  }
+  std::string pending;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    size_t start = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (buf[i] != '\n') continue;
+      pending.append(buf + start, i - start);
+      start = i + 1;
+      // Consume the line's bytes (incl. the '\n') BEFORE stripping CR.
+      chunk->next_offset += static_cast<int64_t>(pending.size()) + 1;
+      while (!pending.empty() && pending.back() == '\r') pending.pop_back();
+      if (!pending.empty()) chunk->lines.push_back(std::move(pending));
+      pending.clear();
+    }
+    pending.append(buf + start, n - start);
+  }
+  // Unterminated trailing bytes: a writer mid-append. Leave them unread —
+  // the caller resumes at next_offset once the writer finishes the line.
+  chunk->partial_tail = !pending.empty();
+  return Status::OK();
+}
+
 Status ParseJsonl(const std::string& path, ExportMeta* meta,
                   std::vector<Event>* events) {
   FilePtr f(std::fopen(path.c_str(), "r"));
   if (f == nullptr) return Status::IoError("cannot read " + path);
-  if (meta != nullptr) *meta = ExportMeta{};
   events->clear();
+  CaptureTailParser parser;
   std::string line;
   long lineno = 0;
-  bool have_meta = false;
-  int64_t declared_events = -1;
   while (ReadLine(f.get(), &line)) {
     lineno++;
     // Strip trailing newline / CR so structural checks see the payload.
@@ -313,78 +428,21 @@ Status ParseJsonl(const std::string& path, ExportMeta* meta,
       line.pop_back();
     }
     if (line.empty()) continue;
-    if (line.front() != '{') {
-      return LineError(path, lineno, "line is not a JSON object");
-    }
-    if (line.back() != '}') {
-      return LineError(path, lineno, "unterminated JSON object (truncated?)");
-    }
-    FlatJson json{line};
-    std::string type = json.Str("type");
-    if (type.empty()) {
-      return LineError(path, lineno, "missing \"type\" field");
-    }
-    if (type == "meta") {
-      have_meta = true;
-      if (json.Has("events")) declared_events = json.Int("events");
-      if (meta != nullptr) {
-        meta->workload = json.Str("workload");
-        meta->policy = json.Str("policy");
-        meta->num_enclosures = static_cast<int>(json.Int("num_enclosures"));
-        meta->duration = json.Int("duration_us");
-        meta->has_power_model = json.Int("has_power_model") != 0;
-        if (meta->has_power_model) {
-          meta->idle_power_w = json.Dbl("idle_power_w");
-          meta->active_power_w = json.Dbl("active_power_w");
-          meta->off_power_w = json.Dbl("off_power_w");
-          meta->spinup_power_w = json.Dbl("spinup_power_w");
-          meta->controller_power_w = json.Dbl("controller_power_w");
-          meta->spinup_time_us = json.Int("spinup_time_us");
-          meta->break_even_us = json.Int("break_even_us");
-          meta->spindown_timeout_us = json.Int("spindown_timeout_us");
-          meta->cache_total_bytes = json.Int("cache_total_bytes");
-          meta->preload_area_bytes = json.Int("preload_area_bytes");
-          meta->write_delay_area_bytes = json.Int("write_delay_area_bytes");
-          meta->enclosure_energy_j = json.Dbl("enclosure_energy_j");
-          meta->controller_energy_j = json.Dbl("controller_energy_j");
-        }
-      }
-      continue;
-    }
-    if (type == "latency") {
-      if (meta != nullptr) {
-        LatencySlot slot;
-        slot.pattern = static_cast<uint8_t>(json.Int("pattern"));
-        slot.outcome = static_cast<uint8_t>(json.Int("outcome"));
-        slot.hist.DecodeBuckets(json.Str("buckets"), json.Int("sum_us"),
-                                json.Int("max_us"));
-        if (slot.hist.count() != json.Int("count")) {
-          return LineError(path, lineno,
-                           "latency bucket counts disagree with \"count\"");
-        }
-        meta->latency.push_back(std::move(slot));
-      }
-      continue;
-    }
-    if (type == "event") {
-      EventKind kind = KindFromName(json.Str("kind"));
-      if (kind == EventKind::kNone) {
-        return LineError(path, lineno, "unknown event kind");
-      }
-      events->push_back(EventFromJson(json, kind));
-      continue;
-    }
-    // Unknown "type" values are skipped so the format can grow.
+    Status st = parser.Consume(line);
+    if (!st.ok()) return LineError(path, lineno, st.message().c_str());
   }
-  if (!have_meta) {
+  if (!parser.have_meta()) {
     return Status::InvalidArgument(path + ": no meta line found");
   }
-  if (declared_events >= 0 &&
-      declared_events != static_cast<int64_t>(events->size())) {
+  *events = parser.TakeEvents();
+  if (meta != nullptr) *meta = parser.meta();
+  if (parser.declared_events() >= 0 &&
+      parser.declared_events() != static_cast<int64_t>(events->size())) {
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   ": meta declares %lld events but %zu parsed (truncated?)",
-                  static_cast<long long>(declared_events), events->size());
+                  static_cast<long long>(parser.declared_events()),
+                  events->size());
     return Status::InvalidArgument(path + buf);
   }
   return Status::OK();

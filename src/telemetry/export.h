@@ -78,6 +78,69 @@ Status WriteJsonl(const std::string& path, const ExportMeta& meta,
 Status ParseJsonl(const std::string& path, ExportMeta* meta,
                   std::vector<Event>* events);
 
+/// One incremental read of a growing JSONL file.
+struct JsonlChunk {
+  /// Complete ('\n'-terminated) lines, with the newline stripped.
+  std::vector<std::string> lines;
+  /// Byte offset just past the last complete line: resume here.
+  int64_t next_offset = 0;
+  /// The read ended on a partial line (a writer mid-append). The partial
+  /// bytes are NOT consumed — next_offset points at their start, so the
+  /// next call re-reads the line once the writer finishes it.
+  bool partial_tail = false;
+};
+
+/// Reads every complete line of `path` starting at byte `offset` (the
+/// follow/tail reader for in-flight captures). A truncated final line is
+/// a normal condition, not an error: it is reported via
+/// JsonlChunk::partial_tail and left for the next call, which resumes at
+/// JsonlChunk::next_offset. Only open/seek failures return non-OK.
+Status ReadJsonlChunk(const std::string& path, int64_t offset,
+                      JsonlChunk* chunk);
+
+/// \brief Incremental capture parser: feed it complete lines (e.g. from
+/// ReadJsonlChunk) in file order and it accumulates the same (meta,
+/// events) ParseJsonl produces — but it never fails on a file that is
+/// still being written, because the declared-event-count reconciliation
+/// is the caller's to run once the writer is known to be done
+/// (complete() turns true when every declared event has been consumed).
+/// ParseJsonl is implemented on top of this parser, so the two readers
+/// cannot drift apart.
+class CaptureTailParser {
+ public:
+  /// Consumes one newline-stripped line. Blank lines are ignored; unknown
+  /// "type" values are skipped (format growth). Errors carry no position
+  /// — the caller knows the line/offset and adds that context.
+  Status Consume(const std::string& line);
+
+  bool have_meta() const { return have_meta_; }
+  const ExportMeta& meta() const { return meta_; }
+
+  /// Events consumed so far and not yet taken.
+  const std::vector<Event>& events() const { return events_; }
+  /// Moves the pending events out (streaming callers bound memory by
+  /// draining between chunks); consumed_events() keeps the total.
+  std::vector<Event> TakeEvents();
+
+  /// Event count the meta line declared, or -1 before the meta line (and
+  /// for captures from writers that omit it).
+  int64_t declared_events() const { return declared_events_; }
+  int64_t consumed_events() const { return consumed_events_; }
+  /// True once the meta line was seen and every declared event parsed —
+  /// i.e. the writer finished the capture.
+  bool complete() const {
+    return have_meta_ && declared_events_ >= 0 &&
+           consumed_events_ >= declared_events_;
+  }
+
+ private:
+  ExportMeta meta_;
+  bool have_meta_ = false;
+  int64_t declared_events_ = -1;
+  int64_t consumed_events_ = 0;
+  std::vector<Event> events_;
+};
+
 /// One dwell interval of an enclosure's power FSM.
 struct PowerSegment {
   EnclosureId enclosure = kInvalidEnclosure;

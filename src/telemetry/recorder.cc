@@ -109,8 +109,15 @@ uint64_t Recorder::dropped() const {
 }
 
 std::vector<Event> Recorder::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Event> merged;
+  DrainInto(&merged);
+  return merged;
+}
+
+void Recorder::DrainInto(std::vector<Event>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event>& merged = *out;
+  merged.clear();
   size_t total = 0;
   for (const auto& buffer : buffers_) total += buffer->events.size();
   merged.reserve(total);
@@ -142,7 +149,6 @@ std::vector<Event> Recorder::Drain() {
                      if (a.time != b.time) return a.time < b.time;
                      return a.shard < b.shard;
                    });
-  return merged;
 }
 
 std::vector<LogLine> Recorder::DrainLogs() {

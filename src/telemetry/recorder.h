@@ -84,6 +84,7 @@ class Recorder {
   uint64_t dropped() const { return 0; }
   uint64_t recorded() const { return 0; }
   std::vector<Event> Drain() { return {}; }
+  void DrainInto(std::vector<Event>* out) { out->clear(); }
   std::vector<LogLine> DrainLogs() { return {}; }
   Counter* counter(const std::string&) {
     static Counter c;
@@ -174,6 +175,11 @@ class Recorder : public LogSink {
   /// (stable: same-time events keep their per-thread record order) and
   /// resets the rings. Callers must ensure no Record() runs concurrently.
   std::vector<Event> Drain();
+
+  /// Drain() into a caller-owned buffer (cleared first). Streaming
+  /// consumers pump repeatedly mid-run; reusing one scratch vector keeps
+  /// each pump allocation-free once it reaches steady state.
+  void DrainInto(std::vector<Event>* out);
 
   /// Takes the captured log lines (see WriteLog).
   std::vector<LogLine> DrainLogs();

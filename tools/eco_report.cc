@@ -4,27 +4,40 @@
 //   eco_report timeline <run.jsonl>     per-enclosure power-state timeline
 //   eco_report diff <a.jsonl> <b.jsonl> compare two captures
 //   eco_report score <run.jsonl>        energy ledger + latency digest
+//   eco_report tail <file>              follow a growing capture or
+//                                       rolling-summary JSONL live
 //   eco_report regress <a> <b>          CI gate: nonzero on regression
 //
 // The input is the JSONL stream written by telemetry::WriteJsonl (the
 // bench binaries' --telemetry=<base> flag produces it as <base>.jsonl).
 // `regress` also accepts summary JSON files written by
 // --telemetry-summary / `score --summary=`; captures and summaries are
-// told apart by the first line.
+// told apart by the first line. `tail` accepts an event capture (windows
+// are computed on the fly by the same RollingSummary consumer the
+// engines attach) or a --rolling-summary JSONL (windows are rendered as
+// written); both readers are partial-last-line safe, so the file may
+// still be growing.
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "telemetry/analysis/energy_ledger.h"
+#include "telemetry/analysis/rolling_summary.h"
 #include "telemetry/analysis/summary.h"
 #include "telemetry/export.h"
+#include "telemetry/flat_json.h"
+#include "telemetry/stream_consumer.h"
 
 namespace ecostore::telemetry {
 namespace {
@@ -428,6 +441,379 @@ int RunScore(const std::string& path, const std::string& summary_out) {
   return 0;
 }
 
+// --- rolling windows (score --window / tail) ------------------------------
+
+void PrintRollingHeader(SimDuration window_us) {
+  std::printf("\nrolling windows (%.0fs)\n", ToSeconds(window_us));
+}
+
+void PrintRollingWindow(const char* prefix, int64_t index, SimTime start,
+                        SimTime end, bool terminal, double credit_j,
+                        double debit_j, int64_t off_windows,
+                        int64_t mispredicts, double cum_net_j,
+                        int64_t cum_mispredicts) {
+  std::printf("%s w%-4lld [%7.0fs,%7.0fs)%s net %+10.1f J  credit %10.1f  "
+              "debit %10.1f  off %3lld  mispredict %2lld | cum net "
+              "%+10.1f J mispredict %lld\n",
+              prefix, static_cast<long long>(index), ToSeconds(start),
+              ToSeconds(end), terminal ? " end" : "    ",
+              credit_j - debit_j, credit_j, debit_j,
+              static_cast<long long>(off_windows),
+              static_cast<long long>(mispredicts), cum_net_j,
+              static_cast<long long>(cum_mispredicts));
+}
+
+/// The final cumulative account of a streamed run — built either from a
+/// rolling_final JSONL line or from the live consumer's final ledger —
+/// reconciled against a golden summary by `tail --reconcile=`.
+struct FinalAccount {
+  int64_t windows = 0;
+  double enclosure_energy_j = 0.0;
+  double controller_energy_j = 0.0;
+  double total_energy_j = 0.0;
+  double off_credit_j = 0.0;
+  double off_debit_j = 0.0;
+  double net_saving_j = 0.0;
+  double mispredict_loss_j = 0.0;
+  double advisory_credit_j = 0.0;
+  double advisory_debit_j = 0.0;
+  int64_t plans = 0;
+  int64_t decisions = 0;
+  int64_t off_windows = 0;
+  int64_t mispredicts = 0;
+  int64_t migrations = 0;
+  int64_t preloads = 0;
+  int64_t write_delays = 0;
+  bool has_finals = false;
+  double reconcile_rel_err = 0.0;
+};
+
+FinalAccount AccountFromRollingFinal(const FlatJson& json) {
+  FinalAccount a;
+  a.windows = json.Int("windows");
+  a.enclosure_energy_j = json.Dbl("enclosure_energy_j");
+  a.controller_energy_j = json.Dbl("controller_energy_j");
+  a.total_energy_j = json.Dbl("total_energy_j");
+  a.off_credit_j = json.Dbl("off_credit_j");
+  a.off_debit_j = json.Dbl("off_debit_j");
+  a.net_saving_j = json.Dbl("net_saving_j");
+  a.mispredict_loss_j = json.Dbl("mispredict_loss_j");
+  a.advisory_credit_j = json.Dbl("advisory_credit_j");
+  a.advisory_debit_j = json.Dbl("advisory_debit_j");
+  a.plans = json.Int("plans");
+  a.decisions = json.Int("decisions");
+  a.off_windows = json.Int("off_windows");
+  a.mispredicts = json.Int("mispredicts");
+  a.migrations = json.Int("migrations");
+  a.preloads = json.Int("preloads");
+  a.write_delays = json.Int("write_delays");
+  a.has_finals = json.Int("has_finals") != 0;
+  a.reconcile_rel_err = json.Dbl("reconcile_rel_err");
+  return a;
+}
+
+FinalAccount AccountFromLedger(const analysis::EnergyLedger& ledger,
+                               const ExportMeta& meta, int64_t windows) {
+  FinalAccount a;
+  a.windows = windows;
+  a.enclosure_energy_j = meta.enclosure_energy_j;
+  a.controller_energy_j = meta.controller_energy_j;
+  a.total_energy_j = meta.enclosure_energy_j + meta.controller_energy_j;
+  a.off_credit_j = ledger.off_credit_j;
+  a.off_debit_j = ledger.off_debit_j;
+  a.net_saving_j = ledger.off_credit_j - ledger.off_debit_j;
+  a.mispredict_loss_j = ledger.mispredict_loss_j;
+  a.advisory_credit_j = ledger.advisory_credit_j;
+  a.advisory_debit_j = ledger.advisory_debit_j;
+  a.plans = ledger.plans;
+  a.decisions = ledger.decisions;
+  a.off_windows = static_cast<int64_t>(ledger.off_windows.size());
+  a.mispredicts = ledger.mispredicts;
+  a.migrations = ledger.migrations;
+  a.preloads = ledger.preloads;
+  a.write_delays = ledger.write_delays;
+  a.has_finals = ledger.has_finals;
+  a.reconcile_rel_err = ledger.reconcile_rel_err;
+  return a;
+}
+
+void PrintFinalAccount(const FinalAccount& a) {
+  std::printf("\nfinal: %" PRId64 " windows  net saving %.1f J "
+              "(credit %.1f debit %.1f)  mispredicts %" PRId64
+              " (loss %.1f J)\n",
+              a.windows, a.net_saving_j, a.off_credit_j, a.off_debit_j,
+              a.mispredicts, a.mispredict_loss_j);
+  if (a.has_finals) {
+    std::printf("       measured %.1f + %.1f J, ledger reconcile rel err "
+                "%.3g\n",
+                a.enclosure_energy_j, a.controller_energy_j,
+                a.reconcile_rel_err);
+  }
+}
+
+/// CI gate: the streamed final account must agree with the golden batch
+/// summary. Same floored-relative rule as CompareSummaries.
+int ReconcileAccount(const FinalAccount& a, const std::string& golden_path,
+                     double tolerance) {
+  analysis::Summary golden;
+  Status st = analysis::ParseSummaryFile(golden_path, &golden);
+  if (!st.ok()) {
+    std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  struct Row {
+    const char* field;
+    double live;
+    double golden;
+  };
+  const Row rows[] = {
+      {"energy.enclosure_j", a.enclosure_energy_j, golden.enclosure_energy_j},
+      {"energy.controller_j", a.controller_energy_j,
+       golden.controller_energy_j},
+      {"energy.total_j", a.total_energy_j, golden.total_energy_j},
+      {"energy.off_credit_j", a.off_credit_j, golden.off_credit_j},
+      {"energy.off_debit_j", a.off_debit_j, golden.off_debit_j},
+      {"energy.net_saving_j", a.net_saving_j, golden.net_saving_j},
+      {"energy.mispredict_loss_j", a.mispredict_loss_j,
+       golden.mispredict_loss_j},
+      {"energy.advisory_credit_j", a.advisory_credit_j,
+       golden.advisory_credit_j},
+      {"energy.advisory_debit_j", a.advisory_debit_j,
+       golden.advisory_debit_j},
+      {"energy.reconcile_rel_err", a.reconcile_rel_err,
+       golden.reconcile_rel_err},
+      {"plans.plans", static_cast<double>(a.plans),
+       static_cast<double>(golden.plans)},
+      {"plans.decisions", static_cast<double>(a.decisions),
+       static_cast<double>(golden.decisions)},
+      {"plans.off_windows", static_cast<double>(a.off_windows),
+       static_cast<double>(golden.off_windows)},
+      {"plans.mispredicts", static_cast<double>(a.mispredicts),
+       static_cast<double>(golden.mispredicts)},
+      {"plans.migrations", static_cast<double>(a.migrations),
+       static_cast<double>(golden.migrations)},
+      {"plans.preloads", static_cast<double>(a.preloads),
+       static_cast<double>(golden.preloads)},
+      {"plans.write_delays", static_cast<double>(a.write_delays),
+       static_cast<double>(golden.write_delays)},
+  };
+  size_t failures = 0;
+  for (const Row& r : rows) {
+    const double denom =
+        std::max({std::fabs(r.live), std::fabs(r.golden), 1.0});
+    const double rel = std::fabs(r.live - r.golden) / denom;
+    if (rel > tolerance) {
+      if (failures == 0) {
+        std::printf("\nreconcile vs %s (tolerance %g)\n", golden_path.c_str(),
+                    tolerance);
+        std::printf("  %-28s %16s %16s %12s\n", "field", "live", "golden",
+                    "rel err");
+      }
+      failures++;
+      std::printf("  %-28s %16.6g %16.6g %12.3g\n", r.field, r.live,
+                  r.golden, rel);
+    }
+  }
+  if (failures > 0) {
+    std::printf("RECONCILE FAIL: %zu field(s) differ beyond tolerance\n",
+                failures);
+    return 1;
+  }
+  std::printf("RECONCILE PASS: live rolling account matches %s\n",
+              golden_path.c_str());
+  return 0;
+}
+
+/// Runs the capture through the engines' RollingSummary consumer: parse,
+/// feed in drained order, finish with the measured energies from the
+/// meta line. Returns the consumer for rendering.
+std::unique_ptr<analysis::RollingSummary> RollCapture(
+    const ExportMeta& meta, const std::vector<Event>& events,
+    SimDuration window_us, std::FILE* progress, const char* prefix) {
+  analysis::RollingSummary::Options opt;
+  opt.window_us = window_us;
+  opt.retention = static_cast<size_t>(-1);
+  opt.progress = progress;
+  opt.progress_prefix = prefix;
+  auto rolling = std::make_unique<analysis::RollingSummary>(meta, opt);
+  for (const Event& e : events) rolling->OnEvent(e);
+  StreamFinal fin;
+  fin.at = meta.duration;
+  fin.enclosure_energy_j = meta.enclosure_energy_j;
+  fin.controller_energy_j = meta.controller_energy_j;
+  fin.has_energy = meta.has_power_model;
+  rolling->OnFinish(fin);
+  return rolling;
+}
+
+int RunScoreWindows(const std::string& path, SimDuration window_us,
+                    const std::string& summary_out) {
+  ExportMeta meta;
+  std::vector<Event> events;
+  if (LoadOrDie(path, &meta, &events) != 0) return 1;
+  PrintHeader(meta, events.size());
+  if (!meta.has_power_model) {
+    std::printf("\n(no power model in capture: rolling ledger unavailable; "
+                "re-capture with a current build)\n");
+    return 1;
+  }
+  std::unique_ptr<analysis::RollingSummary> rolling =
+      RollCapture(meta, events, window_us, nullptr, "");
+  PrintRollingHeader(window_us);
+  for (const analysis::RollingWindow& w : rolling->windows()) {
+    PrintRollingWindow("", w.index, w.start, w.end, w.terminal, w.credit_j,
+                       w.debit_j, w.off_windows, w.mispredicts,
+                       w.cum_credit_j - w.cum_debit_j, w.cum_mispredicts);
+    for (const analysis::RollingWindow::Flag& f : w.flags) {
+      std::printf("        MISPREDICT enc %d [%s,%s] plan %d loss %.1f J "
+                  "wake %s%s\n",
+                  f.enclosure, FormatSimTime(f.start).c_str(),
+                  FormatSimTime(f.end).c_str(), f.plan, f.loss_j,
+                  analysis::WakeCauseName(f.wake),
+                  f.wake_item != kInvalidDataItem ? " (item)" : "");
+    }
+  }
+  FinalAccount account = AccountFromLedger(rolling->FinalLedger(), meta,
+                                           rolling->windows_closed());
+  PrintFinalAccount(account);
+  if (!summary_out.empty()) {
+    analysis::Summary summary = analysis::BuildSummary(meta, events);
+    Status st = analysis::WriteSummaryJson(summary_out, summary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsummary -> %s\n", summary_out.c_str());
+  }
+  return 0;
+}
+
+// --- tail -----------------------------------------------------------------
+
+struct TailOptions {
+  bool once = false;          ///< one pass; do not poll for growth
+  double interval_s = 0.5;    ///< poll interval while following
+  SimDuration window_us = kMinute;  ///< window length for capture inputs
+  std::string reconcile;      ///< golden summary path (CI gate)
+  double tolerance = 1e-6;
+};
+
+int RunTail(const std::string& path, const TailOptions& opt) {
+  enum class Mode { kUnknown, kRolling, kCapture };
+  Mode mode = Mode::kUnknown;
+  int64_t offset = 0;
+  CaptureTailParser parser;  // capture mode
+  std::unique_ptr<analysis::RollingSummary> rolling;  // capture mode
+  FinalAccount account;
+  bool saw_final = false;
+
+  while (true) {
+    JsonlChunk chunk;
+    Status st = ReadJsonlChunk(path, offset, &chunk);
+    if (!st.ok()) {
+      std::fprintf(stderr, "eco_report: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    offset = chunk.next_offset;
+    for (const std::string& line : chunk.lines) {
+      FlatJson json{line};
+      if (mode == Mode::kUnknown) {
+        std::string type = json.Str("type");
+        if (type == "rolling_meta") {
+          mode = Mode::kRolling;
+        } else if (type == "meta") {
+          mode = Mode::kCapture;
+        } else {
+          std::fprintf(stderr,
+                       "eco_report: %s: first line is neither a capture "
+                       "meta nor a rolling_meta line\n",
+                       path.c_str());
+          return 1;
+        }
+      }
+      if (mode == Mode::kRolling) {
+        std::string type = json.Str("type");
+        if (type == "rolling_meta") {
+          std::printf("workload=%s policy=%s enclosures=%lld window=%.0fs\n",
+                      json.Str("workload").c_str(),
+                      json.Str("policy").c_str(),
+                      static_cast<long long>(json.Int("num_enclosures")),
+                      ToSeconds(json.Int("window_us")));
+        } else if (type == "window") {
+          PrintRollingWindow("[tail]", json.Int("index"),
+                             json.Int("start_us"), json.Int("end_us"),
+                             json.Int("terminal") != 0, json.Dbl("credit_j"),
+                             json.Dbl("debit_j"), json.Int("off_windows"),
+                             json.Int("mispredicts"), json.Dbl("cum_net_j"),
+                             json.Int("cum_mispredicts"));
+        } else if (type == "rolling_final") {
+          account = AccountFromRollingFinal(json);
+          saw_final = true;
+        }
+        // Unknown types are skipped (format growth).
+      } else {
+        Status cst = parser.Consume(line);
+        if (!cst.ok()) {
+          std::fprintf(stderr, "eco_report: %s: %s\n", path.c_str(),
+                       cst.message().c_str());
+          return 1;
+        }
+        if (rolling == nullptr && parser.have_meta()) {
+          analysis::RollingSummary::Options ropt;
+          ropt.window_us = opt.window_us;
+          ropt.retention = 1;
+          ropt.progress = stdout;
+          ropt.progress_prefix = "[tail]";
+          rolling = std::make_unique<analysis::RollingSummary>(parser.meta(),
+                                                               ropt);
+          PrintHeader(parser.meta(),
+                      static_cast<size_t>(
+                          std::max<int64_t>(parser.declared_events(), 0)));
+        }
+        if (rolling != nullptr) {
+          for (const Event& e : parser.TakeEvents()) rolling->OnEvent(e);
+        }
+      }
+    }
+    if (mode == Mode::kCapture && rolling != nullptr && parser.complete() &&
+        !saw_final) {
+      // Every declared event has arrived: the writer is done; finish with
+      // the measured energies the meta line carries.
+      const ExportMeta& meta = parser.meta();
+      StreamFinal fin;
+      fin.at = meta.duration;
+      fin.enclosure_energy_j = meta.enclosure_energy_j;
+      fin.controller_energy_j = meta.controller_energy_j;
+      fin.has_energy = meta.has_power_model;
+      rolling->OnFinish(fin);
+      account = AccountFromLedger(rolling->FinalLedger(), meta,
+                                  rolling->windows_closed());
+      saw_final = true;
+    }
+    if (saw_final || opt.once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(std::max(opt.interval_s, 0.05) * 1000.0)));
+  }
+
+  if (saw_final) {
+    PrintFinalAccount(account);
+  } else {
+    std::printf("(no final record yet — capture still in flight, resume "
+                "offset %lld)\n",
+                static_cast<long long>(offset));
+  }
+  if (!opt.reconcile.empty()) {
+    if (!saw_final) {
+      std::fprintf(stderr,
+                   "eco_report: cannot reconcile: no final record in %s\n",
+                   path.c_str());
+      return 1;
+    }
+    return ReconcileAccount(account, opt.reconcile, opt.tolerance);
+  }
+  return 0;
+}
+
 // --- regress --------------------------------------------------------------
 
 // A capture's first line is its meta line; a summary file never contains
@@ -496,6 +882,17 @@ int Usage() {
                "       eco_report timeline <run.jsonl>\n"
                "       eco_report diff <a.jsonl> <b.jsonl>\n"
                "       eco_report score <run.jsonl> [--summary=<path>]\n"
+               "                 [--window=<sec>]\n"
+               "         (--window renders the run as rolling windows via\n"
+               "          the live RollingSummary consumer)\n"
+               "       eco_report tail <file> [--once] [--interval=<sec>]\n"
+               "                 [--window=<sec>] [--reconcile=<summary>\n"
+               "                 [--tolerance=<t>]]\n"
+               "         (follows a growing event capture or rolling-\n"
+               "          summary JSONL; partial last lines are resumed,\n"
+               "          not errors. --reconcile gates the final rolling\n"
+               "          account against a golden summary: exits 1 on\n"
+               "          mismatch)\n"
                "       eco_report regress <a> <b> [--tolerance=<t>]\n"
                "         (a/b: capture .jsonl or summary .json; exits 1 on\n"
                "          regression, so usable directly as a CI gate)\n");
@@ -513,12 +910,47 @@ int Main(int argc, char** argv) {
   }
   if (command == "score") {
     std::string summary_out;
+    SimDuration window_us = 0;
     for (int i = 3; i < argc; ++i) {
       std::string arg(argv[i]);
       const std::string prefix = "--summary=";
+      const std::string window = "--window=";
       if (arg.rfind(prefix, 0) == 0) summary_out = arg.substr(prefix.size());
+      if (arg.rfind(window, 0) == 0) {
+        window_us = static_cast<SimDuration>(
+            std::strtod(arg.c_str() + window.size(), nullptr) *
+            static_cast<double>(kSecond));
+      }
     }
+    if (window_us > 0) return RunScoreWindows(argv[2], window_us, summary_out);
     return RunScore(argv[2], summary_out);
+  }
+  if (command == "tail") {
+    TailOptions opt;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg(argv[i]);
+      const std::string interval = "--interval=";
+      const std::string window = "--window=";
+      const std::string reconcile = "--reconcile=";
+      const std::string tolerance = "--tolerance=";
+      if (arg == "--once") opt.once = true;
+      if (arg.rfind(interval, 0) == 0) {
+        opt.interval_s = std::strtod(arg.c_str() + interval.size(), nullptr);
+      }
+      if (arg.rfind(window, 0) == 0) {
+        opt.window_us = static_cast<SimDuration>(
+            std::strtod(arg.c_str() + window.size(), nullptr) *
+            static_cast<double>(kSecond));
+        if (opt.window_us <= 0) opt.window_us = kMinute;
+      }
+      if (arg.rfind(reconcile, 0) == 0) {
+        opt.reconcile = arg.substr(reconcile.size());
+      }
+      if (arg.rfind(tolerance, 0) == 0) {
+        opt.tolerance = std::strtod(arg.c_str() + tolerance.size(), nullptr);
+      }
+    }
+    return RunTail(argv[2], opt);
   }
   if (command == "regress") {
     if (argc < 4) return Usage();
