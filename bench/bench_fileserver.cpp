@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
   // instrumented capture run (tailable mid-run via `eco_report tail`).
   const std::string rolling_path = bench::ParseRollingSummaryFlag(argc, argv);
   const SimDuration rolling_window = bench::ParseRollingWindowFlag(argc, argv);
+  // --profile=<base> attaches the wall-clock phase profiler to the
+  // instrumented capture run (requires --telemetry).
+  const std::string profile_base = bench::ParseProfileFlag(argc, argv);
   // --shards=S replays each policy run on the sharded intra-run engine
   // (one experiment spread over S lanes); default 1 keeps the serial
   // engine and the original shared-workload replay.
@@ -57,7 +60,7 @@ int main(int argc, char** argv) {
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
                                    summary_path, 1u << 21, rolling_path,
-                                   rolling_window);
+                                   rolling_window, profile_base);
   }
 
   auto workload = workload::FileServerWorkload::Create(wl_config);
@@ -129,7 +132,7 @@ int main(int argc, char** argv) {
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
                                    summary_path, 1u << 21, rolling_path,
-                                   rolling_window);
+                                   rolling_window, profile_base);
   }
   return 0;
 }

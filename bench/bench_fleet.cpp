@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
   // instrumented capture run (tailable mid-run via `eco_report tail`).
   const std::string rolling_path = bench::ParseRollingSummaryFlag(argc, argv);
   const SimDuration rolling_window = bench::ParseRollingWindowFlag(argc, argv);
+  // --profile=<base> attaches the wall-clock phase profiler to the
+  // instrumented capture run (requires --telemetry).
+  const std::string profile_base = bench::ParseProfileFlag(argc, argv);
   const bool capture_only =
       bench::HasFlag(argc, argv, "--capture-only") && !telemetry_base.empty();
   bench::PrintHeader(
@@ -76,7 +79,7 @@ int main(int argc, char** argv) {
     job.config = config;
     return bench::CaptureTelemetry(telemetry_base, std::move(job),
                                    summary_path, 1u << 22, rolling_path,
-                                   rolling_window);
+                                   rolling_window, profile_base);
   }
 
   auto workload = workload::CloudBlockWorkload::Create(wl_config);

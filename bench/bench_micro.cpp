@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "sim/simulator.h"
 #include "storage/disk_enclosure.h"
 #include "storage/storage_cache.h"
+#include "telemetry/profile/profile_export.h"
+#include "telemetry/profile/profiler.h"
 #include "telemetry/recorder.h"
 #include "trace/trace_stats.h"
 #include "workload/file_server_workload.h"
@@ -542,7 +545,8 @@ enum class ReplayInstrument {
 
 ReplayFigure MeasureReplayThroughput(
     bool eco, telemetry::Recorder* recorder = nullptr,
-    ReplayInstrument instrument = ReplayInstrument::kPassedRecorder) {
+    ReplayInstrument instrument = ReplayInstrument::kPassedRecorder,
+    telemetry::profile::Profiler* profiler = nullptr) {
   workload::FileServerConfig wl;
   wl.duration = 20 * kMinute;
   auto workload = workload::FileServerWorkload::Create(wl);
@@ -554,6 +558,9 @@ ReplayFigure MeasureReplayThroughput(
 
   ReplayFigure figure;
   auto run_once = [&] {
+    // Keep only the last run's spans: the ring survives across the repeat
+    // loop, and the export/stat consumers want one run, not an overlay.
+    if (profiler != nullptr) profiler->Drain();
     std::unique_ptr<policies::StoragePolicy> policy;
     if (eco) {
       policy = std::make_unique<core::EcoStoragePolicy>(
@@ -562,6 +569,7 @@ ReplayFigure MeasureReplayThroughput(
       policy = std::make_unique<policies::NoPowerSavingPolicy>();
     }
     replay::ExperimentConfig config;
+    config.profiler = profiler;
     telemetry::Recorder local_recorder;
     telemetry::StreamDispatcher dispatcher;
     std::unique_ptr<telemetry::analysis::RollingSummary> rolling;
@@ -622,7 +630,8 @@ ReplayFigure MeasureReplayThroughput(
 // ---------------------------------------------------------------------
 
 ReplayFigure MeasureShardedReplayThroughput(
-    int shards, replay::ExperimentMetrics* out_metrics = nullptr) {
+    int shards, replay::ExperimentMetrics* out_metrics = nullptr,
+    telemetry::profile::Profiler* profiler = nullptr) {
   workload::FileServerConfig wl;
   wl.duration = 20 * kMinute;
   wl.num_enclosures = 120;
@@ -646,10 +655,12 @@ ReplayFigure MeasureShardedReplayThroughput(
 
   ReplayFigure figure;
   auto run_once = [&] {
+    if (profiler != nullptr) profiler->Drain();  // last run's spans only
     core::PowerManagementConfig pm;
     pm.enable_pattern_change_triggers = false;
     core::EcoStoragePolicy policy(pm);
     replay::ExperimentConfig config;
+    config.profiler = profiler;
     config.storage.cache.total_bytes = 64 * kGiB;
     config.storage.cache.write_delay_area_bytes = 8 * kGiB;
     replay::ShardedExperiment experiment(workload.value().get(), &policy,
@@ -681,6 +692,87 @@ ReplayFigure MeasureShardedReplayThroughput(
 }
 
 namespace {
+
+// ---------------------------------------------------------------------
+// sharded_profile: the contention breakdown the wall-clock phase spans
+// of a profiled sharded replay yield — per-lane busy time, coordinator
+// barrier-wait and merge time, and the per-epoch load-imbalance ratio
+// (max lane busy / mean lane busy among the lanes that ran that epoch).
+// S=1 delegates to the serial engine, so its row reports the serial
+// pipeline (ingest/period-end) instead of lane spans.
+// ---------------------------------------------------------------------
+
+struct ShardedProfileStats {
+  uint64_t spans = 0;
+  int64_t epochs = 0;  ///< kEpoch spans recorded (sharded path only)
+  std::vector<double> lane_busy_ms;  ///< per lane: total kLaneAdvance wall
+  double ingest_ms = 0.0;  ///< serial-path ingest (the S=1 delegation)
+  double scatter_ms = 0.0;
+  double barrier_wait_ms = 0.0;
+  double merge_ms = 0.0;
+  double period_end_ms = 0.0;
+  double imbalance_mean = 0.0;
+};
+
+ShardedProfileStats ComputeShardedProfileStats(
+    const std::vector<telemetry::profile::Span>& spans) {
+  namespace prof = telemetry::profile;
+  ShardedProfileStats out;
+  out.spans = spans.size();
+  // epoch correlation id -> lane -> busy ns, for the imbalance ratio.
+  std::map<uint32_t, std::map<uint16_t, int64_t>> epoch_busy;
+  for (const prof::Span& s : spans) {
+    const double ms = static_cast<double>(s.dur_ns) / 1e6;
+    switch (static_cast<prof::Phase>(s.phase)) {
+      case prof::Phase::kEpoch:
+        out.epochs++;
+        break;
+      case prof::Phase::kIngest:
+        out.ingest_ms += ms;
+        break;
+      case prof::Phase::kScatter:
+        out.scatter_ms += ms;
+        break;
+      case prof::Phase::kBarrierWait:
+        out.barrier_wait_ms += ms;
+        break;
+      case prof::Phase::kMerge:
+        out.merge_ms += ms;
+        break;
+      case prof::Phase::kPeriodEnd:
+        out.period_end_ms += ms;
+        break;
+      case prof::Phase::kLaneAdvance:
+        if (s.lane >= out.lane_busy_ms.size()) {
+          out.lane_busy_ms.resize(s.lane + 1, 0.0);
+        }
+        out.lane_busy_ms[s.lane] += ms;
+        epoch_busy[s.seq][s.lane] += s.dur_ns;
+        break;
+      default:
+        break;
+    }
+  }
+  double ratio_sum = 0.0;
+  int64_t ratio_epochs = 0;
+  for (const auto& [seq, lanes] : epoch_busy) {
+    if (lanes.size() < 2) continue;  // one active lane: imbalance undefined
+    int64_t max_ns = 0, sum_ns = 0;
+    for (const auto& [lane, ns] : lanes) {
+      max_ns = std::max(max_ns, ns);
+      sum_ns += ns;
+    }
+    if (sum_ns <= 0) continue;
+    const double mean_ns =
+        static_cast<double>(sum_ns) / static_cast<double>(lanes.size());
+    ratio_sum += static_cast<double>(max_ns) / mean_ns;
+    ratio_epochs++;
+  }
+  out.imbalance_mean = ratio_epochs > 0
+                           ? ratio_sum / static_cast<double>(ratio_epochs)
+                           : 1.0;
+  return out;
+}
 
 // ---------------------------------------------------------------------
 // planner_scale: the indexed placement planner vs the frozen stable_sort
@@ -1407,13 +1499,99 @@ void WriteBenchPerfJson(const char* path_override) {
     }
   }
 
+  // Profile overhead: the identical eco replay with a wall-clock phase
+  // profiler attached (the --profile configuration) vs without, under
+  // the telemetry gate's bracketed median-of-five protocol with the
+  // clamp-at-noise-floor reporting. The profiled run must also stay
+  // bit-identical: the profiler only reads the wall clock and writes
+  // its own per-thread rings, and this gate proves it.
+  constexpr double kProfileGatePct = 2.0;
+  double profile_off_rate = 0.0;
+  double profile_on_rate = 0.0;
+  double profile_overhead_pct = 0.0;
+  double profile_overhead_pct_raw = 0.0;
+  double profile_noise_floor_pct = 0.0;
+  std::vector<double> profile_pair_pcts;
+  uint64_t profile_spans_recorded = 0;
+  {
+    struct OverheadRep {
+      double overhead_pct;
+      double drift_pct;
+      double off_rate;
+      double on_rate;
+      uint64_t spans;
+    };
+    std::vector<OverheadRep> reps;
+    reps.reserve(kTelemetryPairs);
+    for (int attempt = 0; attempt < kTelemetryPairs; ++attempt) {
+      telemetry::profile::Profiler profiler;  // fresh rings per repetition
+      ReplayFigure off_before = MeasureReplayThroughput(true);
+      ReplayFigure on = MeasureReplayThroughput(
+          true, nullptr, ReplayInstrument::kPassedRecorder, &profiler);
+      ReplayFigure off_after = MeasureReplayThroughput(true);
+      if (on.fingerprint != kSeedReplayEcoFingerprint) {
+        std::fprintf(stderr,
+                     "BENCH_perf: profiled replay diverged from the seed "
+                     "outcome (fp %016llx want %016llx) — attaching the "
+                     "profiler changed the replay\n",
+                     static_cast<unsigned long long>(on.fingerprint),
+                     static_cast<unsigned long long>(
+                         kSeedReplayEcoFingerprint));
+        std::exit(1);
+      }
+      double off_rate =
+          0.5 * (off_before.lios_per_sec + off_after.lios_per_sec);
+      OverheadRep rep;
+      rep.overhead_pct = (off_rate - on.lios_per_sec) / off_rate * 100.0;
+      rep.drift_pct =
+          std::abs(off_before.lios_per_sec - off_after.lios_per_sec) /
+          off_rate * 100.0;
+      rep.off_rate = off_rate;
+      rep.on_rate = on.lios_per_sec;
+      rep.spans = profiler.recorded();
+      profile_pair_pcts.push_back(rep.overhead_pct);
+      reps.push_back(rep);
+    }
+    std::sort(reps.begin(), reps.end(),
+              [](const OverheadRep& a, const OverheadRep& b) {
+                return a.overhead_pct < b.overhead_pct;
+              });
+    const OverheadRep& median = reps[kTelemetryPairs / 2];
+    profile_overhead_pct_raw = median.overhead_pct;
+    profile_off_rate = median.off_rate;
+    profile_on_rate = median.on_rate;
+    profile_spans_recorded = median.spans;
+    std::vector<double> drifts;
+    for (const OverheadRep& rep : reps) drifts.push_back(rep.drift_pct);
+    std::sort(drifts.begin(), drifts.end());
+    profile_noise_floor_pct = drifts[kTelemetryPairs / 2];
+    profile_overhead_pct =
+        profile_overhead_pct_raw > profile_noise_floor_pct
+            ? profile_overhead_pct_raw
+            : 0.0;
+    if (profile_overhead_pct_raw >= kProfileGatePct) {
+      std::fprintf(stderr,
+                   "BENCH_perf: profile overhead %.2f%% (median of %d "
+                   "bracketed repetitions) exceeds the %.1f%% budget "
+                   "(on %.0f vs off %.0f lios/s)\n",
+                   profile_overhead_pct_raw, kTelemetryPairs,
+                   kProfileGatePct, profile_on_rate, profile_off_rate);
+      std::exit(1);
+    }
+  }
+
   // Shard-scaling figure: S=1 vs S=8 on the 120-enclosure run, gated on
   // both shard counts producing the same simulated outcome (integer
   // counters exact, per-enclosure energies bitwise — the run is inside
-  // the exact-equivalence domain by construction).
+  // the exact-equivalence domain by construction). Both runs carry a
+  // phase profiler, which feeds the sharded_profile contention figure
+  // below AND extends the equality gate to profiled sharded replays.
   replay::ExperimentMetrics sharded_one, sharded_eight;
-  ReplayFigure shard1 = MeasureShardedReplayThroughput(1, &sharded_one);
-  ReplayFigure shard8 = MeasureShardedReplayThroughput(8, &sharded_eight);
+  telemetry::profile::Profiler shard1_profiler, shard8_profiler;
+  ReplayFigure shard1 =
+      MeasureShardedReplayThroughput(1, &sharded_one, &shard1_profiler);
+  ReplayFigure shard8 =
+      MeasureShardedReplayThroughput(8, &sharded_eight, &shard8_profiler);
   if (sharded_one.logical_ios != sharded_eight.logical_ios ||
       sharded_one.physical_batches != sharded_eight.physical_batches ||
       sharded_one.spinups != sharded_eight.spinups ||
@@ -1433,6 +1611,10 @@ void WriteBenchPerfJson(const char* path_override) {
     std::exit(1);
   }
   const unsigned host_cpus = std::thread::hardware_concurrency();
+  const ShardedProfileStats sharded_profile_s1 =
+      ComputeShardedProfileStats(shard1_profiler.Drain());
+  const ShardedProfileStats sharded_profile_s8 =
+      ComputeShardedProfileStats(shard8_profiler.Drain());
 
   // Fleet-scale planner figure: indexed vs legacy stable_sort placement
   // on synthetic 1k/100k and 10k/1M fleets, gated on identical plans.
@@ -1511,6 +1693,37 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"speedup\": %.2f\n",
                shard8.lios_per_sec / shard1.lios_per_sec);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sharded_profile\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_120enc_20min\",\n");
+  std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
+  std::fprintf(out, "    \"host_cpus\": %u,\n", host_cpus);
+  std::fprintf(out, "    \"enabled\": %s,\n",
+               telemetry::profile::Profiler::kEnabled ? "true" : "false");
+  std::fprintf(out, "    \"cases\": [\n");
+  const ShardedProfileStats* profile_cases[] = {&sharded_profile_s1,
+                                                &sharded_profile_s8};
+  const int profile_case_shards[] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    const ShardedProfileStats& c = *profile_cases[i];
+    std::fprintf(out,
+                 "      {\"shards\": %d, \"spans\": %llu, \"epochs\": %lld, "
+                 "\"ingest_ms\": %.1f, \"scatter_ms\": %.1f, "
+                 "\"lane_busy_ms\": [",
+                 profile_case_shards[i],
+                 static_cast<unsigned long long>(c.spans),
+                 static_cast<long long>(c.epochs), c.ingest_ms,
+                 c.scatter_ms);
+    for (size_t l = 0; l < c.lane_busy_ms.size(); ++l) {
+      std::fprintf(out, "%s%.1f", l == 0 ? "" : ", ", c.lane_busy_ms[l]);
+    }
+    std::fprintf(out,
+                 "], \"barrier_wait_ms\": %.1f, \"merge_ms\": %.1f, "
+                 "\"period_end_ms\": %.1f, \"imbalance_mean\": %.2f}%s\n",
+                 c.barrier_wait_ms, c.merge_ms, c.period_end_ms,
+                 c.imbalance_mean, i == 0 ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"telemetry_overhead\": {\n");
   std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
   std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
@@ -1556,6 +1769,29 @@ void WriteBenchPerfJson(const char* path_override) {
   std::fprintf(out, "    \"statistic\": \"median\",\n");
   std::fprintf(out, "    \"pairs\": %d,\n", kTelemetryPairs);
   std::fprintf(out, "    \"gate_pct\": %.1f\n", kLiveLedgerGatePct);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"profile_overhead\": {\n");
+  std::fprintf(out, "    \"workload\": \"file_server_20min\",\n");
+  std::fprintf(out, "    \"policy\": \"eco_storage\",\n");
+  std::fprintf(out, "    \"enabled\": %s,\n",
+               telemetry::profile::Profiler::kEnabled ? "true" : "false");
+  std::fprintf(out, "    \"spans_recorded\": %llu,\n",
+               static_cast<unsigned long long>(profile_spans_recorded));
+  std::fprintf(out, "    \"off_lios_per_sec\": %.0f,\n", profile_off_rate);
+  std::fprintf(out, "    \"on_lios_per_sec\": %.0f,\n", profile_on_rate);
+  std::fprintf(out, "    \"overhead_pct\": %.2f,\n", profile_overhead_pct);
+  std::fprintf(out, "    \"overhead_pct_raw\": %.2f,\n",
+               profile_overhead_pct_raw);
+  std::fprintf(out, "    \"noise_floor_pct\": %.2f,\n",
+               profile_noise_floor_pct);
+  std::fprintf(out, "    \"pair_overhead_pct\": [");
+  for (size_t i = 0; i < profile_pair_pcts.size(); ++i) {
+    std::fprintf(out, "%s%.2f", i == 0 ? "" : ", ", profile_pair_pcts[i]);
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "    \"statistic\": \"median\",\n");
+  std::fprintf(out, "    \"pairs\": %d,\n", kTelemetryPairs);
+  std::fprintf(out, "    \"gate_pct\": %.1f\n", kProfileGatePct);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"planner_scale\": {\n");
   std::fprintf(out, "    \"cases\": [\n");
@@ -1650,6 +1886,22 @@ void WriteBenchPerfJson(const char* path_override) {
               live_on_rate / 1e6, live_off_rate / 1e6, live_overhead_pct,
               live_overhead_pct_raw, live_noise_floor_pct,
               kLiveLedgerGatePct);
+  std::printf("profile overhead (eco replay, %llu spans/run, median of "
+              "%d bracketed reps): on %.2fM vs off %.2fM lios/s = "
+              "%.2f%% (raw %.2f%%, noise floor %.2f%%, budget %.1f%%)\n",
+              static_cast<unsigned long long>(profile_spans_recorded),
+              kTelemetryPairs, profile_on_rate / 1e6,
+              profile_off_rate / 1e6, profile_overhead_pct,
+              profile_overhead_pct_raw, profile_noise_floor_pct,
+              kProfileGatePct);
+  std::printf("sharded profile (S=8, %zu lanes): busy max/mean imbalance "
+              "%.2f, barrier wait %.1f ms, merge %.1f ms, period ends "
+              "%.1f ms over %lld epochs\n",
+              sharded_profile_s8.lane_busy_ms.size(),
+              sharded_profile_s8.imbalance_mean,
+              sharded_profile_s8.barrier_wait_ms,
+              sharded_profile_s8.merge_ms, sharded_profile_s8.period_end_ms,
+              static_cast<long long>(sharded_profile_s8.epochs));
   for (int i = 0; i < 2; ++i) {
     const PlannerScaleCase& c = *planner_cases[i];
     std::printf("planner scale (%d enclosures, %d items, %lld movers): "
@@ -1699,6 +1951,12 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool check = false, record = false, replay_only = false, json_only = false;
   const int shards = ecostore::bench::ParseShardsFlag(argc, argv);
+  // --profile=<base> attaches the wall-clock phase profiler to the eco
+  // replay run and writes <base>.profile.jsonl + .profile.trace.json.
+  // Implies --replay (the profiled figure is the end-to-end one).
+  const std::string profile_base =
+      ecostore::bench::ParseProfileFlag(argc, argv);
+  if (!profile_base.empty()) replay_only = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg == "--check") check = true;
@@ -1726,7 +1984,18 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (replay_only) {
-    ecostore::ReplayFigure eco = ecostore::MeasureReplayThroughput(true);
+    ecostore::telemetry::profile::Profiler profiler;
+    ecostore::telemetry::profile::Profiler* attach =
+        profile_base.empty() ? nullptr : &profiler;
+    // --shards=S profiles the sharded engine (lane spans + contention)
+    // instead of the serial pipeline.
+    ecostore::ReplayFigure eco =
+        shards > 1
+            ? ecostore::MeasureShardedReplayThroughput(shards, nullptr,
+                                                       attach)
+            : ecostore::MeasureReplayThroughput(
+                  true, nullptr,
+                  ecostore::ReplayInstrument::kPassedRecorder, attach);
     ecostore::ReplayFigure base = ecostore::MeasureReplayThroughput(false);
     std::printf("replay end-to-end (file-server 20 min, %lld logical IOs "
                 "per run):\n  eco_storage      %.0f lios/s (fp %016llx)\n"
@@ -1735,6 +2004,32 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(eco.fingerprint),
                 base.lios_per_sec,
                 static_cast<unsigned long long>(base.fingerprint));
+    if (attach != nullptr) {
+      ecostore::telemetry::profile::ProfileMeta meta;
+      meta.workload =
+          shards > 1 ? "file_server_120enc_20min" : "file_server_20min";
+      meta.policy = "eco_storage";
+      meta.shards = shards;
+      meta.host_cpus = std::thread::hardware_concurrency();
+      meta.wall_ns = static_cast<int64_t>(
+          static_cast<double>(eco.logical_ios) / eco.lios_per_sec * 1e9);
+      meta.dropped = attach->dropped();
+      std::vector<ecostore::telemetry::profile::Span> spans =
+          attach->Drain();
+      meta.spans = static_cast<int64_t>(spans.size());
+      ecostore::Status st = ecostore::telemetry::profile::ExportProfile(
+          profile_base, meta, spans);
+      if (!st.ok()) {
+        std::fprintf(stderr, "profile export failed: %s\n",
+                     st.message().c_str());
+        return 1;
+      }
+      std::printf("profile: %lld spans (%lld dropped) -> "
+                  "%s.profile.jsonl + %s.profile.trace.json\n",
+                  static_cast<long long>(meta.spans),
+                  static_cast<long long>(meta.dropped),
+                  profile_base.c_str(), profile_base.c_str());
+    }
     return 0;
   }
   benchmark::Initialize(&argc, argv);

@@ -74,6 +74,14 @@ inline std::string ParseTelemetryFlag(int argc, char** argv) {
   return ParseFlagValue(argc, argv, "--telemetry=");
 }
 
+/// Parses a `--profile=<base>` argument; empty when absent. The base
+/// names the wall-clock profile export pair written by
+/// telemetry::profile::ExportProfile (`<base>.profile.jsonl` and
+/// `<base>.profile.trace.json`).
+inline std::string ParseProfileFlag(int argc, char** argv) {
+  return ParseFlagValue(argc, argv, "--profile=");
+}
+
 /// Parses a `--telemetry-summary=<path>` argument; empty when absent.
 /// Names the machine-readable summary JSON written from the capture run
 /// (requires --telemetry as the event source).

@@ -38,6 +38,7 @@
 #include "replay/suite.h"
 #include "telemetry/analysis/latency_histogram.h"
 #include "telemetry/analysis/rolling_summary.h"
+#include "telemetry/profile/profiler.h"
 #include "telemetry/recorder.h"
 #include "telemetry/stream_consumer.h"
 
@@ -223,14 +224,20 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite(
   // the fingerprints must STILL match goldens recorded without any
   // consumer — the acceptance bar for live observability is that
   // watching a replay cannot change it.
+  // Each job also attaches a wall-clock phase profiler (DESIGN.md §15):
+  // the gate thereby proves that profiling a replay — serial or sharded —
+  // cannot change its results. In an ECOSTORE_PROFILE=OFF build the
+  // profilers are empty stubs and the same fingerprints must come out.
   std::vector<std::unique_ptr<telemetry::Recorder>> recorders;
   std::vector<std::unique_ptr<telemetry::analysis::LatencyBook>> books;
   std::vector<std::unique_ptr<telemetry::StreamDispatcher>> streams;
   std::vector<std::unique_ptr<telemetry::analysis::RollingSummary>> rollers;
+  std::vector<std::unique_ptr<telemetry::profile::Profiler>> profilers;
   recorders.reserve(jobs.size());
   books.reserve(jobs.size());
   streams.reserve(jobs.size());
   rollers.reserve(jobs.size());
+  profilers.reserve(jobs.size());
   for (replay::ExperimentJob& job : jobs) {
     telemetry::Recorder::Options options;
     options.mask = telemetry::kClassAll;
@@ -250,6 +257,9 @@ inline Result<std::vector<ReplayCheckRun>> RunReplayCheckSuite(
     streams.back()->AddConsumer(rollers.back().get());
     job.config.stream = streams.back().get();
     job.config.stream_window_us = ropt.window_us;
+
+    profilers.push_back(std::make_unique<telemetry::profile::Profiler>());
+    job.config.profiler = profilers.back().get();
   }
 
   // One suite worker on purpose: the gate compares bit-exact

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "telemetry/analysis/rolling_summary.h"
 #include "telemetry/analysis/summary.h"
 #include "telemetry/export.h"
+#include "telemetry/profile/profile_export.h"
+#include "telemetry/profile/profiler.h"
 #include "telemetry/recorder.h"
 #include "telemetry/stream_consumer.h"
 
@@ -93,13 +96,17 @@ inline telemetry::ExportMeta BuildCaptureMeta(
 /// + RollingSummary): per-window progress lines go to stdout and the
 /// append-only rolling-summary JSONL (tailable via `eco_report tail`) is
 /// written to `rolling_path`, with `rolling_window_us` windows (0 = 1
-/// minute). Returns a process exit code (0 on success) so bench mains
-/// can propagate it.
+/// minute). When `profile_base` is non-empty the run also attaches the
+/// wall-clock phase profiler and writes `<profile_base>.profile.jsonl` +
+/// `.profile.trace.json` — a second, real-time clock domain next to the
+/// sim-time trace, correlated by period index. Returns a process exit
+/// code (0 on success) so bench mains can propagate it.
 inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
                             const std::string& summary_path = "",
                             uint32_t ring_capacity = 1u << 21,
                             const std::string& rolling_path = "",
-                            SimDuration rolling_window_us = 0) {
+                            SimDuration rolling_window_us = 0,
+                            const std::string& profile_base = "") {
   // Record every class including per-I/O detail: the ledger uses the
   // kPhysicalIo events to tie a mispredicted spin-down to the item whose
   // demand I/O forced the wake-up. The detail classes multiply event
@@ -112,6 +119,11 @@ inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
   telemetry::analysis::LatencyBook book;
   job.config.telemetry = &recorder;
   job.config.latency_book = &book;
+  // --profile: the wall-clock phase profiler rides the same run. It only
+  // reads the host clock and writes its own rings, so attaching it keeps
+  // the replay bit-identical (the --check gate runs with one attached).
+  telemetry::profile::Profiler profiler;
+  if (!profile_base.empty()) job.config.profiler = &profiler;
   auto workload = job.workload();
   if (!workload.ok()) {
     std::fprintf(stderr, "telemetry capture workload: %s\n",
@@ -206,6 +218,40 @@ inline int CaptureTelemetry(const std::string& base, replay::ExperimentJob job,
     }
     std::printf("telemetry: summary -> %s (reconcile_rel_err=%.3g)\n",
                 summary_path.c_str(), summary.reconcile_rel_err);
+  }
+  if (!profile_base.empty()) {
+    telemetry::profile::ProfileMeta pmeta;
+    pmeta.workload = metrics.value().workload;
+    pmeta.policy = metrics.value().policy;
+    pmeta.shards = 1;
+    pmeta.host_cpus = std::thread::hardware_concurrency();
+    pmeta.wall_ns =
+        static_cast<int64_t>(metrics.value().wall_seconds * 1e9);
+    pmeta.dropped = profiler.dropped();
+    // The pool gauges are the single source of truth for executor stats;
+    // the serial capture run has no pool, so they stay absent unless the
+    // engine published them.
+    for (const auto& [name, value] : recorder.GaugeValues()) {
+      if (name == "pool.workers") pmeta.pool_workers = value;
+      else if (name == "pool.tasks_executed") pmeta.pool_tasks = value;
+      else if (name == "pool.busy_us") pmeta.pool_busy_ns = value * 1000;
+      else if (name == "pool.peak_queued") pmeta.pool_peak_queue = value;
+    }
+    std::vector<telemetry::profile::Span> spans = profiler.Drain();
+    pmeta.spans = static_cast<int64_t>(spans.size());
+    st = telemetry::profile::ExportProfile(profile_base, pmeta, spans);
+    if (!st.ok()) {
+      std::fprintf(stderr, "profile export: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("profile: %lld spans (%lld dropped) -> "
+                "%s{.profile.jsonl,.profile.trace.json}\n",
+                static_cast<long long>(pmeta.spans),
+                static_cast<long long>(pmeta.dropped), profile_base.c_str());
+    if (!telemetry::profile::Profiler::kEnabled) {
+      std::printf("profile: NOTE — profiler compiled out "
+                  "(ECOSTORE_PROFILE=OFF); exports are empty\n");
+    }
   }
   if (!telemetry::Recorder::kEnabled) {
     std::printf("telemetry: NOTE — recorder compiled out "

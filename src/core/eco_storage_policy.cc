@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/profile/profiler.h"
 #include "telemetry/recorder.h"
 
 namespace ecostore::core {
@@ -67,10 +68,14 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
 
   // Enact the plan. Migrations first request P0/P1/P2 evictions, then P3
   // consolidations (the planner already ordered them; paper §V-A).
-  for (const Migration& mig : last_plan_.migrations) {
-    actuator->RequestMigration(mig.item, mig.to);
+  {
+    telemetry::profile::ScopedPhase migrate_span(
+        telemetry::profile::Phase::kMigrate,
+        static_cast<int64_t>(last_plan_.migrations.size()));
+    for (const Migration& mig : last_plan_.migrations) {
+      actuator->RequestMigration(mig.item, mig.to);
+    }
   }
-
   // Items that were selected last period and saw no conflicting traffic
   // stay selected (paper §V-C: already-preloaded items are kept). This
   // damps churn when an item merely went quiet (P0) for one period.
@@ -85,6 +90,11 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
            !last_plan_.partition.IsHot(enc);
   };
 
+  {
+  telemetry::profile::ScopedPhase flush_span(
+      telemetry::profile::Phase::kFlush,
+      static_cast<int64_t>(last_plan_.cache.write_delay.size() +
+                           last_plan_.cache.preload.size()));
   // The carried selection lives in a sorted id vector — assigning from a
   // hash set would bake stdlib-dependent iteration order into persistent
   // policy state — and every merge below reuses member scratch, so a
@@ -130,6 +140,7 @@ SimDuration EcoStoragePolicy::OnPeriodEnd(
     actuator->SetSpinDownAllowed(static_cast<EnclosureId>(e),
                                  last_plan_.spin_down_allowed[e]);
   }
+  }  // flush_span
 
   // Decision audit: one event per active item with the classification
   // *reason* (long intervals, read ratio, I/O sequences) and the actions

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/profile/profiler.h"
+
 namespace ecostore::core {
 
 namespace {
@@ -82,9 +84,79 @@ ManagementPlan PowerManagementFunction::Run(
       classifier_.OnLogicalIo(rec);
     }
   }
-  const ClassificationResult& classification =
-      classifier_.Finalize(virt.catalog(), snapshot.period_end);
+  const ClassificationResult* classification_ptr;
+  {
+    telemetry::profile::ScopedPhase classify_span(
+        telemetry::profile::Phase::kClassifyFinalize);
+    classification_ptr =
+        &classifier_.Finalize(virt.catalog(), snapshot.period_end);
+  }
+  const ClassificationResult& classification = *classification_ptr;
   plan.classification = &classification;
+
+  telemetry::profile::ScopedPhase plan_span(
+      telemetry::profile::Phase::kPlan);
+
+  // ---- enclosure-of cache refresh, part 1: re-sync with reality ----
+  // Revert the last plan's optimistic migration overlay to the move-
+  // journal truth (planned moves may not have committed), fold the
+  // journal suffix, and apply the classifier's pattern flips. All
+  // frontier-sized; the O(catalog) rebuild runs only on the first period
+  // or when the catalog / enclosure count changed underneath us.
+  const size_t cache_items = classification.items.size();
+  const size_t cache_encs = static_cast<size_t>(system.num_enclosures());
+  const bool use_enclosure_cache = config_.enable_enclosure_cache;
+  if (use_enclosure_cache) {
+    auto move_cached = [this](DataItemId item, EnclosureId to) {
+      const size_t idx = static_cast<size_t>(item);
+      const EnclosureId from = final_enclosure_[idx];
+      if (from == to) return;
+      if (cached_is_p3_[idx] != 0) {
+        p3_final_count_[static_cast<size_t>(from)]--;
+        p3_final_count_[static_cast<size_t>(to)]++;
+      }
+      final_enclosure_[idx] = to;
+    };
+    if (have_enclosure_cache_ && classifier_.has_previous() &&
+        final_enclosure_.size() == cache_items &&
+        p3_final_count_.size() == cache_encs &&
+        enclosure_cache_cursor_ <= virt.move_log_size()) {
+      for (DataItemId item : overlay_items_) {
+        move_cached(item, virt.EnclosureOf(item));
+      }
+      const std::vector<DataItemId>& log = virt.move_log();
+      for (size_t i = enclosure_cache_cursor_; i < log.size(); ++i) {
+        move_cached(log[i], virt.EnclosureOf(log[i]));
+      }
+      const std::vector<uint8_t>& patterns = classifier_.patterns();
+      for (DataItemId item : classifier_.dirty_items()) {
+        const size_t idx = static_cast<size_t>(item);
+        const uint8_t p3 =
+            patterns[idx] == static_cast<uint8_t>(IoPattern::kP3) ? 1 : 0;
+        if (p3 != cached_is_p3_[idx]) {
+          p3_final_count_[static_cast<size_t>(final_enclosure_[idx])] +=
+              p3 != 0 ? 1 : -1;
+          cached_is_p3_[idx] = p3;
+        }
+      }
+    } else {
+      final_enclosure_.assign(cache_items, 0);
+      cached_is_p3_.assign(cache_items, 0);
+      p3_final_count_.assign(cache_encs, 0);
+      for (const ItemClassification& cls : classification.items) {
+        const size_t idx = static_cast<size_t>(cls.item);
+        const EnclosureId enc = virt.EnclosureOf(cls.item);
+        final_enclosure_[idx] = enc;
+        if (cls.pattern == IoPattern::kP3) {
+          cached_is_p3_[idx] = 1;
+          p3_final_count_[static_cast<size_t>(enc)]++;
+        }
+      }
+      have_enclosure_cache_ = true;
+    }
+    enclosure_cache_cursor_ = virt.move_log_size();
+    overlay_items_.clear();
+  }
 
   // Determine hot/cold enclosures + data placement.
   if (config_.enable_placement) {
@@ -165,38 +237,75 @@ ManagementPlan PowerManagementFunction::Run(
   } else {
     plan.partition = hot_cold_.Plan(classification, virt);
     // Items stay put; cold enclosures may still hold P3 items. Such
-    // enclosures must not power off, so mark them hot.
-    for (const ItemClassification& cls : classification.items) {
-      if (cls.pattern == IoPattern::kP3) {
-        auto enc = static_cast<size_t>(virt.EnclosureOf(cls.item));
-        if (!plan.partition.is_hot[enc]) {
-          plan.partition.is_hot[enc] = true;
-          plan.partition.n_hot++;
+    // enclosures must not power off, so mark them hot. With the cache,
+    // p3_final_count_ already reflects current residency + patterns
+    // (migrations are empty on this branch), so the general safety net
+    // below covers it; the legacy walk is kept as the flag-off oracle.
+    if (!use_enclosure_cache) {
+      for (const ItemClassification& cls : classification.items) {
+        if (cls.pattern == IoPattern::kP3) {
+          auto enc = static_cast<size_t>(virt.EnclosureOf(cls.item));
+          if (!plan.partition.is_hot[enc]) {
+            plan.partition.is_hot[enc] = true;
+            plan.partition.n_hot++;
+          }
         }
       }
     }
   }
 
-  // Final placement after migrations for the cache planner.
-  std::vector<EnclosureId> final_enclosure(classification.items.size());
-  for (const ItemClassification& cls : classification.items) {
-    final_enclosure[static_cast<size_t>(cls.item)] =
-        virt.EnclosureOf(cls.item);
+  // ---- enclosure-of cache refresh, part 2: overlay this plan ----
+  // Final placement after migrations for the cache planner. With the
+  // cache, final_enclosure_ was synced above and only the new plan's
+  // migrations (frontier-sized) are folded in; the legacy path rebuilds
+  // the full map every period.
+  std::vector<EnclosureId> legacy_final_enclosure;
+  if (use_enclosure_cache) {
+    overlay_items_.reserve(plan.migrations.size());
+    for (const Migration& mig : plan.migrations) {
+      const size_t idx = static_cast<size_t>(mig.item);
+      overlay_items_.push_back(mig.item);
+      if (final_enclosure_[idx] != mig.to) {
+        if (cached_is_p3_[idx] != 0) {
+          p3_final_count_[static_cast<size_t>(final_enclosure_[idx])]--;
+          p3_final_count_[static_cast<size_t>(mig.to)]++;
+        }
+        final_enclosure_[idx] = mig.to;
+      }
+    }
+  } else {
+    legacy_final_enclosure.resize(classification.items.size());
+    for (const ItemClassification& cls : classification.items) {
+      legacy_final_enclosure[static_cast<size_t>(cls.item)] =
+          virt.EnclosureOf(cls.item);
+    }
+    for (const Migration& mig : plan.migrations) {
+      legacy_final_enclosure[static_cast<size_t>(mig.item)] = mig.to;
+    }
   }
-  for (const Migration& mig : plan.migrations) {
-    final_enclosure[static_cast<size_t>(mig.item)] = mig.to;
-  }
+  const std::vector<EnclosureId>& final_enclosure =
+      use_enclosure_cache ? final_enclosure_ : legacy_final_enclosure;
 
   // Safety net: any P3 item that ends up on a cold enclosure (pinned, or
   // unplaceable) forces that enclosure hot — powering it off would stall
-  // the application.
-  for (const ItemClassification& cls : classification.items) {
-    if (cls.pattern != IoPattern::kP3) continue;
-    auto enc = static_cast<size_t>(
-        final_enclosure[static_cast<size_t>(cls.item)]);
-    if (!plan.partition.is_hot[enc]) {
-      plan.partition.is_hot[enc] = true;
-      plan.partition.n_hot++;
+  // the application. The item-order walk has pure set semantics, so the
+  // enclosure-count scan produces the identical partition.
+  if (use_enclosure_cache) {
+    for (size_t e = 0; e < p3_final_count_.size(); ++e) {
+      if (p3_final_count_[e] > 0 && !plan.partition.is_hot[e]) {
+        plan.partition.is_hot[e] = true;
+        plan.partition.n_hot++;
+      }
+    }
+  } else {
+    for (const ItemClassification& cls : classification.items) {
+      if (cls.pattern != IoPattern::kP3) continue;
+      auto enc = static_cast<size_t>(
+          final_enclosure[static_cast<size_t>(cls.item)]);
+      if (!plan.partition.is_hot[enc]) {
+        plan.partition.is_hot[enc] = true;
+        plan.partition.n_hot++;
+      }
     }
   }
 

@@ -52,6 +52,14 @@ struct PowerManagementConfig {
   /// full re-planning, so this is safe to leave on; the flag exists for
   /// ablation and the equivalence tests.
   bool enable_incremental_replan = true;
+  /// Enclosure-of cache: maintain the item → post-plan enclosure map and
+  /// the per-enclosure P3 population incrementally (keyed on the
+  /// BlockVirtualization move journal + the classifier's dirty set)
+  /// instead of walking the full item table each period for the cache
+  /// planner's final-enclosure map and the P3-on-cold safety net. The
+  /// resulting plans are identical (set semantics of the safety net);
+  /// the flag exists for the equivalence tests.
+  bool enable_enclosure_cache = true;
 
   Status Validate() const;
 };
@@ -142,6 +150,27 @@ class PowerManagementFunction {
   /// Consumed prefix of BlockVirtualization::move_log().
   size_t journal_cursor_ = 0;
   std::vector<DataItemId> candidate_scratch_;
+
+  // ---- enclosure-of cache (frontier-sized period ends) ----
+  // Invariant between Run()s: final_enclosure_[i] is where item i ends
+  // up under the *last emitted plan* (journal truth ⊕ that plan's
+  // migrations), cached_is_p3_[i] mirrors the last classification, and
+  // p3_final_count_[e] == #{i : cached_is_p3_[i] && final_enclosure_[i]
+  // == e}. Each Run() reverts the optimistic migration overlay to the
+  // move-journal truth (planned moves may not have committed), folds the
+  // journal suffix and the classifier's dirty set, then overlays the new
+  // plan — all frontier-sized work. The safety net then scans enclosures
+  // (p3_final_count_ > 0), not items.
+  bool have_enclosure_cache_ = false;
+  std::vector<EnclosureId> final_enclosure_;  ///< item → post-plan enclosure
+  std::vector<uint8_t> cached_is_p3_;         ///< item → pattern == P3
+  std::vector<int64_t> p3_final_count_;       ///< enclosure → cached P3 items
+  /// Consumed move_log() prefix — separate from journal_cursor_, which
+  /// only advances on the enable_placement path.
+  size_t enclosure_cache_cursor_ = 0;
+  /// Items overlaid with the last plan's migration targets (reverted to
+  /// journal truth at the next Run).
+  std::vector<DataItemId> overlay_items_;
 };
 
 }  // namespace ecostore::core

@@ -44,6 +44,11 @@ Result<ExperimentMetrics> Experiment::Run() {
       config_.telemetry,
       [](const void* s) { return static_cast<const sim::Simulator*>(s)->Now(); },
       &sim_);
+  // Wall-clock profiling is bound per thread (always set, even to null,
+  // so a run configured without a profiler masks any stale binding);
+  // interior phases — classify-finalise, plan, migrate, flush — open
+  // ScopedPhases from core/ without any plumbing through the policy API.
+  telemetry::profile::ScopedThreadProfiler profile_bind(config_.profiler);
 
   metrics_ = ExperimentMetrics{};
   metrics_.workload = workload_->info().name;
@@ -94,6 +99,12 @@ Result<ExperimentMetrics> Experiment::Run() {
   bool horizon_reached = false;
   while (!horizon_reached &&
          workload_->NextBatch(&batch_, kReplayBatch) > 0) {
+    // One ingest span per batch (two clock reads per kReplayBatch
+    // records). Period ends firing inside RunUntil nest under it, so the
+    // analyzer's self-time subtraction attributes them correctly.
+    telemetry::profile::ScopedPhase ingest_span(
+        telemetry::profile::Phase::kIngest,
+        static_cast<int64_t>(batch_.size()));
     for (const trace::LogicalIoRecord& rec : batch_) {
       if (rec.time >= horizon_) {
         horizon_reached = true;
@@ -108,6 +119,8 @@ Result<ExperimentMetrics> Experiment::Run() {
       }
 
       if (rec.time >= next_stream_mark) {
+        telemetry::profile::ScopedPhase pump_span(
+            telemetry::profile::Phase::kLedgerPump);
         const SimTime frontier = rec.time - rec.time % stream_window;
         stream->Pump(config_.telemetry, frontier);
         next_stream_mark = frontier + stream_window;
@@ -143,6 +156,8 @@ Result<ExperimentMetrics> Experiment::Run() {
     }
   }
 
+  telemetry::profile::ScopedPhase finalize_span(
+      telemetry::profile::Phase::kFinalize);
   sim_.RunUntil(horizon_);
   system_->FinalizeRun();
 
@@ -194,6 +209,8 @@ Result<ExperimentMetrics> Experiment::Run() {
   // Final streaming pump: drain the horizon-time events (kEnergyFinal et
   // al recorded by FinalizeRun) and hand consumers the measured energies.
   if (stream != nullptr) {
+    telemetry::profile::ScopedPhase pump_span(
+        telemetry::profile::Phase::kLedgerPump);
     stream->Pump(config_.telemetry, horizon_);
     telemetry::StreamFinal fin;
     fin.at = horizon_;
@@ -211,6 +228,12 @@ void Experiment::SchedulePeriodEnd(SimDuration period) {
 }
 
 void Experiment::DoPeriodEnd() {
+  // Correlation id = period index: the span seq joins the wall-clock
+  // track to this period's kPeriodBoundary event in the sim-time stream.
+  telemetry::profile::ScopedCorrelation period_corr(
+      static_cast<uint32_t>(period_index_));
+  telemetry::profile::ScopedPhase period_span(
+      telemetry::profile::Phase::kPeriodEnd);
   in_period_end_ = true;
   trigger_pending_ = false;
   monitor::MonitorSnapshot snapshot;

@@ -11,6 +11,7 @@
 #include "replay/migration_engine.h"
 #include "sim/simulator.h"
 #include "storage/storage_system.h"
+#include "telemetry/profile/profiler.h"
 #include "telemetry/stream_consumer.h"
 #include "workload/workload.h"
 
@@ -51,6 +52,13 @@ struct ExperimentConfig {
 
   /// Pump cadence / rolling-window length in sim time; <= 0 uses 1 min.
   SimDuration stream_window_us = 0;
+
+  /// Wall-clock phase profiler (not owned; may be nullptr). When set,
+  /// Run() binds it to the replay thread for its duration and the engine
+  /// + period-end pipeline record phase spans (DESIGN.md §15). The
+  /// profiler only ever reads the wall clock and writes its own rings,
+  /// so attaching one cannot change replay results (fingerprint-gated).
+  telemetry::profile::Profiler* profiler = nullptr;
 };
 
 /// \brief The trace-replay harness (paper §VII-A.2 / Fig. 7): streams a

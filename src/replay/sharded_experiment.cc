@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "monitor/snapshot.h"
 #include "storage/power_meter.h"
+#include "telemetry/profile/profiler.h"
 
 namespace ecostore::replay {
 
@@ -293,6 +294,11 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
   telemetry::ScopedShardTag coordinator_tag(telemetry::kCoordinatorShard);
   telemetry::ScopedLoggerBridge logger_bridge(config_.telemetry, &SimClock,
                                               &sim_);
+  // Wall-clock profiling (DESIGN.md §15): the coordinator is lane 0; pool
+  // workers bind per-epoch in AdvanceLanes with lane = shard + 1. The
+  // profiler only reads the wall clock and its own rings, so attaching it
+  // cannot perturb replay results.
+  telemetry::profile::ScopedThreadProfiler profile_bind(config_.profiler);
 
   ExperimentMetrics metrics;
   metrics.workload = workload_->info().name;
@@ -348,13 +354,26 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
   // --- Epoch loop: generate → scatter → parallel lane advance → barrier
   // merge → coordinator events, with t_stop chosen so no lane ever runs
   // past the next cross-shard effect. ---
+  uint32_t epoch_index = 0;
   while (true) {
+    // The epoch index is the sharded engine's correlation key: every span
+    // the coordinator or a lane records this iteration carries it, so the
+    // contention report can line up lane busy time, barrier waits and
+    // merges per epoch.
+    telemetry::profile::ScopedCorrelation epoch_corr(epoch_index);
+    telemetry::profile::ScopedPhase epoch_span(
+        telemetry::profile::Phase::kEpoch);
     EnsureGenerated(sim_.Now());
     SimTime window_limit = stream_done_ ? horizon_ : last_generated_time_;
     SimTime t_stop =
         std::min(horizon_, std::min(window_limit, sim_.NextEventTime()));
 
-    ScatterUpTo(t_stop);
+    {
+      telemetry::profile::ScopedPhase scatter_span(
+          telemetry::profile::Phase::kScatter,
+          static_cast<int64_t>(window_.size()));
+      ScatterUpTo(t_stop);
+    }
     AdvanceLanes(t_stop);
     // The coordinator's clock reaches the barrier before the merged hooks
     // replay, so a pattern-change trigger fired during replay lands its
@@ -369,20 +388,25 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
     }
 
     if (t_stop >= horizon_) break;
+    epoch_index++;
   }
 
   // --- Horizon: all clocks are pinned to the horizon. Destage and report
   // final idle gaps per lane (serial FinalizeRun order within each lane,
   // lanes in shard order), deliver the resulting callbacks, then emit the
   // controller's energy final exactly once. ---
-  for (auto& lane : lanes_) {
-    telemetry::ScopedShardTag tag(
-        static_cast<uint16_t>(lane->shard_id + 1));
-    telemetry::ScopedLoggerBridge bridge(lane->recorder.get(), &SimClock,
-                                         &lane->sim);
-    lane->system->FinalizeRun();
+  {
+    telemetry::profile::ScopedPhase finalize_span(
+        telemetry::profile::Phase::kFinalize);
+    for (auto& lane : lanes_) {
+      telemetry::ScopedShardTag tag(
+          static_cast<uint16_t>(lane->shard_id + 1));
+      telemetry::ScopedLoggerBridge bridge(lane->recorder.get(), &SimClock,
+                                           &lane->sim);
+      lane->system->FinalizeRun();
+    }
+    MergeBarrier();
   }
-  MergeBarrier();
   if (telemetry::Wants(config_.telemetry, telemetry::kClassPower)) {
     config_.telemetry->Record(telemetry::MakeEnergyFinalEvent(
         sim_.Now(), kInvalidEnclosure, master_->ControllerEnergy(),
@@ -390,6 +414,17 @@ Result<ExperimentMetrics> ShardedExperiment::RunSharded() {
   }
   for (auto& lane : lanes_) {
     if (lane->meter != nullptr) lane->meter->Stop();
+  }
+
+  // Publish the pool's contention gauges — the single source of truth the
+  // profile export and eco_report read (busy time is wall-clock, so the
+  // values vary run to run; they never feed back into replay results).
+  if (config_.telemetry != nullptr && pool_ != nullptr) {
+    ThreadPool::Stats ps = pool_->GetStats();
+    config_.telemetry->gauge("pool.workers")->Set(ps.workers);
+    config_.telemetry->gauge("pool.tasks_executed")->Set(ps.tasks_executed);
+    config_.telemetry->gauge("pool.peak_queued")->Set(ps.peak_queued);
+    config_.telemetry->gauge("pool.busy_us")->Set(ps.busy_ns / 1000);
   }
 
   ReduceMetrics(&metrics);
@@ -447,6 +482,12 @@ void ShardedExperiment::ScatterUpTo(SimTime t_stop) {
 }
 
 void ShardedExperiment::AdvanceLanes(SimTime t_stop) {
+  // Pool workers carry no thread-local profiler binding of their own, so
+  // each task re-binds the run's profiler and stamps its spans with the
+  // lane id (shard + 1; the coordinator is lane 0) and the epoch index the
+  // coordinator holds right now.
+  telemetry::profile::Profiler* profiler = config_.profiler;
+  const uint32_t epoch = telemetry::profile::ThreadCorrelation();
   std::vector<std::future<void>> pending;
   for (auto& lane_ptr : lanes_) {
     Lane* lane = lane_ptr.get();
@@ -455,18 +496,33 @@ void ShardedExperiment::AdvanceLanes(SimTime t_stop) {
       lane->sim.AdvanceTo(t_stop);
       continue;
     }
-    pending.push_back(pool_->Submit([lane, t_stop] {
+    pending.push_back(pool_->Submit([lane, t_stop, profiler, epoch] {
       telemetry::ScopedShardTag tag(
           static_cast<uint16_t>(lane->shard_id + 1));
       telemetry::ScopedLoggerBridge bridge(lane->recorder.get(), &SimClock,
                                            &lane->sim);
+      telemetry::profile::ScopedThreadProfiler profile_bind(profiler);
+      telemetry::profile::ScopedProfileLane lane_tag(
+          static_cast<uint16_t>(lane->shard_id + 1));
+      telemetry::profile::ScopedCorrelation corr(epoch);
+      telemetry::profile::ScopedPhase advance_span(
+          telemetry::profile::Phase::kLaneAdvance,
+          static_cast<int64_t>(lane->inbox.size()));
       lane->Advance(t_stop);
     }));
   }
+  // Barrier wait: coordinator wall time spent blocked on lane futures.
+  // `detail` records how many tasks were still queued when the wait
+  // began — the queue-depth signal for the contention report.
+  telemetry::profile::ScopedPhase wait_span(
+      telemetry::profile::Phase::kBarrierWait,
+      pool_ != nullptr ? pool_->GetStats().queued : 0);
   for (auto& f : pending) f.get();
 }
 
 void ShardedExperiment::MergeBarrier() {
+  telemetry::profile::ScopedPhase merge_span(
+      telemetry::profile::Phase::kMerge);
   DrainLaneTelemetry();
   // Hook replay can make the policy act (e.g. a DDR block move), which
   // produces new lane hooks; loop until quiescent, as the serial engine's
@@ -555,6 +611,9 @@ void ShardedExperiment::SchedulePeriodEnd(SimDuration period) {
 }
 
 void ShardedExperiment::DoPeriodEnd() {
+  telemetry::profile::ScopedPhase period_span(
+      telemetry::profile::Phase::kPeriodEnd,
+      static_cast<int64_t>(period_index_));
   in_period_end_ = true;
   trigger_pending_ = false;
   // Coordinator events earlier in this same barrier (migration chunks at

@@ -395,6 +395,39 @@ TEST_F(IncrementalEquivalenceTest, MatchesFullReplanAcrossPeriods) {
   EXPECT_TRUE(saw_skip);
 }
 
+/// The enclosure-of cache (final-enclosure map + P3 count safety net,
+/// refreshed from the move journal instead of a full item-table walk)
+/// must produce plans identical to the legacy full walks, including
+/// across partially committed migrations and stale journal entries.
+TEST_F(IncrementalEquivalenceTest, EnclosureCacheMatchesLegacyWalk) {
+  PowerManagementConfig cached_config;
+  cached_config.enable_enclosure_cache = true;
+  PowerManagementConfig walk_config;
+  walk_config.enable_enclosure_cache = false;
+  PowerManagementFunction cached(cached_config, *system_);
+  PowerManagementFunction walk(walk_config, *system_);
+
+  const SimTime period_end = 520 * kSecond;
+  Xoshiro256 apply_rng(1234);
+  const uint64_t traffic_round[] = {0, 1, 2, 3, 3, 3};
+  for (uint64_t round = 0; round < 6; ++round) {
+    app_monitor_.ResetPeriod(0);
+    FillPeriod(traffic_round[round], period_end);
+    monitor::MonitorSnapshot snapshot = Snapshot(period_end);
+
+    ManagementPlan cached_plan = cached.Run(snapshot, *system_, 520 * kSecond);
+    ManagementPlan walk_plan = walk.Run(snapshot, *system_, 520 * kSecond);
+    ExpectSameManagementPlan(cached_plan, walk_plan, round);
+
+    for (const Migration& mig : cached_plan.migrations) {
+      if (round >= 3 || apply_rng.NextDouble() < 0.6) {
+        ASSERT_TRUE(
+            system_->virtualization().MoveItem(mig.item, mig.to).ok());
+      }
+    }
+  }
+}
+
 /// force_full must bypass the incremental path even when it would apply.
 TEST_F(IncrementalEquivalenceTest, ForceFullBypassesIncremental) {
   PowerManagementConfig config;
